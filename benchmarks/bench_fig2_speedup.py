@@ -1,0 +1,147 @@
+"""Figure 2: self-relative speedup and memory as thread count grows.
+
+The paper's Figure 2 has two panels: (speedup vs threads) and (memory vs
+threads) for PARDA and the IAF variants.  On this 1-core host wall-clock
+concurrency is unobservable, so the speedup panel is evaluated under the
+CREW PRAM cost model the paper's theorems are stated in (DESIGN.md's
+substitution table):
+
+* IAF / Bound-IAF — work and span are *measured* by the engine's
+  instrumentation on a real run, then T_p = W/p + S (Brent).  Basic IAF's
+  span is Theta(n/log n)-limited, so its curve flattens near Theta(log n)
+  — exactly the saturation the paper observes ("O(log n) tops out at
+  roughly 30").  PARALLEL-IAF's scan-based span is also reported to show
+  the headroom Section 6 buys.
+* PARDA — phase times are measured (chunk pass, serial cleanup); its
+  projected T_p = chunks/p + cleanup.
+
+The memory panel is fully measured: each system runs with p workers and
+reports its MemoryModel peak — PARDA's line grows linearly in p, the IAF
+variants' stay flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.baselines.parda import parda_stack_distance_histogram
+from repro.core.bounded import bounded_iaf
+from repro.core.engine import EngineStats, iaf_distances
+from repro.metrics.memory import format_bytes
+from repro.metrics.timing import PhaseTimer
+from repro.pram.model import self_relative_speedup
+from _common import RowCollector, load_trace, run_system, write_result
+
+SIZE = "small"
+THREAD_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_speedup_panel(benchmark):
+    trace = load_trace(SIZE, "uniform")
+
+    def measure():
+        stats = EngineStats(record_segments=True)
+        iaf_distances(trace, stats=stats)
+        bstats = EngineStats()
+        bounded_iaf(trace, chunk_multiplier=4, stats=bstats)
+        timer = PhaseTimer()
+        parda_stack_distance_histogram(trace, workers=1, timer=timer)
+        return stats, bstats, timer
+
+    stats, bstats, timer = benchmark.pedantic(measure, rounds=1, iterations=1)
+    chunk_s = timer.seconds_by_phase["chunks"]
+    cleanup_s = timer.seconds_by_phase["cleanup"]
+    # Beyond the Brent bound, actually *schedule* the engine's measured
+    # level structure on p simulated processors (Graham list scheduling).
+    from repro.pram.simulator import greedy_makespan
+
+    levels = [c.tolist() for c in stats.segment_sizes_per_level]
+    t1 = greedy_makespan(levels, 1)
+    rows = []
+    for p in THREAD_COUNTS:
+        iaf_basic = self_relative_speedup(stats.basic_cost(), p)
+        iaf_sched = t1 / greedy_makespan(levels, p)
+        iaf_par = self_relative_speedup(stats.parallel_cost(), p)
+        bnd = self_relative_speedup(bstats.basic_cost(), p)
+        parda = (chunk_s + cleanup_s) / (chunk_s / p + cleanup_s)
+        rows.append(
+            [p, f"{iaf_basic:.2f}", f"{iaf_sched:.2f}", f"{bnd:.2f}",
+             f"{parda:.2f}", f"{iaf_par:.2f}"]
+        )
+        RowCollector.record("fig2", (p,), iaf=iaf_basic, parda=parda)
+    write_result(
+        "fig2",
+        render_table(
+            "Figure 2 (model): self-relative speedup vs threads "
+            f"({SIZE} workload)",
+            ["Threads", "IAF (Brent)", "IAF (scheduled)", "Bound-IAF",
+             "PARDA", "PARALLEL-IAF (Sec. 6)"],
+            rows,
+            note="Brent projection T_p = W/p + S from measured work/span; "
+                 "'scheduled' list-schedules the engine's real level "
+                 "structure; PARDA from measured phase times",
+        ),
+    )
+    # Shape assertions: monotone curves, IAF saturates at Theta(log n).
+    iafs = [RowCollector.rows("fig2")[(p,)]["iaf"] for p in THREAD_COUNTS]
+    assert iafs == sorted(iafs)
+    import math
+
+    assert iafs[-1] <= 4 * math.log2(trace.size)
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_memory_panel(benchmark, threads):
+    trace = load_trace(SIZE, "uniform")
+
+    def run_all():
+        peaks = {}
+        for system in ("parda", "parallel-iaf", "bound-iaf"):
+            _curve, mem, _ = run_system(system, trace, workers=threads)
+            peaks[system] = mem.peak_bytes
+        return peaks
+
+    peaks = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    RowCollector.record(
+        "fig2mem", (threads,),
+        **{f"{k}.mem": v for k, v in peaks.items()},
+    )
+
+
+def test_report_fig2_memory(benchmark):
+    # Rendering is the 'benchmarked' op so --benchmark-only
+    # still emits the paper-style table.
+    benchmark.pedantic(_test_report_fig2_memory_impl, rounds=1, iterations=1)
+
+
+def _test_report_fig2_memory_impl():
+    data = RowCollector.rows("fig2mem")
+    rows = []
+    for p in THREAD_COUNTS:
+        m = data.get((p,), {})
+        if not m:
+            continue
+        rows.append(
+            [p] + [
+                format_bytes(int(m[f"{s}.mem"]))
+                for s in ("parda", "parallel-iaf", "bound-iaf")
+            ]
+        )
+    write_result(
+        "fig2",
+        render_table(
+            f"Figure 2 (measured): memory vs threads ({SIZE} workload)",
+            ["Threads", "PARDA", "IAF", "Bound-IAF"],
+            rows,
+            note="PARDA grows ~linearly in p (one tree per worker); "
+                 "IAF variants flat",
+        ),
+    )
+    if len(rows) == len(THREAD_COUNTS):
+        p1 = data[(1,)]["parda.mem"]
+        p16 = data[(16,)]["parda.mem"]
+        assert p16 > 4 * p1, "PARDA memory must grow with threads"
+        i1 = data[(1,)]["parallel-iaf.mem"]
+        i16 = data[(16,)]["parallel-iaf.mem"]
+        assert i16 <= 1.5 * i1, "IAF memory must stay flat"

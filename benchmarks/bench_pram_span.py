@@ -1,0 +1,78 @@
+"""Theorems 4.3 and 6.2: work O(n log n); span O(n) basic / O(log^2 n)
+parallel.
+
+Sweeps n and reports the engine's measured work and both span
+accountings, normalized by their theoretical envelopes — the normalized
+columns must be flat (size-independent) for the reproduction to stand.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.engine import EngineStats, iaf_distances
+from _common import RowCollector, write_result
+
+SWEEP = (4_096, 16_384, 65_536, 262_144)
+
+
+@pytest.mark.parametrize("n", SWEEP)
+def test_work_span(benchmark, n):
+    trace = np.random.default_rng(0).integers(0, max(2, n // 8), size=n)
+
+    def run():
+        stats = EngineStats()
+        iaf_distances(trace, stats=stats)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    RowCollector.record(
+        "pram", (n,),
+        work=stats.work,
+        span_basic=stats.span_basic,
+        span_parallel=stats.span_parallel,
+        levels=stats.levels,
+    )
+
+
+def test_report_pram(benchmark):
+    # Rendering is the 'benchmarked' op so --benchmark-only
+    # still emits the paper-style table.
+    benchmark.pedantic(_test_report_pram_impl, rounds=1, iterations=1)
+
+
+def _test_report_pram_impl():
+    data = RowCollector.rows("pram")
+    rows = []
+    work_norms, span_norms = [], []
+    for n in SWEEP:
+        m = data.get((n,))
+        if not m:
+            continue
+        work_norm = m["work"] / (n * math.log2(n))
+        span_par_norm = m["span_parallel"] / (math.log2(n) ** 2)
+        work_norms.append(work_norm)
+        span_norms.append(span_par_norm)
+        rows.append(
+            [n, int(m["work"]), f"{work_norm:.2f}",
+             int(m["span_basic"]), f"{m['span_basic'] / n:.2f}",
+             f"{m['span_parallel']:.0f}", f"{span_par_norm:.2f}",
+             int(m["levels"])]
+        )
+    write_result(
+        "pram_span",
+        render_table(
+            "Theorems 4.3/6.2: measured work and span vs theory",
+            ["n", "work", "work/(n lg n)", "span(basic)", "/n",
+             "span(par)", "/(lg n)^2", "levels"],
+            rows,
+            note="normalized columns must be flat across the sweep",
+        ),
+    )
+    if len(work_norms) >= 2:
+        assert max(work_norms) <= 2.0 * min(work_norms)
+        assert max(span_norms) <= 2.0 * min(span_norms)

@@ -1,0 +1,96 @@
+"""Section 9.5: 32-bit versus 64-bit addresses and counters.
+
+The paper reports that switching IAF/Bound-IAF to 64-bit integers costs
+at most 2x memory and at most 1.11x runtime.  The engine's ``dtype`` knob
+reproduces the experiment directly: identical curves, wider arrays.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.bounded import bounded_iaf
+from repro.core.engine import iaf_distances
+from repro.metrics.memory import MemoryModel, format_bytes
+from _common import RowCollector, load_trace, write_result
+
+SIZE = "small"
+
+
+@pytest.mark.parametrize("dtype", ["int32", "int64"])
+@pytest.mark.parametrize("system", ["iaf", "bound-iaf"])
+def test_width(benchmark, system, dtype):
+    trace = load_trace(SIZE, "uniform", dtype_name=dtype)
+
+    def run():
+        mem = MemoryModel()
+        t0 = time.perf_counter()
+        if system == "iaf":
+            out = iaf_distances(trace, dtype=dtype, memory=mem)
+        else:
+            out = bounded_iaf(
+                trace, dtype=dtype, chunk_multiplier=4, memory=mem
+            ).curve
+        return time.perf_counter() - t0, mem.peak_bytes, out
+
+    seconds, peak, out = benchmark.pedantic(run, rounds=1, iterations=1)
+    RowCollector.record(
+        "sec95", (system,),
+        **{f"{dtype}.s": seconds, f"{dtype}.mem": peak},
+    )
+
+
+def test_results_identical_across_widths(benchmark):
+    # Rendering is the 'benchmarked' op so --benchmark-only
+    # still emits the paper-style table.
+    benchmark.pedantic(_test_results_identical_across_widths_impl, rounds=1, iterations=1)
+
+
+def _test_results_identical_across_widths_impl():
+    trace = load_trace(SIZE, "uniform")
+    d32 = iaf_distances(trace.astype(np.int32), dtype=np.int32)
+    d64 = iaf_distances(trace, dtype=np.int64)
+    assert np.array_equal(d32, d64)
+
+
+def test_report_sec95(benchmark):
+    # Rendering is the 'benchmarked' op so --benchmark-only
+    # still emits the paper-style table.
+    benchmark.pedantic(_test_report_sec95_impl, rounds=1, iterations=1)
+
+
+def _test_report_sec95_impl():
+    data = RowCollector.rows("sec95")
+    rows = []
+    for system in ("iaf", "bound-iaf"):
+        m = data.get((system,))
+        if not m or "int32.s" not in m or "int64.s" not in m:
+            continue
+        rows.append(
+            [
+                system,
+                f"{m['int32.s']:.2f}",
+                f"{m['int64.s']:.2f}",
+                f"{m['int64.s'] / m['int32.s']:.2f}x",
+                format_bytes(int(m["int32.mem"])),
+                format_bytes(int(m["int64.mem"])),
+                f"{m['int64.mem'] / m['int32.mem']:.2f}x",
+            ]
+        )
+        # Paper: memory increase at most 2x (with slack for the uint8
+        # kind array that does not widen).
+        assert m["int64.mem"] / m["int32.mem"] <= 2.05
+    write_result(
+        "sec95",
+        render_table(
+            f"Section 9.5 (scaled): 32-bit vs 64-bit ({SIZE} workload)",
+            ["System", "32-bit (s)", "64-bit (s)", "time ratio",
+             "32-bit mem", "64-bit mem", "mem ratio"],
+            rows,
+            note="paper: <=1.11x runtime, <=2x memory",
+        ),
+    )

@@ -1,0 +1,89 @@
+"""Exact vs. approximate: the trade-off the paper's thesis attacks.
+
+Section 2's heuristics (SHARDS et al.) buy speed with unguaranteed
+accuracy.  This bench quantifies both sides on one workload: runtime and
+mean absolute curve error of fixed-rate SHARDS at several sampling
+rates, against the exact IAF answer.  The paper's point is the *left
+column*: the exact computation is now fast enough that the error column
+is a price you rarely need to pay.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.baselines.shards import shards_error, shards_hit_rate_curve
+from repro.core.engine import iaf_hit_rate_curve
+from _common import RowCollector, load_trace, write_result
+
+RATES = (0.5, 0.1, 0.01)
+
+
+def test_exact_reference(benchmark):
+    trace = load_trace("small", "zipf-0.8")
+
+    def run():
+        t0 = time.perf_counter()
+        curve = iaf_hit_rate_curve(trace)
+        return time.perf_counter() - t0, curve
+
+    elapsed, curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    RowCollector.record("shards", ("exact",), seconds=elapsed, mae=0.0)
+    RowCollector._store.setdefault("shards-ref", {})[("curve",)] = {
+        "rates": curve.hit_rate_array()
+    }
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_shards_at_rate(benchmark, rate):
+    trace = load_trace("small", "zipf-0.8")
+    exact_rates = RowCollector._store["shards-ref"][("curve",)]["rates"]
+
+    def run():
+        t0 = time.perf_counter()
+        approx = shards_hit_rate_curve(trace, rate, seed=1)
+        return time.perf_counter() - t0, approx
+
+    elapsed, approx = benchmark.pedantic(run, rounds=1, iterations=1)
+    RowCollector.record(
+        "shards", (rate,),
+        seconds=elapsed,
+        mae=shards_error(approx, exact_rates),
+        samples=approx.sampled_accesses,
+    )
+
+
+def test_report_shards(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    data = RowCollector.rows("shards")
+    rows = []
+    exact = data.get(("exact",))
+    if exact:
+        rows.append(["exact IAF", f"{exact['seconds']:.2f}", "0", "exact"])
+    for rate in RATES:
+        m = data.get((rate,))
+        if m:
+            rows.append(
+                [f"SHARDS rate={rate}", f"{m['seconds']:.3f}",
+                 f"{int(m['samples'])}", f"{m['mae']:.4f} MAE"]
+            )
+    write_result(
+        "shards",
+        render_table(
+            "Exact vs sampled curves (small workload, zipf-0.8)",
+            ["system", "seconds", "samples", "curve error"],
+            rows,
+            note="the heuristic is fast but unguaranteed; exact IAF makes "
+                 "the trade optional",
+        ),
+    )
+    if exact and data.get((0.1,)):
+        # ~10k samples on a smooth curve: well under 10% mean error.
+        assert data[(0.1,)]["mae"] < 0.1
+        assert data[(0.1,)]["seconds"] < exact["seconds"]

@@ -1,0 +1,83 @@
+"""Table 2a: average serial runtime of SPLAY, OST, IAF, Bound-IAF.
+
+For each catalog size and each distribution in the sweep, every system
+computes the full hit-rate curve once; the reported number is the mean
+across distributions, exactly how the paper averages Table 2a rows.
+
+Expected shape (paper): IAF fastest; Bound-IAF within ~1.3x of IAF;
+both several-fold faster than the tree algorithms, with the gap growing
+on larger traces.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from _common import (
+    RowCollector,
+    bench_dists,
+    bench_sizes,
+    load_trace,
+    run_system,
+    write_result,
+)
+
+SYSTEMS = ("splay", "ost", "iaf", "bound-iaf")
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_serial_runtime(benchmark, system, size):
+    dists = bench_dists()
+    curves = []
+
+    def run_all():
+        total = 0.0
+        for dist in dists:
+            trace = load_trace(size, dist)
+            t0 = time.perf_counter()
+            curve, _mem, _stats = run_system(system, trace)
+            total += time.perf_counter() - t0
+            curves.append(curve)
+        return total / len(dists)
+
+    mean_seconds = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    RowCollector.record("table2a", (size,), **{system: mean_seconds})
+    assert curves[0].total_accesses == load_trace(size, dists[0]).size
+
+
+def test_report_table2a(benchmark):
+    # Rendering is the 'benchmarked' op so --benchmark-only
+    # still emits the paper-style table.
+    benchmark.pedantic(_test_report_table2a_impl, rounds=1, iterations=1)
+
+
+def _test_report_table2a_impl():
+    rows = []
+    data = RowCollector.rows("table2a")
+    for size in bench_sizes():
+        m = data.get((size,), {})
+        if not m:
+            continue
+        iaf = m.get("iaf")
+        row = [size]
+        for system in SYSTEMS:
+            row.append(f"{m[system]:.2f}" if system in m else "-")
+        row.append(
+            f"{m['splay'] / iaf:.2f}x" if iaf and "splay" in m else "-"
+        )
+        row.append(f"{m['ost'] / iaf:.2f}x" if iaf and "ost" in m else "-")
+        rows.append(row)
+    write_result(
+        "table2a",
+        render_table(
+            "Table 2a (scaled): average serial runtime, seconds",
+            ["Size", "SPLAY", "OST", "IAF", "Bound-IAF",
+             "IAF vs SPLAY", "IAF vs OST"],
+            rows,
+            note=f"mean over distributions {bench_dists()}",
+        ),
+    )

@@ -1,0 +1,79 @@
+"""Table 2b: serial memory usage of SPLAY, OST, IAF, Bound-IAF.
+
+Memory is the deterministic :class:`~repro.metrics.MemoryModel` peak —
+the bytes of the algorithm's own data structures (level op arrays for
+IAF, Q-bar + chunk state for Bound-IAF, tree nodes + hash slots for the
+baselines), the quantity whose asymptotics the paper's Table 2b exposes.
+
+Expected shape: IAF's footprint is Theta(n) words and dwarfs the trees'
+Theta(u) exactly when n >> u (the tiny workload, n/u = 200, is the
+extreme); Bound-IAF stays within a small factor of the trees everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.metrics.memory import format_bytes
+from _common import (
+    RowCollector,
+    bench_dists,
+    bench_sizes,
+    load_trace,
+    run_system,
+    write_result,
+)
+
+SYSTEMS = ("splay", "ost", "iaf", "bound-iaf")
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_serial_memory(benchmark, system, size):
+    dists = bench_dists()
+
+    def run_all():
+        peaks = []
+        for dist in dists:
+            trace = load_trace(size, dist)
+            _curve, mem, _stats = run_system(system, trace)
+            peaks.append(mem.peak_bytes)
+        return sum(peaks) / len(peaks)
+
+    mean_peak = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    RowCollector.record("table2b", (size,), **{system: mean_peak})
+    assert mean_peak > 0
+
+
+def test_report_table2b(benchmark):
+    # Rendering is the 'benchmarked' op so --benchmark-only
+    # still emits the paper-style table.
+    benchmark.pedantic(_test_report_table2b_impl, rounds=1, iterations=1)
+
+
+def _test_report_table2b_impl():
+    rows = []
+    data = RowCollector.rows("table2b")
+    for size in bench_sizes():
+        m = data.get((size,), {})
+        if not m:
+            continue
+        row = [size]
+        for system in SYSTEMS:
+            row.append(format_bytes(int(m[system])) if system in m else "-")
+        if "iaf" in m and "ost" in m:
+            row.append(f"{m['iaf'] / m['ost']:.1f}x")
+            row.append(f"{m['bound-iaf'] / m['ost']:.2f}x"
+                       if "bound-iaf" in m else "-")
+        rows.append(row)
+    write_result(
+        "table2b",
+        render_table(
+            "Table 2b (scaled): peak data-structure memory",
+            ["Size", "SPLAY", "OST", "IAF", "Bound-IAF",
+             "IAF/OST", "Bound-IAF/OST"],
+            rows,
+            note="MemoryModel peaks; IAF/OST blow-up tracks n/u as in the paper",
+        ),
+    )

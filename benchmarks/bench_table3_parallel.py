@@ -1,0 +1,103 @@
+"""Table 3: runtime and memory with 16 threads — PARDA, IAF, Bound-IAF.
+
+The host for this reproduction has one core, so 16 "threads" measures the
+code path (thread-pool dispatch, disjoint output writes) rather than real
+concurrency; the load-bearing reproduction here is the **memory** panel
+(Table 3b): PARDA's footprint multiplies with worker count while the IAF
+variants stay flat, which is a property of the algorithms, not of the
+machine.  Runtime is reported as measured, with the PRAM-model projection
+covered separately by bench_fig2_speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.metrics.memory import format_bytes
+from _common import (
+    RowCollector,
+    bench_dists,
+    bench_sizes,
+    load_trace,
+    run_system,
+    write_result,
+)
+
+SYSTEMS = ("parda", "parallel-iaf", "bound-iaf")
+THREADS = 16
+#: PARDA's pure-Python tree pass is the slow one; cap its sizes the way
+#: the paper's PARDA runs capped out (it segfaulted above Medium).
+PARDA_MAX = {"tiny", "small", "medium"}
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_parallel_16_threads(benchmark, system, size):
+    if system == "parda" and size not in PARDA_MAX:
+        pytest.skip("PARDA capped at medium (mirrors the paper's failures)")
+    dists = bench_dists()
+
+    def run_all():
+        seconds, peaks = [], []
+        for dist in dists:
+            trace = load_trace(size, dist)
+            t0 = time.perf_counter()
+            _curve, mem, _stats = run_system(
+                system, trace, workers=THREADS
+            )
+            seconds.append(time.perf_counter() - t0)
+            peaks.append(mem.peak_bytes)
+        return (sum(seconds) / len(seconds), sum(peaks) / len(peaks))
+
+    mean_s, mean_peak = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    RowCollector.record(
+        "table3", (size,),
+        **{f"{system}.s": mean_s, f"{system}.mem": mean_peak},
+    )
+
+
+def test_report_table3(benchmark):
+    # Rendering is the 'benchmarked' op so --benchmark-only
+    # still emits the paper-style table.
+    benchmark.pedantic(_test_report_table3_impl, rounds=1, iterations=1)
+
+
+def _test_report_table3_impl():
+    data = RowCollector.rows("table3")
+    rows_a, rows_b = [], []
+    for size in bench_sizes():
+        m = data.get((size,), {})
+        if not m:
+            continue
+        rows_a.append(
+            [size] + [
+                f"{m[f'{s}.s']:.2f}" if f"{s}.s" in m else "-"
+                for s in SYSTEMS
+            ]
+        )
+        rows_b.append(
+            [size] + [
+                format_bytes(int(m[f"{s}.mem"])) if f"{s}.mem" in m else "-"
+                for s in SYSTEMS
+            ]
+        )
+    write_result(
+        "table3",
+        render_table(
+            f"Table 3a (scaled): runtime with {THREADS} threads, seconds",
+            ["Size", "PARDA", "IAF", "Bound-IAF"],
+            rows_a,
+            note="1-core host: wall-clock shows no real concurrency; "
+                 "see fig2 for the work/span projection",
+        )
+        + render_table(
+            f"Table 3b (scaled): memory with {THREADS} threads",
+            ["Size", "PARDA", "IAF", "Bound-IAF"],
+            rows_b,
+            note="PARDA holds one tree per worker (Omega(u*p)); IAF "
+                 "variants are flat in the thread count",
+        ),
+    )

@@ -1,0 +1,13 @@
+"""Benchmark-session plumbing: make _common importable from bench modules.
+
+Result-file freshness is handled by ``_common.write_result`` itself
+(first write of a process replaces the file), so no session-start hook
+is needed — and partial runs can't clobber other experiments' outputs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CDN cache sizing: the paper's motivating "what-if" questions.
+
+The introduction asks, for an engineer running a giant cache: *could we
+shrink the cache and keep the hit rate?  Could a small growth buy a much
+smaller miss rate?  How much is our LRU approximation costing us?*
+
+This example builds a CDN-like workload (a Zipfian core catalog plus
+periodic cold scans from crawlers), computes the exact curve with
+BOUNDED-INCREMENT-AND-FREEZE (the production-friendly O(k)-memory
+variant), and answers all three questions, including the LRU-vs-FIFO
+and LRU-vs-OPT comparisons via the direct simulators.
+
+Run:  python examples/cdn_cache_sizing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bounded_iaf
+from repro.analysis.curves import smallest_cache_for_hit_rate
+from repro.cache import simulate_fifo, simulate_lru, simulate_opt
+from repro.workloads import mixture_trace, sequential_scan_trace, zipfian_trace
+
+CATALOG = 40_000          # distinct objects in the hot catalog
+REQUESTS = 400_000
+CURRENT_CACHE = 8_000     # the cache we are "running" today
+BUDGET_K = 20_000         # largest size worth considering
+
+
+def build_workload() -> np.ndarray:
+    """Zipfian user traffic + a crawler scanning the cold long tail."""
+    users = zipfian_trace(REQUESTS, CATALOG, alpha=0.7, seed=1)
+    crawler = sequential_scan_trace(REQUESTS // 10, 15_000)
+    crawler = crawler + CATALOG  # disjoint cold address space
+    return mixture_trace([users, crawler.astype(users.dtype)], seed=2)
+
+
+def main() -> None:
+    trace = build_workload()
+    result = bounded_iaf(trace, BUDGET_K, chunk_multiplier=4)
+    curve = result.curve
+    current = curve.hit_rate(CURRENT_CACHE)
+
+    print(f"workload: {trace.size:,} requests "
+          f"({int(np.unique(trace).size):,} distinct objects)")
+    print(f"today's cache ({CURRENT_CACHE:,} objects): "
+          f"H = {current:.3f}\n")
+
+    # Q1: could we shrink and keep (almost) the same hit rate?
+    floor = smallest_cache_for_hit_rate(curve, current - 0.01)
+    print(f"Q1  shrink: a {floor:,}-object cache already gets within one "
+          f"point\n    -> {CURRENT_CACHE - floor:,} objects "
+          f"({(CURRENT_CACHE - floor) / CURRENT_CACHE:.0%}) reclaimable")
+
+    # Q2: what does growing 25% buy?
+    grown = int(CURRENT_CACHE * 1.25)
+    delta = curve.hit_rate(grown) - current
+    print(f"Q2  grow 25% -> {grown:,} objects: hit rate "
+          f"{'+' if delta >= 0 else ''}{delta * 100:.2f} points")
+
+    # Q3: is approximating LRU hurting?  FIFO vs LRU vs OPT at one size.
+    lru = simulate_lru(trace, CURRENT_CACHE)
+    fifo = simulate_fifo(trace, CURRENT_CACHE)
+    opt = simulate_opt(trace, CURRENT_CACHE)
+    print(f"Q3  at {CURRENT_CACHE:,} objects:  FIFO {fifo.hit_rate:.3f}  "
+          f"<=  LRU {lru.hit_rate:.3f}  <=  OPT {opt.hit_rate:.3f}")
+    print(f"    FIFO's simplification costs "
+          f"{(lru.hit_rate - fifo.hit_rate) * 100:.2f} points; "
+          f"clairvoyance would add "
+          f"{(opt.hit_rate - lru.hit_rate) * 100:.2f}")
+
+    # Q4: put money on it — what size minimizes total cost?
+    from repro.analysis.whatif import CostModel, resize_savings
+
+    model = CostModel(capacity_cost_per_slot=0.002, miss_cost=0.01)
+    best, saving = resize_savings(curve, model, CURRENT_CACHE)
+    print(f"\nQ4  cost model (slot {model.capacity_cost_per_slot}, miss "
+          f"{model.miss_cost}): optimal size {best.size:,} "
+          f"(H = {best.hit_rate:.3f})")
+    print(f"    resizing from {CURRENT_CACHE:,} saves "
+          f"{saving:,.0f} cost units per period")
+
+    # Sanity: the analytic curve equals the simulated cache exactly.
+    assert abs(curve.hit_rate(CURRENT_CACHE) - lru.hit_rate) < 1e-12
+
+
+if __name__ == "__main__":
+    main()

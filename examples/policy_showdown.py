@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Policy showdown on a churning CDN workload.
+
+Puts every simulated policy — FIFO, CLOCK, exact LRU, LFU, and
+clairvoyant OPT — side by side across cache sizes on a trace whose
+popularity drifts over time (the regime production caches actually
+face), with the exact LRU column coming from INCREMENT-AND-FREEZE
+rather than per-size simulation.
+
+Takeaways this prints:
+
+* CLOCK tracks exact LRU within a point or two (the approximation is
+  cheap *and* close — one of the intro's questions answered);
+* LFU, the "optimization beyond LRU", wins while popularity is stable
+  and gives the win back under churn;
+* the LRU-to-OPT gap bounds what any smarter policy could still get.
+
+Run:  python examples/policy_showdown.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import hit_rate_curve
+from repro.analysis.report import render_table
+from repro.cache import POLICIES
+from repro.workloads import CdnTraceSpec, cdn_trace
+
+REQUESTS = 120_000
+CATALOG = 6_000
+
+
+def main() -> None:
+    spec = CdnTraceSpec(
+        requests=REQUESTS, catalog=CATALOG,
+        alpha=0.9, epochs=6, churn_fraction=0.3,
+        new_object_fraction=0.01,
+    )
+    trace = cdn_trace(spec, seed=11)
+    u = int(np.unique(trace).size)
+    print(f"churning CDN trace: {trace.size:,} requests, "
+          f"{u:,} distinct objects\n")
+
+    # One IAF run answers *every* size for LRU.
+    lru_curve = hit_rate_curve(trace)
+
+    sizes = [CATALOG // 64, CATALOG // 16, CATALOG // 4, CATALOG]
+    rows = []
+    for k in sizes:
+        row = [k]
+        for policy in ("fifo", "clock", "lfu", "opt"):
+            row.append(f"{POLICIES[policy](trace, k).hit_rate:.3f}")
+        row.insert(3, f"{lru_curve.hit_rate(k):.3f}")  # LRU between clock/lfu
+        rows.append(row)
+
+    print(render_table(
+        "Hit rate by policy and cache size",
+        ["size", "FIFO", "CLOCK", "LRU (exact, IAF)", "LFU", "OPT"],
+        rows,
+        note="CLOCK ~= LRU; LFU's frequency bet pays off only while "
+             "popularity holds still",
+    ))
+
+    k = sizes[1]
+    clock_gap = abs(
+        POLICIES["clock"](trace, k).hit_rate - lru_curve.hit_rate(k)
+    )
+    opt_gap = POLICIES["opt"](trace, k).hit_rate - lru_curve.hit_rate(k)
+    print(f"at size {k}: CLOCK is within {clock_gap * 100:.2f} points of "
+          f"LRU; OPT's headroom over LRU is {opt_gap * 100:.2f} points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy shim so `pip install -e .` works on offline toolchains.
+
+The environment this reproduction targets has setuptools but no `wheel`
+package and no network; PEP-517 editable builds fail there, while the
+classic `setup.py develop` path works.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

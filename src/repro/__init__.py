@@ -1,0 +1,73 @@
+"""repro — a Python reproduction of "Increment-and-Freeze: Every Cache,
+Everywhere, All of the Time" (Bender, DeLayo, Kuszmaul, Kuszmaul, West;
+SPAA 2023).
+
+Quick start::
+
+    import numpy as np
+    from repro import hit_rate_curve
+
+    trace = np.random.default_rng(0).integers(0, 10_000, size=1_000_000)
+    curve = hit_rate_curve(trace)            # exact LRU hit-rate curve
+    print(curve.hit_rate(4096))              # H_T(4096)
+
+The package layout mirrors DESIGN.md:
+
+- :mod:`repro.core` — INCREMENT-AND-FREEZE and its bounded / external /
+  parallel variants (the paper's contribution).
+- :mod:`repro.baselines` — Mattson, OST, SPLAY, PARDA.
+- :mod:`repro.workloads` — synthetic trace generators and the Table-1
+  catalog.
+- :mod:`repro.cache` — direct LRU/OPT/FIFO simulators (ground truth).
+- :mod:`repro.extmem` — the simulated external-memory model.
+- :mod:`repro.pram` — the CREW PRAM work/span cost model.
+- :mod:`repro.metrics` / :mod:`repro.analysis` — measurement and report
+  plumbing for the benchmark harness.
+"""
+
+from ._typing import DEFAULT_DTYPE, SUPPORTED_DTYPES, as_trace
+from .core import (
+    ALGORITHMS,
+    BoundedResult,
+    EngineStats,
+    HitRateCurve,
+    OnlineCurveAnalyzer,
+    analyze_stream,
+    bounded_iaf,
+    external_iaf_distances,
+    hit_rate_curve,
+    iaf_distances,
+    iaf_hit_rate_curve,
+    parallel_bounded_iaf,
+    parallel_iaf_distances,
+    stack_distances,
+    weighted_hit_rate_curve,
+    weighted_stack_distances,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BoundedResult",
+    "DEFAULT_DTYPE",
+    "EngineStats",
+    "HitRateCurve",
+    "OnlineCurveAnalyzer",
+    "analyze_stream",
+    "ReproError",
+    "SUPPORTED_DTYPES",
+    "as_trace",
+    "bounded_iaf",
+    "external_iaf_distances",
+    "hit_rate_curve",
+    "iaf_distances",
+    "iaf_hit_rate_curve",
+    "parallel_bounded_iaf",
+    "parallel_iaf_distances",
+    "stack_distances",
+    "weighted_hit_rate_curve",
+    "weighted_stack_distances",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Analysis helpers: curve metrics and benchmark-report rendering."""
+
+from .curves import (
+    CurveSummary,
+    curve_max_abs_error,
+    detect_phase_changes,
+    knee_points,
+    marginal_hit_rate,
+    smallest_cache_for_hit_rate,
+    window_drift,
+)
+from .locality import (
+    LocalityReport,
+    ReferenceTrace,
+    engine_reference_trace,
+    simulate_cache_misses,
+    tree_reference_trace,
+)
+from .report import mebibytes, render_table, seconds, speedup
+from .whatif import (
+    CostModel,
+    SizingDecision,
+    cost_curve,
+    largest_size_within_budget,
+    optimal_cache_size,
+    resize_savings,
+    total_cost,
+)
+
+__all__ = [
+    "CurveSummary",
+    "curve_max_abs_error",
+    "detect_phase_changes",
+    "knee_points",
+    "marginal_hit_rate",
+    "smallest_cache_for_hit_rate",
+    "window_drift",
+    "LocalityReport",
+    "ReferenceTrace",
+    "engine_reference_trace",
+    "simulate_cache_misses",
+    "tree_reference_trace",
+    "mebibytes",
+    "render_table",
+    "seconds",
+    "speedup",
+    "CostModel",
+    "SizingDecision",
+    "cost_curve",
+    "largest_size_within_budget",
+    "optimal_cache_size",
+    "resize_savings",
+    "total_cost",
+]

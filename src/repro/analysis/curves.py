@@ -1,0 +1,122 @@
+"""Curve comparison and summary metrics.
+
+Used by benchmarks to quantify agreement between algorithms and by the
+examples to answer the introduction's "what-if" questions (how much hit
+rate does shrinking/growing the cache cost/buy?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.hitrate import HitRateCurve
+from ..errors import ReproError
+
+
+def curve_max_abs_error(a: HitRateCurve, b: HitRateCurve) -> float:
+    """Maximum absolute difference of the two hit-rate curves.
+
+    Compared over the union of their explicit ranges (flat-tail padding),
+    after checking the denominators agree.
+    """
+    if a.total_accesses != b.total_accesses:
+        raise ReproError(
+            f"curves cover different access counts: "
+            f"{a.total_accesses} vs {b.total_accesses}"
+        )
+    if a.total_accesses == 0:
+        return 0.0
+    size = max(a.max_size, b.max_size, 1)
+    pa = a._padded(size) / a.total_accesses
+    pb = b._padded(size) / b.total_accesses
+    return float(np.max(np.abs(pa - pb)))
+
+
+def knee_points(curve: HitRateCurve, min_gain: float = 0.01) -> np.ndarray:
+    """Cache sizes where the hit rate jumps by at least ``min_gain``.
+
+    The knees are where growing the cache actually buys something — the
+    sizes a capacity planner cares about.
+    """
+    rates = curve.hit_rate_array()
+    if rates.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    gains = np.diff(np.concatenate([[0.0], rates]))
+    return np.flatnonzero(gains >= min_gain) + 1
+
+
+def smallest_cache_for_hit_rate(
+    curve: HitRateCurve, target: float
+) -> Optional[int]:
+    """Smallest cache size achieving hit rate >= ``target`` (None if never)."""
+    if not 0.0 <= target <= 1.0:
+        raise ReproError(f"target hit rate must be in [0, 1], got {target}")
+    rates = curve.hit_rate_array()
+    idx = np.flatnonzero(rates >= target)
+    return int(idx[0]) + 1 if idx.size else None
+
+
+def marginal_hit_rate(curve: HitRateCurve, k: int, delta: int) -> float:
+    """Hit-rate gain from growing a size-``k`` cache by ``delta``."""
+    if delta < 0:
+        raise ReproError(f"delta must be >= 0, got {delta}")
+    return curve.hit_rate(k + delta) - curve.hit_rate(k)
+
+
+def window_drift(windows: Sequence[HitRateCurve]) -> np.ndarray:
+    """Max-abs curve distance between consecutive windows.
+
+    The regime-change detector for windowed Bound-IAF output: a spike in
+    ``out[i]`` means window ``i+1``'s hit-rate curve differs sharply from
+    window ``i``'s — the working set moved, and yesterday's sizing no
+    longer applies ("the answers change over time").
+
+    Windows may have different access counts (a trailing partial chunk),
+    so each curve is compared by *rate*, padded over the common size
+    range.
+    """
+    if len(windows) < 2:
+        return np.zeros(0, dtype=np.float64)
+    out = np.empty(len(windows) - 1, dtype=np.float64)
+    for i, (a, b) in enumerate(zip(windows, windows[1:])):
+        size = max(a.max_size, b.max_size, 1)
+        ra = a._padded(size) / max(a.total_accesses, 1)
+        rb = b._padded(size) / max(b.total_accesses, 1)
+        out[i] = float(np.max(np.abs(ra - rb)))
+    return out
+
+
+def detect_phase_changes(
+    windows: Sequence[HitRateCurve], threshold: float = 0.1
+) -> np.ndarray:
+    """Indices ``i`` where window ``i+1`` drifted beyond ``threshold``."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ReproError(f"threshold must be in [0, 1], got {threshold}")
+    return np.flatnonzero(window_drift(windows) > threshold) + 1
+
+
+@dataclass(frozen=True)
+class CurveSummary:
+    """Compact description of a hit-rate curve for reports."""
+
+    total_accesses: int
+    max_size: int
+    final_hit_rate: float
+    half_rate_size: Optional[int]
+
+    @staticmethod
+    def of(curve: HitRateCurve) -> "CurveSummary":
+        final = (
+            curve.hit_rate(curve.max_size) if curve.max_size else 0.0
+        )
+        return CurveSummary(
+            total_accesses=curve.total_accesses,
+            max_size=curve.max_size,
+            final_hit_rate=final,
+            half_rate_size=smallest_cache_for_hit_rate(curve, final / 2)
+            if final > 0
+            else None,
+        )

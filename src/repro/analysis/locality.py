@@ -1,0 +1,328 @@
+"""Data locality: *why* Increment-and-Freeze wins (Sections 1–2).
+
+The paper's central systems argument is not asymptotic — both IAF and
+the augmented tree do O(n log n) work — it is **locality**: the tree
+algorithm performs Θ(n log n) scattered pointer dereferences ("Θ(n log
+n) misses to CPU cache"), while IAF's recursion touches memory as
+sequential streams, costing O((n/B) log n) transfers.
+
+This module makes that claim measurable on the reproduction substrate:
+
+1. :class:`ReferenceTrace` — a recorder of abstract word addresses.
+2. :class:`TracedAugmentedTree` — a weight-balanced order-statistic tree
+   whose every node visit is recorded at the node's (allocation-order)
+   address, run through the Bennett–Kruskal loop.
+3. :func:`engine_reference_trace` — the engine's traffic, reconstructed
+   from its *measured* per-level op counts: each level sequentially
+   reads one buffer and sequentially writes the other (ping-pong).
+4. :func:`simulate_cache_misses` — both traces fed through the same LRU
+   cache of ``C`` words with ``B``-word lines (built on
+   :class:`repro.cache.LRUCache` over line ids).
+
+The ``bench_locality`` benchmark reports misses-per-access for both; the
+tree's stays near one-miss-per-level once the tree outgrows the cache,
+the engine's stays near ``2·levels/B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from ..cache.lru import LRUCache
+from ..core.engine import EngineStats, iaf_distances
+from ..errors import CapacityError
+
+#: Words per tree node in the reference model: key, two children, size.
+NODE_WORDS = 4
+
+
+class ReferenceTrace:
+    """Accumulates abstract word addresses in access order."""
+
+    def __init__(self) -> None:
+        self._parts: List[np.ndarray] = []
+        self._scalars: List[int] = []
+
+    def touch(self, address: int) -> None:
+        """Record a single word access."""
+        self._scalars.append(address)
+
+    def stream(self, base: int, length: int) -> None:
+        """Record a sequential scan of ``length`` words from ``base``."""
+        self._flush_scalars()
+        self._parts.append(base + np.arange(length, dtype=np.int64))
+
+    def _flush_scalars(self) -> None:
+        if self._scalars:
+            self._parts.append(np.asarray(self._scalars, dtype=np.int64))
+            self._scalars = []
+
+    def addresses(self) -> np.ndarray:
+        """The full reference string."""
+        self._flush_scalars()
+        if not self._parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(self._parts)
+
+    def __len__(self) -> int:
+        return sum(p.size for p in self._parts) + len(self._scalars)
+
+
+class _TNode:
+    __slots__ = ("key", "left", "right", "size", "address")
+
+    def __init__(self, key: int, address: int) -> None:
+        self.key = key
+        self.left: Optional["_TNode"] = None
+        self.right: Optional["_TNode"] = None
+        self.size = 1
+        self.address = address
+
+
+class TracedAugmentedTree:
+    """Weight-balanced OST recording every node visit's address.
+
+    Node placement models a pool allocator with a free list: fresh nodes
+    extend the pool; deleting a node recycles its slot for the next
+    insert.  (A purely monotonic allocator would be unrealistically kind
+    to this workload — keys here are timestamps, so without recycling,
+    address order would mirror key order and search paths would enjoy
+    array-like locality no real long-running tree retains.)
+    """
+
+    _DELTA, _GAMMA = 3, 2
+
+    def __init__(self, trace_out: ReferenceTrace) -> None:
+        self._out = trace_out
+        self._root: Optional[_TNode] = None
+        self._next_address = 0
+        self._free: List[int] = []
+
+    def _visit(self, node: _TNode) -> None:
+        self._out.touch(node.address)
+
+    def _alloc(self, key: int) -> _TNode:
+        if self._free:
+            address = self._free.pop()
+        else:
+            address = self._next_address
+            self._next_address += NODE_WORDS
+        return _TNode(key, address)
+
+    def _release(self, node: _TNode) -> None:
+        self._free.append(node.address)
+
+    @staticmethod
+    def _size(n: Optional[_TNode]) -> int:
+        return n.size if n is not None else 0
+
+    def _update(self, n: _TNode) -> _TNode:
+        n.size = 1 + self._size(n.left) + self._size(n.right)
+        return n
+
+    def _rot_l(self, n: _TNode) -> _TNode:
+        r = n.right
+        self._visit(r)
+        n.right = r.left
+        r.left = self._update(n)
+        return self._update(r)
+
+    def _rot_r(self, n: _TNode) -> _TNode:
+        l = n.left
+        self._visit(l)
+        n.left = l.right
+        l.right = self._update(n)
+        return self._update(l)
+
+    def _balance(self, n: _TNode) -> _TNode:
+        ls, rs = self._size(n.left), self._size(n.right)
+        if ls + rs <= 1:
+            return self._update(n)
+        if rs > self._DELTA * ls:
+            if self._size(n.right.left) >= self._GAMMA * self._size(
+                n.right.right
+            ):
+                n.right = self._rot_r(n.right)
+            return self._rot_l(n)
+        if ls > self._DELTA * rs:
+            if self._size(n.left.right) >= self._GAMMA * self._size(
+                n.left.left
+            ):
+                n.left = self._rot_l(n.left)
+            return self._rot_r(n)
+        return self._update(n)
+
+    def insert(self, key: int) -> None:
+        def rec(node: Optional[_TNode]) -> _TNode:
+            if node is None:
+                return self._alloc(key)
+            self._visit(node)
+            if key < node.key:
+                node.left = rec(node.left)
+            else:
+                node.right = rec(node.right)
+            return self._balance(node)
+
+        self._root = rec(self._root)
+
+    def delete(self, key: int) -> None:
+        def delete_min(node: _TNode) -> Optional[_TNode]:
+            self._visit(node)
+            if node.left is None:
+                self._release(node)
+                return node.right
+            node.left = delete_min(node.left)
+            return self._balance(node)
+
+        def rec(node: Optional[_TNode]) -> Optional[_TNode]:
+            if node is None:
+                raise KeyError(key)
+            self._visit(node)
+            if key < node.key:
+                node.left = rec(node.left)
+            elif key > node.key:
+                node.right = rec(node.right)
+            else:
+                if node.left is None:
+                    self._release(node)
+                    return node.right
+                if node.right is None:
+                    self._release(node)
+                    return node.left
+                succ = node.right
+                self._visit(succ)
+                while succ.left is not None:
+                    succ = succ.left
+                    self._visit(succ)
+                node.key = succ.key
+                node.right = delete_min(node.right)
+            return self._balance(node)
+
+        self._root = rec(self._root)
+
+    def count_ge(self, key: int) -> int:
+        count = 0
+        node = self._root
+        while node is not None:
+            self._visit(node)
+            if node.key >= key:
+                count += 1 + self._size(node.right)
+                node = node.left
+            else:
+                node = node.right
+        return count
+
+
+def tree_reference_trace(trace: TraceLike) -> ReferenceTrace:
+    """Memory references of the augmented-tree algorithm on ``trace``."""
+    arr = as_trace(trace)
+    out = ReferenceTrace()
+    tree = TracedAugmentedTree(out)
+    last: Dict[int, int] = {}
+    for i, addr in enumerate(arr.tolist()):
+        p = last.get(addr)
+        if p is not None:
+            tree.count_ge(p)
+            tree.delete(p)
+        tree.insert(i)
+        last[addr] = i
+    return out
+
+
+def engine_reference_trace(trace: TraceLike) -> ReferenceTrace:
+    """Memory references of the IAF engine, from measured level sizes.
+
+    Each level reads its op arrays once, sequentially, and writes the
+    next level's, sequentially; buffers ping-pong between two bases.
+    Each op is modelled as two words (matching the tree model's word
+    granularity; the uint8 tag is charged to the same words).
+    """
+    arr = as_trace(trace)
+    stats = EngineStats()
+    iaf_distances(arr, stats=stats)
+    out = ReferenceTrace()
+    # Place the two buffers far apart so they never alias.
+    span = 4 * max(stats.ops_per_level, default=1)
+    bases = (0, 10 * span)
+    for level, m in enumerate(stats.ops_per_level):
+        src = bases[level % 2]
+        dst = bases[1 - level % 2]
+        out.stream(src, 2 * m)   # read this level's ops
+        out.stream(dst, 2 * m)   # write the children's
+    return out
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Cache behaviour of one algorithm's reference string.
+
+    ``misses`` counts every line fetch; ``demand_misses`` excludes the
+    fetches a next-line stream prefetcher would have issued ahead of time
+    (a miss on line L with L-1 currently resident).  Demand misses are
+    the stalls — the paper's "bottlenecked by cache-misses" cost — while
+    raw misses are the bandwidth.  A pointer-chasing tree has nearly all
+    of its misses demand misses; sequential streams have nearly none.
+    """
+
+    references: int
+    misses: int
+    demand_misses: int
+    accesses: int
+
+    @property
+    def misses_per_access(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def demand_misses_per_access(self) -> float:
+        return self.demand_misses / self.accesses if self.accesses else 0.0
+
+
+def simulate_cache_misses(
+    refs: ReferenceTrace,
+    *,
+    cache_words: int,
+    line_words: int,
+    trace_length: int,
+) -> LocalityReport:
+    """Feed a reference string through an LRU cache of lines.
+
+    ``cache_words``/``line_words`` mirror a CPU cache (e.g. 32 KiB of
+    64-byte lines = 4096 words of 8-word lines).  Consecutive references
+    to the same line are deduplicated before simulation (a register/line
+    buffer would absorb them), which keeps the pure-Python simulation
+    affordable without changing miss counts.
+    """
+    if line_words < 1 or cache_words < line_words:
+        raise CapacityError(
+            f"invalid cache geometry: {cache_words} words of "
+            f"{line_words}-word lines"
+        )
+    addresses = refs.addresses()
+    if addresses.size == 0:
+        return LocalityReport(0, 0, 0, trace_length)
+    lines = addresses // line_words
+    # Drop immediate same-line repeats (cannot miss).
+    keep = np.empty(lines.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    distinct_line_refs = lines[keep]
+    cache = LRUCache(max(1, cache_words // line_words))
+    misses = 0
+    demand = 0
+    for line in distinct_line_refs.tolist():
+        prefetched = line - 1 in cache
+        if not cache.access(line):
+            misses += 1
+            if not prefetched:
+                demand += 1
+    return LocalityReport(
+        references=int(addresses.size),
+        misses=misses,
+        demand_misses=demand,
+        accesses=trace_length,
+    )

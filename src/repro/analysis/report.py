@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables report; this module
+owns the formatting so every bench target emits consistent, diffable
+output (EXPERIMENTS.md is assembled from these blocks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..metrics.memory import format_bytes
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table with a title banner."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    lines.append("=" * max(len(title), sum(widths) + 2 * len(widths)))
+    lines.append(title)
+    lines.append("-" * max(len(title), sum(widths) + 2 * len(widths)))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for r in cells:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    if note:
+        lines.append(f"note: {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def seconds(value: float) -> str:
+    """Human-scaled seconds (ms below 1s)."""
+    if value < 1.0:
+        return f"{value * 1000:.1f} ms"
+    return f"{value:.2f} s"
+
+
+def mebibytes(nbytes: int) -> str:
+    """Bytes formatted like the paper's tables (MiB)."""
+    return format_bytes(nbytes)
+
+
+def speedup(base: float, other: float) -> str:
+    """``base / other`` as an 'Nx' string (the paper's speedup notation)."""
+    if other <= 0:
+        return "inf"
+    return f"{base / other:.2f}x"

@@ -1,0 +1,122 @@
+"""Cost-model "what-if" planning on top of exact hit-rate curves.
+
+The introduction's economics: giant caches "cost millions of dollars a
+year to run", and resizing them against a known curve "can result in
+significant cost savings".  This module turns a
+:class:`~repro.core.hitrate.HitRateCurve` plus a simple cost model into
+the decisions an operator makes:
+
+* total cost of running a size-``k`` cache on this workload
+  (capacity cost + miss cost),
+* the cost-optimal size,
+* the savings of moving from the current size to the optimal one,
+* the largest size worth paying for under a budget.
+
+The model is deliberately linear and explicit — the point is that with
+an *exact* curve these answers are arithmetic, not modeling risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.hitrate import HitRateCurve
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear cache economics.
+
+    ``capacity_cost_per_slot`` — amortized cost of keeping one object
+    slot provisioned for the period (hardware, power, rent).
+    ``miss_cost`` — cost of one miss (origin egress, backend compute,
+    latency-SLO penalties), in the same currency unit.
+    """
+
+    capacity_cost_per_slot: float
+    miss_cost: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_cost_per_slot < 0 or self.miss_cost < 0:
+            raise ReproError("costs must be >= 0")
+
+
+@dataclass(frozen=True)
+class SizingDecision:
+    """The answer :func:`optimal_cache_size` returns."""
+
+    size: int
+    total_cost: float
+    hit_rate: float
+    capacity_cost: float
+    miss_cost: float
+
+
+def total_cost(curve: HitRateCurve, model: CostModel, size: int) -> float:
+    """Period cost of a size-``size`` LRU cache on this workload."""
+    if size < 0:
+        raise ReproError(f"size must be >= 0, got {size}")
+    misses = curve.total_accesses - (curve.hits(size) if size else 0)
+    return size * model.capacity_cost_per_slot + misses * model.miss_cost
+
+
+def cost_curve(curve: HitRateCurve, model: CostModel) -> np.ndarray:
+    """``out[k-1]`` = total cost at size k, for k = 1..curve.max_size."""
+    sizes = np.arange(1, curve.max_size + 1, dtype=np.float64)
+    misses = curve.total_accesses - curve.hits_cumulative
+    return sizes * model.capacity_cost_per_slot + misses * model.miss_cost
+
+
+def optimal_cache_size(
+    curve: HitRateCurve, model: CostModel
+) -> SizingDecision:
+    """The size minimizing total cost (size 0 — no cache — included).
+
+    Only sizes the curve covers are considered; beyond ``max_size`` the
+    hit rate is flat, so larger caches only add capacity cost and are
+    never optimal under a positive slot cost.
+    """
+    if curve.max_size == 0:
+        return SizingDecision(0, curve.total_accesses * model.miss_cost,
+                              0.0, 0.0,
+                              curve.total_accesses * model.miss_cost)
+    costs = cost_curve(curve, model)
+    best = int(np.argmin(costs))
+    no_cache = curve.total_accesses * model.miss_cost
+    if no_cache <= costs[best]:
+        return SizingDecision(0, no_cache, 0.0, 0.0, no_cache)
+    size = best + 1
+    cap = size * model.capacity_cost_per_slot
+    return SizingDecision(
+        size=size,
+        total_cost=float(costs[best]),
+        hit_rate=curve.hit_rate(size),
+        capacity_cost=cap,
+        miss_cost=float(costs[best]) - cap,
+    )
+
+
+def resize_savings(
+    curve: HitRateCurve, model: CostModel, current_size: int
+) -> Tuple[SizingDecision, float]:
+    """``(optimal, saving)``: what moving from ``current_size`` is worth."""
+    best = optimal_cache_size(curve, model)
+    return best, total_cost(curve, model, current_size) - best.total_cost
+
+
+def largest_size_within_budget(
+    curve: HitRateCurve, model: CostModel, budget: float
+) -> Optional[int]:
+    """Largest size whose *capacity* cost fits ``budget`` (None if none)."""
+    if budget < 0:
+        raise ReproError(f"budget must be >= 0, got {budget}")
+    if model.capacity_cost_per_slot == 0:
+        return curve.max_size or None
+    size = int(budget // model.capacity_cost_per_slot)
+    if size < 1:
+        return None
+    return min(size, curve.max_size) if curve.max_size else size

@@ -1,0 +1,95 @@
+"""Baselines the paper evaluates against: Mattson, OST, SPLAY, PARDA.
+
+Plus the brute-force oracles (:mod:`repro.baselines.naive`) used only by
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from ..core.hitrate import HitRateCurve
+from ..errors import ReproError
+from ..metrics.memory import MemoryModel
+from .fenwick import FenwickTree, fenwick_stack_distances
+from .mattson import mattson_hit_counts, mattson_stack_distances
+from .naive import (
+    naive_backward_distances,
+    naive_hit_counts,
+    naive_hit_rate,
+    naive_stack_distances,
+)
+from .ost import OrderStatisticTree, ost_stack_distances, tree_stack_distances
+from .parda import parda_stack_distance_histogram
+from .shards import ApproximateCurve, shards_error, shards_hit_rate_curve
+from .splay import SplayTree, splay_stack_distances
+
+
+def baseline_hit_rate_curve(
+    trace: TraceLike,
+    algorithm: str,
+    *,
+    max_cache_size: Optional[int] = None,
+    workers: int = 1,
+    memory: Optional[MemoryModel] = None,
+) -> HitRateCurve:
+    """Hit-rate curve via one of the paper's baselines.
+
+    ``parda`` honors ``workers`` and ``max_cache_size``; the serial tree
+    algorithms compute the full curve (truncation is the caller's
+    post-processing, exactly as for the full IAF).
+    """
+    arr = as_trace(trace)
+    if algorithm == "parda":
+        hist, total = parda_stack_distance_histogram(
+            arr, workers=workers, max_cache_size=max_cache_size,
+            memory=memory,
+        )
+        curve = HitRateCurve(
+            hits_cumulative=np.cumsum(hist[1:]),
+            total_accesses=total,
+            truncated_at=max_cache_size,
+        )
+        return curve
+    if algorithm == "ost":
+        dist = ost_stack_distances(arr, memory=memory)
+    elif algorithm == "splay":
+        dist = splay_stack_distances(arr, memory=memory)
+    elif algorithm == "mattson":
+        dist = mattson_stack_distances(arr, memory=memory)
+    elif algorithm == "fenwick":
+        dist = fenwick_stack_distances(arr, memory=memory)
+    else:
+        raise ReproError(f"unknown baseline {algorithm!r}")
+    finite = dist[dist > 0]
+    counts = (
+        np.cumsum(np.bincount(finite)[1:])
+        if finite.size
+        else np.zeros(0, dtype=np.int64)
+    )
+    return HitRateCurve(hits_cumulative=counts, total_accesses=arr.size)
+
+
+__all__ = [
+    "baseline_hit_rate_curve",
+    "FenwickTree",
+    "fenwick_stack_distances",
+    "ApproximateCurve",
+    "shards_error",
+    "shards_hit_rate_curve",
+    "mattson_hit_counts",
+    "mattson_stack_distances",
+    "naive_backward_distances",
+    "naive_hit_counts",
+    "naive_hit_rate",
+    "naive_stack_distances",
+    "OrderStatisticTree",
+    "ost_stack_distances",
+    "tree_stack_distances",
+    "parda_stack_distance_histogram",
+    "SplayTree",
+    "splay_stack_distances",
+]

@@ -1,0 +1,81 @@
+"""Brute-force oracles: the unarguable definitions, O(n²) and proud of it.
+
+Every clever algorithm in this package is tested against these.  They
+follow the paper's definitions verbatim (Sections 2 and 3) with sets and
+loops — no shared machinery with the systems under test beyond trace
+validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+
+
+def naive_backward_distances(trace: TraceLike) -> np.ndarray:
+    """The array Lemma 4.1 proves IAF computes.
+
+    ``out[i]`` = number of distinct addresses in ``trace[i+1 : next(i)+1]``
+    (the proof's accounting, which equals the Section-3 ``d_i`` whenever
+    ``next(i)`` exists, and counts the distinct suffix after ``i`` when it
+    does not — those entries are never consumed by curve construction).
+    """
+    arr = as_trace(trace)
+    n = arr.size
+    out = np.zeros(n, dtype=np.int64)
+    items = arr.tolist()
+    for i in range(n):
+        seen = set()
+        for j in range(i + 1, n):
+            seen.add(items[j])
+            if items[j] == items[i]:
+                break
+        out[i] = len(seen)
+    return out
+
+
+def naive_stack_distances(trace: TraceLike) -> np.ndarray:
+    """Forward stack distance of each access; 0 marks a first occurrence.
+
+    ``out[i]`` = distinct addresses in ``trace[prev(i)+1 : i+1]`` when the
+    address has appeared before (this includes the address itself, so a
+    repeat of the immediately preceding access has distance 1).
+    """
+    arr = as_trace(trace)
+    n = arr.size
+    out = np.zeros(n, dtype=np.int64)
+    items = arr.tolist()
+    last: dict[int, int] = {}
+    for i in range(n):
+        addr = items[i]
+        p = last.get(addr)
+        if p is not None:
+            out[i] = len(set(items[p : i + 1]))
+        last[addr] = i
+    return out
+
+
+def naive_hit_counts(trace: TraceLike) -> np.ndarray:
+    """Cumulative LRU hit counts per cache size, from stack distances.
+
+    ``out[k-1]`` = hits of a size-k cache; the array extends to the
+    largest finite stack distance (flat beyond).
+    """
+    dist = naive_stack_distances(trace)
+    finite = dist[dist > 0]
+    if finite.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    hist = np.bincount(finite)
+    return np.cumsum(hist[1:])
+
+
+def naive_hit_rate(trace: TraceLike, cache_size: int) -> float:
+    """LRU hit rate at one cache size, straight from the definition."""
+    arr = as_trace(trace)
+    if arr.size == 0:
+        return 0.0
+    counts = naive_hit_counts(arr)
+    if counts.size == 0 or cache_size < 1:
+        return 0.0
+    return int(counts[min(cache_size, counts.size) - 1]) / arr.size

@@ -1,0 +1,235 @@
+"""Bennett–Kruskal on a weight-balanced order-statistic tree ("OST").
+
+The classical O(n log u) augmented-tree algorithm (1975), implemented the
+way the paper's own baseline is: a weight-balanced binary search tree
+(Adams-style rebalancing, the scheme behind Haskell's ``Data.Map``) whose
+keys are *last-access timestamps* and whose nodes carry subtree sizes.
+
+Per access of address ``x`` at time ``i``:
+
+1. look up ``x``'s previous timestamp ``p`` in a hash map;
+2. if present, its stack distance is the number of timestamps ``>= p``
+   in the tree (an order-statistic rank query), and ``p`` is deleted;
+3. insert ``i`` (always the new maximum).
+
+This file also defines the shared driver used by the splay-tree variant:
+both expose ``insert_max`` / ``delete`` / ``count_ge`` and a ``node_count``
+for the memory model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from ..metrics.memory import HASH_SLOT_BYTES, TREE_NODE_BYTES, MemoryModel
+
+# Adams' weight-balance parameters (delta, gamma) = (3, 2): a subtree may
+# be at most 3x heavier than its sibling; rotations restore the invariant.
+_DELTA = 3
+_GAMMA = 2
+
+
+class _Node:
+    __slots__ = ("key", "left", "right", "size")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.size = 1
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _update(node: _Node) -> _Node:
+    node.size = 1 + _size(node.left) + _size(node.right)
+    return node
+
+
+def _rotate_left(node: _Node) -> _Node:
+    r = node.right
+    assert r is not None
+    node.right = r.left
+    r.left = _update(node)
+    return _update(r)
+
+
+def _rotate_right(node: _Node) -> _Node:
+    l = node.left
+    assert l is not None
+    node.left = l.right
+    l.right = _update(node)
+    return _update(l)
+
+
+def _balance(node: _Node) -> _Node:
+    """Restore the weight-balance invariant at ``node`` (children balanced)."""
+    ls, rs = _size(node.left), _size(node.right)
+    if ls + rs <= 1:
+        return _update(node)
+    if rs > _DELTA * ls:
+        r = node.right
+        assert r is not None
+        if _size(r.left) >= _GAMMA * _size(r.right):
+            node.right = _rotate_right(r)
+        return _rotate_left(node)
+    if ls > _DELTA * rs:
+        l = node.left
+        assert l is not None
+        if _size(l.right) >= _GAMMA * _size(l.left):
+            node.left = _rotate_left(l)
+        return _rotate_right(node)
+    return _update(node)
+
+
+class OrderStatisticTree:
+    """Weight-balanced BST over distinct integer keys with rank queries."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    @property
+    def node_count(self) -> int:
+        """Number of live nodes (for the memory model)."""
+        return _size(self._root)
+
+    def insert(self, key: int) -> None:
+        """Insert ``key`` (must not already be present)."""
+        self._root = self._insert(self._root, key)
+
+    def insert_max(self, key: int) -> None:
+        """Insert a key known to exceed every present key (same big-O)."""
+        self.insert(key)
+
+    def _insert(self, node: Optional[_Node], key: int) -> _Node:
+        if node is None:
+            return _Node(key)
+        if key < node.key:
+            node.left = self._insert(node.left, key)
+        elif key > node.key:
+            node.right = self._insert(node.right, key)
+        else:
+            raise KeyError(f"duplicate key {key}")
+        return _balance(node)
+
+    def delete(self, key: int) -> None:
+        """Remove ``key`` (must be present)."""
+        self._root = self._delete(self._root, key)
+
+    def _delete(self, node: Optional[_Node], key: int) -> Optional[_Node]:
+        if node is None:
+            raise KeyError(f"key {key} not in tree")
+        if key < node.key:
+            node.left = self._delete(node.left, key)
+        elif key > node.key:
+            node.right = self._delete(node.right, key)
+        else:
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            # Replace with the successor (min of the right subtree).
+            succ = node.right
+            while succ.left is not None:
+                succ = succ.left
+            node.key = succ.key
+            node.right = self._delete(node.right, succ.key)
+        return _balance(node)
+
+    def count_ge(self, key: int) -> int:
+        """Number of keys ``>= key`` — the stack-distance rank query."""
+        count = 0
+        node = self._root
+        while node is not None:
+            if node.key >= key:
+                count += 1 + _size(node.right)
+                node = node.left
+            else:
+                node = node.right
+        return count
+
+    def __contains__(self, key: int) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def check_invariants(self) -> None:
+        """Assert BST order, size augmentation, and weight balance."""
+        def rec(node: Optional[_Node], lo, hi) -> int:
+            if node is None:
+                return 0
+            assert (lo is None or node.key > lo) and (
+                hi is None or node.key < hi
+            ), "BST order violated"
+            ls = rec(node.left, lo, node.key)
+            rs = rec(node.right, node.key, hi)
+            assert node.size == ls + rs + 1, "size augmentation violated"
+            if ls + rs > 1:
+                assert ls <= _DELTA * rs and rs <= _DELTA * ls, (
+                    f"weight balance violated: {ls} vs {rs}"
+                )
+            return node.size
+
+        rec(self._root, None, None)
+
+
+def tree_stack_distances(
+    trace: TraceLike,
+    tree,
+    *,
+    memory: Optional[MemoryModel] = None,
+    memory_category: str = "tree",
+) -> np.ndarray:
+    """Shared Bennett–Kruskal driver over any order-statistic structure.
+
+    ``tree`` needs ``insert_max`` / ``delete`` / ``count_ge`` /
+    ``node_count``.  Returns forward stack distances (0 for first
+    occurrences), the same convention as
+    :func:`repro.core.api.stack_distances`.
+    """
+    arr = as_trace(trace)
+    out = np.zeros(arr.size, dtype=np.int64)
+    last_seen: Dict[int, int] = {}
+    for i, addr in enumerate(arr.tolist()):
+        p = last_seen.get(addr)
+        if p is not None:
+            out[i] = tree.count_ge(p)
+            tree.delete(p)
+        tree.insert_max(i)
+        last_seen[addr] = i
+        if memory is not None and (i & 0x3FF) == 0:
+            memory.observe(
+                memory_category,
+                tree.node_count * TREE_NODE_BYTES
+                + len(last_seen) * HASH_SLOT_BYTES,
+            )
+    if memory is not None:
+        memory.observe(
+            memory_category,
+            tree.node_count * TREE_NODE_BYTES
+            + len(last_seen) * HASH_SLOT_BYTES,
+        )
+    return out
+
+
+def ost_stack_distances(
+    trace: TraceLike, *, memory: Optional[MemoryModel] = None
+) -> np.ndarray:
+    """Forward stack distances via the weight-balanced OST."""
+    return tree_stack_distances(
+        trace, OrderStatisticTree(), memory=memory, memory_category="ost"
+    )

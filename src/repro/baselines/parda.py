@@ -1,0 +1,186 @@
+"""PARDA: parallel reuse-distance analysis by time-chunking (Niu et al. 2012).
+
+The previous state-of-the-art parallel algorithm the paper compares
+against.  The trace is cut into ``p`` chunks:
+
+* **Phase 1 (parallel).**  Each worker runs the splay-tree algorithm on
+  its own chunk with *chunk-local* history.  Accesses whose address was
+  seen earlier in the chunk resolve locally; each chunk's *first* access
+  to an address is **unresolved** and recorded together with the number
+  of distinct addresses the chunk has seen up to and including it.
+* **Phase 2 (serial cleanup).**  Walk the chunks in order, maintaining
+  the global boundary stack ``B`` (every address's last access time
+  before the current chunk, in an order-statistic tree).  For an
+  unresolved access of address ``x`` with local distinct count ``L``:
+  if ``x`` has appeared before the chunk, its distance is
+  ``L + #{addresses still in B with last access after prev(x)} - 1``
+  (entries of ``B`` already consumed by earlier unresolved accesses of
+  this chunk are exactly the chunk/history overlap, and are deleted as
+  they are consumed so nothing is double-counted; the ``-1`` removes
+  ``x``'s own ``B`` entry, since ``L`` already counts ``x``).  Otherwise
+  it is a compulsory miss.  Then ``B`` is advanced with the chunk's own
+  last-access times.
+
+The memory behaviour is the story the paper tells: every worker holds a
+tree over its chunk's distinct addresses, so with chunks longer than
+``u`` the footprint is Ω(u·p) — the :class:`~repro.metrics.MemoryModel`
+charge reproduces Tables 3b's blow-up.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from ..errors import CapacityError
+from ..metrics.memory import HASH_SLOT_BYTES, TREE_NODE_BYTES, MemoryModel
+from ..metrics.timing import PhaseTimer
+from .ost import OrderStatisticTree
+from .splay import SplayTree
+
+
+@dataclass
+class _ChunkResult:
+    """Phase-1 output for one chunk."""
+
+    start: int
+    resolved_distances: np.ndarray  # local stack distances of re-accesses
+    unresolved: List[Tuple[int, int]]  # (address, local distinct count L)
+    last_access: Dict[int, int]  # address -> last position within trace
+    peak_nodes: int
+
+
+def _process_chunk(
+    chunk: np.ndarray, start: int, max_cache_size: Optional[int]
+) -> _ChunkResult:
+    """Splay-tree pass over one chunk with chunk-local history."""
+    tree = SplayTree()
+    last_seen: Dict[int, int] = {}
+    resolved: List[int] = []
+    unresolved: List[Tuple[int, int]] = []
+    distinct = 0
+    peak = 0
+    for off, addr in enumerate(chunk.tolist()):
+        i = start + off
+        p = last_seen.get(addr)
+        if p is not None:
+            dist = tree.count_ge(p)
+            if max_cache_size is None or dist <= max_cache_size:
+                resolved.append(dist)
+            tree.delete(p)
+        else:
+            distinct += 1
+            unresolved.append((addr, distinct))
+        tree.insert_max(i)
+        peak = max(peak, tree.node_count)
+        last_seen[addr] = i
+    return _ChunkResult(
+        start=start,
+        resolved_distances=np.asarray(resolved, dtype=np.int64),
+        unresolved=unresolved,
+        last_access=last_seen,
+        peak_nodes=peak,
+    )
+
+
+def parda_stack_distance_histogram(
+    trace: TraceLike,
+    *,
+    workers: int = 1,
+    max_cache_size: Optional[int] = None,
+    memory: Optional[MemoryModel] = None,
+    timer: Optional["PhaseTimer"] = None,
+) -> Tuple[np.ndarray, int]:
+    """Histogram of forward stack distances via PARDA.
+
+    Returns ``(hist, total_accesses)`` where ``hist[d]`` counts accesses
+    with stack distance ``d`` (``hist[0]`` unused; compulsory misses are
+    not in the histogram).  ``max_cache_size`` mirrors PARDA's optional
+    cache limit: distances beyond it are discarded at source (the paper
+    observes this saves PARDA only 1–2%, since the trees still hold all
+    addresses).
+    """
+    arr = as_trace(trace)
+    n = arr.size
+    if workers < 1:
+        raise CapacityError(f"workers must be >= 1, got {workers}")
+    if n == 0:
+        return np.zeros(1, dtype=np.int64), 0
+
+    bounds = np.linspace(0, n, workers + 1).astype(np.int64)
+    chunks = [
+        (arr[bounds[i] : bounds[i + 1]], int(bounds[i]))
+        for i in range(workers)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+    # Phase 1: independent chunk passes (thread pool, as in PARDA).
+    if timer is None:
+        timer = PhaseTimer()
+    with timer.phase("chunks"):
+        if len(chunks) == 1:
+            results = [
+                _process_chunk(chunks[0][0], chunks[0][1], max_cache_size)
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(
+                    pool.map(
+                        lambda c: _process_chunk(c[0], c[1], max_cache_size),
+                        chunks,
+                    )
+                )
+    if memory is not None:
+        # All workers' trees and hash maps are resident simultaneously —
+        # the Omega(u * p) blow-up of Section 2.
+        memory.observe(
+            "parda.workers",
+            sum(
+                r.peak_nodes * TREE_NODE_BYTES
+                + len(r.last_access) * HASH_SLOT_BYTES
+                for r in results
+            ),
+        )
+
+    distances: List[np.ndarray] = [r.resolved_distances for r in results]
+
+    # Phase 2: serial cleanup across chunk boundaries.
+    boundary = OrderStatisticTree()
+    global_last: Dict[int, int] = {}
+    cleanup: List[int] = []
+    with timer.phase("cleanup"):
+        for r in results:
+            for addr, local_count in r.unresolved:
+                p = global_last.get(addr)
+                if p is not None:
+                    hist_part = boundary.count_ge(p)
+                    boundary.delete(p)
+                    del global_last[addr]
+                    dist = local_count + hist_part - 1
+                    if max_cache_size is None or dist <= max_cache_size:
+                        cleanup.append(dist)
+                # else: compulsory miss — no distance.
+            # Advance the boundary stack with this chunk's last accesses.
+            for addr, pos in r.last_access.items():
+                old = global_last.get(addr)
+                if old is not None:
+                    boundary.delete(old)
+                boundary.insert(pos)
+                global_last[addr] = pos
+    if memory is not None:
+        memory.observe(
+            "parda.cleanup",
+            boundary.node_count * TREE_NODE_BYTES
+            + len(global_last) * HASH_SLOT_BYTES,
+        )
+    distances.append(np.asarray(cleanup, dtype=np.int64))
+
+    all_d = np.concatenate(distances) if distances else np.zeros(0, np.int64)
+    width = int(all_d.max()) + 1 if all_d.size else 1
+    hist = np.bincount(all_d, minlength=width) if all_d.size else \
+        np.zeros(1, dtype=np.int64)
+    return hist, n

@@ -1,0 +1,26 @@
+"""Direct cache simulators: LRU (ground truth), OPT/Bélády, FIFO, CLOCK, LFU."""
+
+from .clock import ClockCache, simulate_clock
+from .fifo import FIFOCache, simulate_fifo
+from .lfu import LFUCache, simulate_lfu
+from .lru import CacheResult, LRUCache, lru_hits_per_size, simulate_lru
+from .opt import opt_hits_per_size, simulate_opt
+from .simulate import POLICIES, empirical_hit_rate_curve, policy_gap_curve
+
+__all__ = [
+    "ClockCache",
+    "simulate_clock",
+    "LFUCache",
+    "simulate_lfu",
+    "FIFOCache",
+    "simulate_fifo",
+    "CacheResult",
+    "LRUCache",
+    "lru_hits_per_size",
+    "simulate_lru",
+    "opt_hits_per_size",
+    "simulate_opt",
+    "POLICIES",
+    "empirical_hit_rate_curve",
+    "policy_gap_curve",
+]

@@ -1,0 +1,74 @@
+"""CLOCK (second-chance): the canonical low-overhead LRU approximation.
+
+The paper's introduction asks "are the ways in which the cache
+approximates LRU hurting its performance in comparison to a true LRU
+cache?"  CLOCK is the approximation virtually every OS page cache makes:
+a circular buffer with one reference bit per slot; the hand clears bits
+until it finds an unreferenced victim.  Comparing its empirical hit rate
+against the exact LRU curve (IAF's output) answers that question
+quantitatively — see ``examples/`` and the policy-gap helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .._typing import TraceLike, as_trace
+from ..errors import CapacityError
+from .lru import CacheResult
+
+
+class ClockCache:
+    """Fixed-size CLOCK cache over integer addresses."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CapacityError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._slots: List[Optional[int]] = [None] * capacity
+        self._referenced: List[bool] = [False] * capacity
+        self._where: Dict[int, int] = {}
+        self._hand = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._where
+
+    def access(self, address: int) -> bool:
+        """Access ``address``: set its reference bit on hit, else admit."""
+        slot = self._where.get(address)
+        if slot is not None:
+            self._referenced[slot] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        victim = self._advance_to_victim()
+        old = self._slots[victim]
+        if old is not None:
+            del self._where[old]
+        self._slots[victim] = address
+        self._referenced[victim] = True
+        self._where[address] = victim
+        return False
+
+    def _advance_to_victim(self) -> int:
+        """Sweep the hand, giving second chances, until a victim appears."""
+        while True:
+            slot = self._hand
+            self._hand = (self._hand + 1) % self.capacity
+            if self._slots[slot] is None or not self._referenced[slot]:
+                return slot
+            self._referenced[slot] = False
+
+
+def simulate_clock(trace: TraceLike, capacity: int) -> CacheResult:
+    """Run a CLOCK cache of ``capacity`` over ``trace``."""
+    arr = as_trace(trace)
+    cache = ClockCache(capacity)
+    for addr in arr.tolist():
+        cache.access(addr)
+    return CacheResult(capacity=capacity, hits=cache.hits, misses=cache.misses)

@@ -1,0 +1,77 @@
+"""LFU: frequency-based eviction, the workload-specific optimization case.
+
+The introduction's fourth what-if question — "to what degree are the
+optimizations that the cache makes beyond LRU leading to better
+performance?" — needs a policy that can *beat* LRU on skewed traffic.
+In-cache LFU (evict the resident object with the fewest accesses since
+admission, ties broken by recency) is the classic such policy: it wins
+on stable Zipfian popularity and loses badly when popularity shifts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, Tuple
+
+from .._typing import TraceLike, as_trace
+from ..errors import CapacityError
+from .lru import CacheResult
+
+
+class LFUCache:
+    """In-cache LFU with LRU tie-breaking (lazy-heap implementation)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CapacityError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._freq: Dict[int, int] = {}
+        self._stamp: Dict[int, int] = {}
+        self._heap: list[Tuple[int, int, int]] = []  # (freq, stamp, addr)
+        self._ticker = count()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._freq
+
+    def _push(self, address: int) -> None:
+        stamp = next(self._ticker)
+        self._stamp[address] = stamp
+        heapq.heappush(
+            self._heap, (self._freq[address], stamp, address)
+        )
+
+    def access(self, address: int) -> bool:
+        if address in self._freq:
+            self.hits += 1
+            self._freq[address] += 1
+            self._push(address)  # lazy: stale heap entries skipped later
+            return True
+        self.misses += 1
+        if len(self._freq) >= self.capacity:
+            self._evict()
+        self._freq[address] = 1
+        self._push(address)
+        return False
+
+    def _evict(self) -> None:
+        while True:
+            freq, stamp, addr = heapq.heappop(self._heap)
+            if self._freq.get(addr) == freq and self._stamp.get(addr) == stamp:
+                del self._freq[addr]
+                del self._stamp[addr]
+                return
+
+
+def simulate_lfu(trace: TraceLike, capacity: int) -> CacheResult:
+    """Run an LFU cache of ``capacity`` over ``trace``."""
+    arr = as_trace(trace)
+    cache = LFUCache(capacity)
+    for addr in arr.tolist():
+        cache.access(addr)
+    return CacheResult(capacity=capacity, hits=cache.hits, misses=cache.misses)

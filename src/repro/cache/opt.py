@@ -1,0 +1,74 @@
+"""Bélády's MIN / offline-OPT cache simulation (related-work extension).
+
+Section 2 of the paper surveys hit-rate curves for the *optimal* offline
+policy: Bélády's MIN (1966) computes the optimal hit count online, and
+Mattson et al. showed Furthest-in-the-Future is offline optimal.  This
+module implements Furthest-in-the-Future exactly (with the standard
+next-use precomputation), plus an OPT hit-count sweep used to check the
+invariant that OPT dominates LRU at every cache size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from ..errors import CapacityError
+from .lru import CacheResult
+
+
+def _next_use(arr: np.ndarray) -> np.ndarray:
+    """``next_use[i]`` = next position accessing ``arr[i]`` (n if none)."""
+    n = arr.size
+    out = np.full(n, n, dtype=np.int64)
+    last: dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        addr = int(arr[i])
+        out[i] = last.get(addr, n)
+        last[addr] = i
+    return out
+
+
+def simulate_opt(trace: TraceLike, capacity: int) -> CacheResult:
+    """Furthest-in-the-Future on ``trace`` with a size-``capacity`` cache.
+
+    Lazy max-heap of (next-use, address): stale entries are skipped at pop
+    time by checking against the live next-use table, giving O(n log n).
+    """
+    if capacity < 1:
+        raise CapacityError(f"cache capacity must be >= 1, got {capacity}")
+    arr = as_trace(trace)
+    nxt = _next_use(arr)
+    n = arr.size
+    resident: dict[int, int] = {}  # address -> its current next use
+    heap: list[tuple[int, int]] = []  # (-next_use, address)
+    hits = 0
+    for i in range(n):
+        addr = int(arr[i])
+        future = int(nxt[i])
+        if addr in resident:
+            hits += 1
+        elif len(resident) >= capacity:
+            # Evict the resident address used furthest in the future.
+            while True:
+                neg_use, victim = heapq.heappop(heap)
+                if resident.get(victim) == -neg_use:
+                    break
+            del resident[victim]
+        resident[addr] = future
+        heapq.heappush(heap, (-future, addr))
+    return CacheResult(capacity=capacity, hits=hits, misses=n - hits)
+
+
+def opt_hits_per_size(trace: TraceLike, max_size: Optional[int] = None) -> np.ndarray:
+    """``out[k-1]`` = OPT hits at cache size k, for k = 1..max_size."""
+    arr = as_trace(trace)
+    u = int(np.unique(arr).size) if arr.size else 0
+    limit = u if max_size is None else min(max_size, max(u, 1))
+    out = np.zeros(max(limit, 0), dtype=np.int64)
+    for k in range(1, limit + 1):
+        out[k - 1] = simulate_opt(arr, k).hits
+    return out

@@ -1,0 +1,63 @@
+"""Sweep helpers: empirical hit-rate curves from direct simulation.
+
+These are the *slow but unarguable* counterparts of the analytic curves
+IAF produces; integration tests assert exact equality between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from .clock import simulate_clock
+from .fifo import simulate_fifo
+from .lfu import simulate_lfu
+from .lru import CacheResult, simulate_lru
+from .opt import simulate_opt
+
+#: Registry of policy name -> single-size simulator.
+POLICIES: Dict[str, Callable[..., CacheResult]] = {
+    "lru": simulate_lru,
+    "opt": simulate_opt,
+    "fifo": simulate_fifo,
+    "clock": simulate_clock,
+    "lfu": simulate_lfu,
+}
+
+
+def empirical_hit_rate_curve(
+    trace: TraceLike,
+    sizes: Sequence[int],
+    policy: str = "lru",
+) -> np.ndarray:
+    """Hit rate at each requested cache size by direct simulation.
+
+    O(n · len(sizes)) — intended for tests and small examples, not for
+    production (which is the entire point of the paper).
+    """
+    try:
+        simulate = POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; known: {sorted(POLICIES)}"
+        ) from None
+    arr = as_trace(trace)
+    return np.array(
+        [simulate(arr, int(k)).hit_rate for k in sizes], dtype=np.float64
+    )
+
+
+def policy_gap_curve(
+    trace: TraceLike, sizes: Sequence[int], policy: str
+) -> np.ndarray:
+    """Per-size hit-rate deficit of ``policy`` relative to OPT.
+
+    Answers the introduction's "what-if" question about a production
+    policy: how much better could the optimal policy have done at each
+    size?  Values are in [0, 1] by Bélády optimality.
+    """
+    opt = empirical_hit_rate_curve(trace, sizes, "opt")
+    other = empirical_hit_rate_curve(trace, sizes, policy)
+    return opt - other

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the operator workflow the paper motivates:
+
+* ``generate`` — synthesize a workload into a REPROTRC trace file.
+* ``info``     — print a trace file's statistics (n, u, reuse profile).
+* ``analyze``  — compute the exact LRU hit-rate curve of a trace file
+  and report it at chosen (or automatically selected) cache sizes, as a
+  table or CSV.
+* ``compare``  — run several algorithms on the same trace, verify they
+  agree, and print a runtime comparison.
+
+The CLI works on trace files rather than in-memory arrays so it composes
+with the streaming story: ``analyze --algorithm bounded-iaf`` keeps O(k)
+state regardless of trace length.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .analysis.curves import knee_points, smallest_cache_for_hit_rate
+from .analysis.report import render_table, seconds
+from .core.api import ALGORITHMS, hit_rate_curve
+from .errors import ReproError
+from .workloads.stats import frequency_profile, trace_stats
+from .workloads.synthetic import (
+    sequential_scan_trace,
+    uniform_trace,
+    working_set_trace,
+    zipfian_trace,
+)
+from .workloads.traceio import read_trace, trace_info, write_trace
+
+PROG = "repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for shtab-style tooling)."""
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Exact LRU hit-rate curves via Increment-and-Freeze "
+                    "(SPAA 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a trace file")
+    gen.add_argument("output", help="path of the REPROTRC file to write")
+    gen.add_argument("--kind", default="zipf",
+                     choices=["uniform", "zipf", "scan", "phases"])
+    gen.add_argument("--requests", "-n", type=int, default=100_000)
+    gen.add_argument("--universe", "-u", type=int, default=10_000)
+    gen.add_argument("--alpha", type=float, default=0.8,
+                     help="Zipf skew (kind=zipf)")
+    gen.add_argument("--phases", type=int, default=4,
+                     help="phase count (kind=phases)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--dtype", default="int64", choices=["int32", "int64"])
+
+    info = sub.add_parser("info", help="describe a trace file")
+    info.add_argument("trace", help="REPROTRC file")
+
+    ana = sub.add_parser("analyze", help="compute the hit-rate curve")
+    ana.add_argument("trace", help="REPROTRC file")
+    ana.add_argument("--algorithm", default="iaf", choices=list(ALGORITHMS))
+    ana.add_argument("--max-cache-size", "-k", type=int, default=None)
+    ana.add_argument("--workers", type=int, default=1)
+    ana.add_argument("--sizes", default=None,
+                     help="comma-separated cache sizes to report "
+                          "(default: knees of the curve)")
+    ana.add_argument("--target", type=float, action="append", default=[],
+                     help="also report the smallest cache reaching this "
+                          "hit rate (repeatable)")
+    ana.add_argument("--format", default="table", choices=["table", "csv"])
+    ana.add_argument("--save", default=None, metavar="CURVE.npz",
+                     help="persist the exact curve for later comparison")
+
+    cmp_ = sub.add_parser("compare", help="race algorithms on one trace")
+    cmp_.add_argument("trace", help="REPROTRC file")
+    cmp_.add_argument("--algorithms", default="iaf,bounded-iaf,ost",
+                      help="comma-separated subset of: "
+                           + ",".join(ALGORITHMS))
+    cmp_.add_argument("--workers", type=int, default=1)
+    cmp_.add_argument("--max-cache-size", "-k", type=int, default=None)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "uniform":
+        trace = uniform_trace(args.requests, args.universe, seed=args.seed,
+                              dtype=args.dtype)
+    elif args.kind == "zipf":
+        trace = zipfian_trace(args.requests, args.universe, args.alpha,
+                              seed=args.seed, dtype=args.dtype)
+    elif args.kind == "scan":
+        trace = sequential_scan_trace(args.requests, args.universe,
+                                      dtype=args.dtype)
+    else:
+        trace = working_set_trace(args.requests, args.universe,
+                                  phases=args.phases, seed=args.seed,
+                                  dtype=args.dtype)
+    write_trace(args.output, trace)
+    print(f"wrote {trace.size:,} accesses ({args.kind}) to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dtype, n = trace_info(args.trace)
+    trace = read_trace(args.trace)
+    stats = trace_stats(trace)
+    print(f"file:               {args.trace}")
+    print(f"dtype:              {dtype}")
+    print(f"requests:           {stats.n:,}")
+    print(f"distinct ids:       {stats.unique_ids:,}")
+    print(f"requests per id:    {stats.requests_per_id:.2f}")
+    print(f"max id frequency:   {stats.max_frequency:,}")
+    print(f"best possible H:    {stats.best_possible_hit_rate:.4f}")
+    profile = frequency_profile(trace)
+    if profile:
+        print("frequency profile (accesses-per-id -> #ids):")
+        for bucket, count in profile.items():
+            print(f"  {bucket:>12}: {count:,}")
+    return 0
+
+
+def _parse_sizes(raw: Optional[str]) -> Optional[List[int]]:
+    if raw is None:
+        return None
+    try:
+        sizes = [int(tok) for tok in raw.split(",") if tok.strip()]
+    except ValueError:
+        raise ReproError(f"bad --sizes value {raw!r}") from None
+    if not sizes or any(s < 1 for s in sizes):
+        raise ReproError("--sizes must be positive integers")
+    return sizes
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    t0 = time.perf_counter()
+    curve = hit_rate_curve(
+        trace,
+        algorithm=args.algorithm,
+        max_cache_size=args.max_cache_size,
+        workers=args.workers,
+    )
+    elapsed = time.perf_counter() - t0
+    sizes = _parse_sizes(args.sizes)
+    if sizes is None:
+        knees = knee_points(curve, min_gain=0.02)
+        sizes = [int(k) for k in knees[:8]]
+        if curve.max_size and curve.max_size not in sizes:
+            sizes.append(curve.max_size)
+        sizes = sizes or [max(1, curve.max_size)]
+    rows = [[k, curve.hits(k), f"{curve.hit_rate(k):.4f}"] for k in sizes]
+    if args.format == "csv":
+        print("cache_size,hits,hit_rate")
+        for k, hits, rate in rows:
+            print(f"{k},{hits},{rate}")
+    else:
+        print(render_table(
+            f"LRU hit-rate curve ({args.algorithm}, {seconds(elapsed)})",
+            ["cache size", "hits", "hit rate"],
+            rows,
+        ))
+    for target in args.target:
+        k = smallest_cache_for_hit_rate(curve, target)
+        if k is None:
+            print(f"hit rate {target:.0%}: unreachable on this trace")
+        else:
+            print(f"hit rate {target:.0%}: first reached at cache size {k:,}")
+    if args.save:
+        from .core.hitrate import save_curve
+
+        save_curve(curve, args.save)
+        print(f"curve saved to {args.save}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    for algo in algorithms:
+        if algo not in ALGORITHMS:
+            raise ReproError(
+                f"unknown algorithm {algo!r}; choose from {ALGORITHMS}"
+            )
+    results = []
+    for algo in algorithms:
+        t0 = time.perf_counter()
+        curve = hit_rate_curve(
+            trace, algorithm=algo,
+            max_cache_size=args.max_cache_size,
+            workers=args.workers,
+        )
+        results.append((algo, curve, time.perf_counter() - t0))
+    reference = results[0][1]
+    probe = max(1, min(reference.max_size or 1,
+                       args.max_cache_size or reference.max_size or 1))
+    agree = all(c.hits(probe) == reference.hits(probe)
+                for _a, c, _t in results)
+    base = results[0][2]
+    print(render_table(
+        f"{len(algorithms)} algorithms on {args.trace} "
+        f"(n={trace.size:,})",
+        ["algorithm", "runtime", "speedup vs first",
+         f"hits at k={probe}"],
+        [[a, seconds(t), f"{base / t:.2f}x" if t else "-", c.hits(probe)]
+         for a, c, t in results],
+        note="all curves agree" if agree else "CURVES DISAGREE — bug!",
+    ))
+    return 0 if agree else 2
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "analyze": _cmd_analyze,
+        "compare": _cmd_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"{PROG}: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

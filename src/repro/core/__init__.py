@@ -1,0 +1,103 @@
+"""Core contribution: INCREMENT-AND-FREEZE and its variants."""
+
+from .api import ALGORITHMS, hit_rate_curve, stack_distances
+from .bounded import (
+    BoundedResult,
+    bounded_iaf,
+    forward_distances_via_reversal,
+    parallel_bounded_iaf,
+    recent_distinct_suffix,
+)
+from .engine import (
+    EngineStats,
+    Segments,
+    iaf_distances,
+    iaf_hit_rate_curve,
+    solve_prepost_arrays,
+)
+from .external import (
+    ExternalRunReport,
+    external_iaf_distances,
+    external_io_bound_blocks,
+)
+from .hitrate import (
+    HitRateCurve,
+    curve_from_backward_distances,
+    curve_from_forward_distances,
+    forward_from_backward,
+    load_curve,
+    merge_curves,
+    save_curve,
+)
+from .parallel import (
+    ParallelCostReport,
+    measure_parallel_cost,
+    parallel_iaf_distances,
+    parallel_iaf_hit_rate_curve,
+)
+from .partition import (
+    partition_prepost,
+    partition_prepost_simple,
+    prepost_distances,
+    solve_prepost,
+)
+from .prevnext import (
+    distinct_count,
+    first_occurrence_mask,
+    prev_next_arrays,
+    prev_next_arrays_python,
+)
+from .reference import reference_distances, reference_hit_curve_counts
+from .streaming import OnlineCurveAnalyzer, analyze_stream
+from .weighted import (
+    WeightedCurve,
+    simulate_weighted_lru,
+    weighted_hit_rate_curve,
+    weighted_stack_distances,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "hit_rate_curve",
+    "stack_distances",
+    "BoundedResult",
+    "bounded_iaf",
+    "forward_distances_via_reversal",
+    "parallel_bounded_iaf",
+    "recent_distinct_suffix",
+    "EngineStats",
+    "Segments",
+    "iaf_distances",
+    "iaf_hit_rate_curve",
+    "solve_prepost_arrays",
+    "ExternalRunReport",
+    "external_iaf_distances",
+    "external_io_bound_blocks",
+    "HitRateCurve",
+    "curve_from_backward_distances",
+    "curve_from_forward_distances",
+    "forward_from_backward",
+    "load_curve",
+    "merge_curves",
+    "save_curve",
+    "ParallelCostReport",
+    "measure_parallel_cost",
+    "parallel_iaf_distances",
+    "parallel_iaf_hit_rate_curve",
+    "partition_prepost",
+    "partition_prepost_simple",
+    "prepost_distances",
+    "solve_prepost",
+    "distinct_count",
+    "first_occurrence_mask",
+    "prev_next_arrays",
+    "prev_next_arrays_python",
+    "reference_distances",
+    "reference_hit_curve_counts",
+    "OnlineCurveAnalyzer",
+    "analyze_stream",
+    "WeightedCurve",
+    "simulate_weighted_lru",
+    "weighted_hit_rate_curve",
+    "weighted_stack_distances",
+]

@@ -1,0 +1,150 @@
+"""Public façade: one entry point per question a user actually asks.
+
+``hit_rate_curve`` — "what would the LRU hit rate have been at every
+cache size?" — dispatches across every implementation in the package, so
+examples, tests, and benchmarks all drive the same surface:
+
+==================  ========================================================
+``algorithm=``      implementation
+==================  ========================================================
+``"iaf"``           vectorized INCREMENT-AND-FREEZE (default)
+``"bounded-iaf"``   BOUNDED-IAF (Section 7; honors ``max_cache_size``)
+``"parallel-iaf"``  thread-pool IAF (honors ``workers``)
+``"external-iaf"``  EXTERNAL-IAF against a simulated block device
+``"reference"``     the paper-faithful pure-Python recursion
+``"ost"``           Bennett–Kruskal on a weight-balanced order-statistic tree
+``"splay"``         Bennett–Kruskal on a splay tree (PARDA's serial core)
+``"parda"``         PARDA chunked-parallel (honors ``workers``)
+``"mattson"``       the 1970 O(n·s) stack algorithm
+``"fenwick"``       Bennett–Kruskal on a binary indexed tree over time
+==================  ========================================================
+
+(The sampling heuristic lives apart — see
+:func:`repro.baselines.shards.shards_hit_rate_curve` — because its output
+is an estimate, not a :class:`~repro.core.hitrate.HitRateCurve`.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._typing import DEFAULT_DTYPE, TraceLike, as_trace
+from ..errors import ReproError
+from ..extmem.blockdevice import MemoryConfig
+from .bounded import bounded_iaf
+from .engine import iaf_distances, iaf_hit_rate_curve
+from .external import external_iaf_distances
+from .hitrate import HitRateCurve, curve_from_backward_distances
+from .parallel import parallel_iaf_distances, parallel_iaf_hit_rate_curve
+from .prevnext import prev_next_arrays
+from .reference import reference_distances
+
+#: Algorithms usable with :func:`hit_rate_curve`.
+ALGORITHMS = (
+    "iaf",
+    "bounded-iaf",
+    "parallel-iaf",
+    "external-iaf",
+    "reference",
+    "ost",
+    "splay",
+    "parda",
+    "mattson",
+    "fenwick",
+)
+
+
+def hit_rate_curve(
+    trace: TraceLike,
+    *,
+    algorithm: str = "iaf",
+    max_cache_size: Optional[int] = None,
+    workers: int = 1,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    memory_config: Optional[MemoryConfig] = None,
+) -> HitRateCurve:
+    """Exact LRU hit-rate curve of ``trace``.
+
+    ``max_cache_size`` truncates the curve at ``k`` (required knowledge
+    only for ``bounded-iaf`` and ``parda``, honored by post-filtering for
+    the others).  ``workers`` selects thread-count for the parallel
+    algorithms.  ``memory_config`` supplies (M, B) for ``external-iaf``.
+    """
+    arr = as_trace(trace, dtype=dtype)
+    if algorithm == "iaf":
+        curve = iaf_hit_rate_curve(arr, dtype=dtype)
+    elif algorithm == "bounded-iaf":
+        curve = bounded_iaf(arr, max_cache_size, dtype=dtype).curve
+        return curve
+    elif algorithm == "parallel-iaf":
+        curve = parallel_iaf_hit_rate_curve(arr, workers=workers, dtype=dtype)
+    elif algorithm == "external-iaf":
+        config = memory_config or MemoryConfig(
+            memory_items=65536, block_items=1024
+        )
+        d, _report = external_iaf_distances(arr, config, dtype=dtype)
+        _, nxt = prev_next_arrays(arr)
+        curve = curve_from_backward_distances(d, nxt)
+    elif algorithm == "reference":
+        d = reference_distances(arr)
+        _, nxt = prev_next_arrays(arr)
+        curve = curve_from_backward_distances(d, nxt)
+    elif algorithm in ("ost", "splay", "mattson", "parda", "fenwick"):
+        from ..baselines import baseline_hit_rate_curve
+
+        curve = baseline_hit_rate_curve(
+            arr, algorithm, max_cache_size=max_cache_size, workers=workers
+        )
+        if algorithm == "parda":
+            return curve
+    else:
+        raise ReproError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    if max_cache_size is not None:
+        curve = _truncate(curve, max_cache_size)
+    return curve
+
+
+def stack_distances(
+    trace: TraceLike,
+    *,
+    algorithm: str = "iaf",
+    workers: int = 1,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Forward LRU stack distance of every access (0 = first occurrence).
+
+    ``out[i] <= k`` and nonzero exactly when access ``i`` hits an LRU
+    cache of size ``k``.
+    """
+    arr = as_trace(trace, dtype=dtype)
+    if algorithm == "iaf":
+        d = iaf_distances(arr, dtype=dtype)
+    elif algorithm == "parallel-iaf":
+        d = parallel_iaf_distances(arr, workers=workers, dtype=dtype)
+    elif algorithm == "reference":
+        d = reference_distances(arr)
+    else:
+        raise ReproError(
+            f"stack_distances supports iaf/parallel-iaf/reference, "
+            f"got {algorithm!r}"
+        )
+    prev, _ = prev_next_arrays(arr)
+    out = np.zeros(arr.size, dtype=np.int64)
+    has_prev = prev != -1
+    out[has_prev] = d[prev[has_prev]]
+    return out
+
+
+def _truncate(curve: HitRateCurve, k: int) -> HitRateCurve:
+    """Cut a full curve down to its first ``k`` sizes."""
+    if k < 1:
+        raise ReproError(f"max_cache_size must be >= 1, got {k}")
+    return HitRateCurve(
+        hits_cumulative=curve.hits_cumulative[:k],
+        total_accesses=curve.total_accesses,
+        truncated_at=k,
+    )

@@ -1,0 +1,470 @@
+"""The production INCREMENT-AND-FREEZE engine (Sections 4, 6, 8).
+
+This is the paper's algorithm realized the way the Section-6 analysis
+suggests: **level-synchronously and data-parallel**.  At every recursion
+depth, *all* subproblems live side by side in one set of flat numpy
+arrays (``kind``/``t``/``r`` per operation, plus per-segment interval
+bounds), and one partition step maps every parent segment to its two
+children at once:
+
+1. *Projection* is an elementwise map (the Prefix/Postfix projection
+   rules are branch-free ``where`` expressions).
+2. *Shrinking* — merging full-interval operations into their predecessors
+   — is a segmented cluster-sum (Lemma 6.1): a cumulative sum of merge
+   effects, run-length boundaries from the "kept" mask, one gather.
+
+Each level is O(total ops) numpy work; Lemma 4.2 bounds the total ops per
+level by O(n), and there are O(log n) levels — so this single
+implementation is simultaneously the fast serial algorithm (its memory
+traffic is sequential streams, the point of the paper) and a faithful
+realization of PARALLEL-INCREMENT-AND-FREEZE's O(log² n)-span structure
+(every numpy pass is a map or a scan).
+
+Size-1 segments ("leaves") are solved in closed form: a leaf's cell value
+is the summed effect of its operations up to and including the leading
+``+1`` of the first Postfix, which freezes the cell.
+
+The module exposes two layers:
+
+* :func:`solve_prepost_arrays` — run the level loop on an arbitrary
+  initial segment list (used by the external-memory and parallel
+  variants, whose recursions bottom out in these in-memory segments).
+* :func:`iaf_distances` / :func:`iaf_hit_rate_curve` — the whole pipeline
+  for a trace: pre-process, solve, post-process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
+from ..metrics.memory import MemoryModel
+from ..pram.scheduler import Cost
+from .hitrate import HitRateCurve, curve_from_backward_distances
+from .ops import POSTFIX, PREFIX, prepost_sequence_arrays
+from .prevnext import prev_next_arrays
+
+
+@dataclass
+class EngineStats:
+    """Instrumentation of one engine run.
+
+    ``work`` counts operation touches across all levels; ``span_basic``
+    is the Section-4 span (levels run their segments in parallel, each
+    segment serially — O(n) total), ``span_parallel`` the Section-6 span
+    (each level is scans and maps, O(log n) each — O(log² n) total).
+    ``peak_level_ops`` drives the memory story: the engine's working set
+    is proportional to it.
+    """
+
+    levels: int = 0
+    work: float = 0.0
+    span_basic: float = 0.0
+    span_parallel: float = 0.0
+    peak_level_ops: int = 0
+    peak_bytes: int = 0
+    ops_per_level: List[int] = field(default_factory=list)
+    #: When True, per-level segment op counts are kept (the level-barrier
+    #: task structure consumed by :mod:`repro.pram.simulator`).
+    record_segments: bool = False
+    segment_sizes_per_level: List[np.ndarray] = field(default_factory=list)
+
+    def basic_cost(self) -> Cost:
+        """Work/span of basic INCREMENT-AND-FREEZE (Theorem 4.3)."""
+        return Cost(self.work, min(self.span_basic, self.work))
+
+    def parallel_cost(self) -> Cost:
+        """Work/span of PARALLEL-INCREMENT-AND-FREEZE (Theorem 6.2)."""
+        return Cost(self.work, min(self.span_parallel, self.work))
+
+
+@dataclass
+class Segments:
+    """A batch of subproblems at one recursion depth.
+
+    ``kind``/``t``/``r`` are the concatenated operation arrays; segment
+    ``s`` owns ops ``[starts[s], starts[s+1])`` and the cell interval
+    ``[lo[s], hi[s]]``.
+
+    ``w`` generalizes the encoding to **variable-size objects** (the
+    Section 9.1 remark): it is the magnitude of each op's "+1 part"
+    (``Increment(a, t, w)`` for a Prefix, ``Increment(t, b, w)`` for a
+    Postfix).  ``w = None`` means the classic unit-weight algorithm and
+    keeps the hot path free of the extra array.
+    """
+
+    kind: np.ndarray
+    t: np.ndarray
+    r: np.ndarray
+    starts: np.ndarray  # int64, length n_segments + 1
+    lo: np.ndarray
+    hi: np.ndarray
+    w: Optional[np.ndarray] = None
+
+    @property
+    def n_segments(self) -> int:
+        return self.lo.size
+
+    @property
+    def n_ops(self) -> int:
+        return int(self.starts[-1])
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.kind.nbytes + self.t.nbytes + self.r.nbytes
+            + self.starts.nbytes + self.lo.nbytes + self.hi.nbytes
+            + (self.w.nbytes if self.w is not None else 0)
+        )
+
+    def counts(self) -> np.ndarray:
+        return np.diff(self.starts)
+
+    @staticmethod
+    def single(
+        kind: np.ndarray, t: np.ndarray, r: np.ndarray, lo: int, hi: int,
+        w: Optional[np.ndarray] = None,
+    ) -> "Segments":
+        """Wrap one op sequence on one interval as a batch of size 1."""
+        return Segments(
+            kind=np.asarray(kind, dtype=np.uint8),
+            t=np.asarray(t),
+            r=np.asarray(r),
+            starts=np.array([0, len(kind)], dtype=np.int64),
+            lo=np.array([lo], dtype=np.int64),
+            hi=np.array([hi], dtype=np.int64),
+            w=None if w is None else np.asarray(w),
+        )
+
+
+def _solve_leaves(seg: Segments, leaf_mask: np.ndarray, out: np.ndarray) -> int:
+    """Evaluate all size-1 segments in one vectorized pass.
+
+    Writes each leaf's value at ``out[lo]``; returns the number of ops
+    consumed (for work accounting).  Empty leaves keep value 0 (only the
+    sentinel cell can be empty; its value is never read).
+    """
+    counts = seg.counts()[leaf_mask]
+    starts = seg.starts[:-1][leaf_mask]
+    lo = seg.lo[leaf_mask]
+    nonempty = counts > 0
+    if not nonempty.any():
+        return 0
+    counts, starts, lo = counts[nonempty], starts[nonempty], lo[nonempty]
+    # Compact the leaf ops into their own contiguous arrays.
+    take = _gather_indices(starts, counts)
+    kind = seg.kind[take]
+    r = seg.r[take].astype(np.int64, copy=False)
+    m = kind.size
+    new_starts = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+    )
+    if seg.w is None:
+        effects = 1 + r
+        w_at = np.ones(m, dtype=np.int64)
+    else:
+        w = seg.w[take].astype(np.int64, copy=False)
+        effects = w + r
+        w_at = w
+    c0 = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(effects)])
+    pf_idx = np.where(kind == POSTFIX, np.arange(m, dtype=np.int64), m)
+    first_pf = np.minimum.reduceat(pf_idx, new_starts[:-1])
+    ends = new_starts[1:]
+    has_pf = first_pf < ends
+    # c0 has m+1 entries, and first_pf <= m always, so both branches index
+    # safely even though np.where evaluates them eagerly; the w_at gather
+    # clamps first_pf for the no-postfix rows whose value is discarded.
+    value = np.where(
+        has_pf,
+        c0[first_pf] - c0[new_starts[:-1]]
+        + w_at[np.minimum(first_pf, m - 1)],
+        c0[ends] - c0[new_starts[:-1]],
+    )
+    out[lo] = value
+    return m
+
+
+def _gather_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices selecting ``counts[s]`` items from each ``starts[s]``.
+
+    Standard prefix-sum gather: equivalent to
+    ``concatenate([arange(st, st+c) for st, c in zip(starts, counts)])``
+    without the Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    out_starts = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+    )
+    idx = np.arange(total, dtype=np.int64)
+    seg_of = np.repeat(np.arange(starts.size, dtype=np.int64), counts)
+    return starts[seg_of] + (idx - out_starts[:-1][seg_of])
+
+
+def _shrink_child(
+    kind_c: np.ndarray,
+    t_c: np.ndarray,
+    r_c: np.ndarray,
+    child_hi_op: np.ndarray,
+    child_hi_seg: np.ndarray,
+    seg_of_op: np.ndarray,
+    starts: np.ndarray,
+    w_c: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+           Optional[np.ndarray]]:
+    """Segmented shrink: merge full-interval ops into their predecessors.
+
+    Inputs are one child batch (already projected): per-op arrays, the
+    child's upper bound per op and per segment, the op→segment map, and
+    the segment offsets.  Returns the shrunk ``(kind, t, r, counts, w)``.
+
+    This is the vectorized cluster-sum of Lemma 6.1: ``mergeable`` ops are
+    the zero-flagged pairs carrying effect ``w + r`` (``1 + r`` in the
+    unit-weight case); each kept op absorbs the run of mergeable effects
+    that follows it (up to the next kept op or its segment's end); a
+    leading run becomes a head op unless its net effect is zero.
+    """
+    m = kind_c.size
+    n_segs = child_hi_seg.size
+    mergeable = (kind_c == PREFIX) & (t_c == child_hi_op)
+    if w_c is None:
+        eff = np.where(mergeable, 1 + r_c.astype(np.int64), 0)
+    else:
+        eff = np.where(
+            mergeable, w_c.astype(np.int64) + r_c.astype(np.int64), 0
+        )
+    c0 = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(eff)])
+    kept = ~mergeable
+    kept_idx = np.flatnonzero(kept)
+    k = kept_idx.size
+
+    kept_counts = (
+        np.bincount(seg_of_op[kept_idx], minlength=n_segs)
+        if k
+        else np.zeros(n_segs, dtype=np.int64)
+    )
+    kcum = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(kept_counts)]
+    )
+
+    # Run of mergeable ops after each kept op, clipped to its segment.
+    if k:
+        next_kept = np.empty(k, dtype=np.int64)
+        next_kept[:-1] = kept_idx[1:]
+        next_kept[-1] = m
+        seg_of_kept = seg_of_op[kept_idx]
+        boundary = np.minimum(next_kept, starts[seg_of_kept + 1])
+        run = c0[boundary] - c0[kept_idx + 1]
+        r_kept = r_c[kept_idx].astype(np.int64) + run
+    else:
+        seg_of_kept = np.zeros(0, dtype=np.int64)
+        r_kept = np.zeros(0, dtype=np.int64)
+
+    # Leading run per segment -> head op when its net effect is nonzero.
+    first_kept = starts[1:].astype(np.int64).copy()
+    has_kept = kept_counts > 0
+    if k:
+        first_kept[has_kept] = kept_idx[kcum[:-1][has_kept]]
+    head_sum = c0[first_kept] - c0[starts[:-1]]
+    emit_head = head_sum != 0
+
+    out_counts = kept_counts + emit_head
+    out_starts = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(out_counts)]
+    )
+    total = int(out_starts[-1])
+    kind_out = np.empty(total, dtype=np.uint8)
+    t_out = np.empty(total, dtype=t_c.dtype)
+    r_out = np.empty(total, dtype=r_c.dtype)
+
+    w_out = None if w_c is None else np.empty(total, dtype=w_c.dtype)
+
+    head_pos = out_starts[:-1][emit_head]
+    kind_out[head_pos] = PREFIX
+    t_out[head_pos] = child_hi_seg[emit_head]
+    if w_c is None:
+        # Unit-weight encoding: a full-interval Prefix(hi, r) has effect
+        # 1 + r, so a head of net effect e is written as r = e - 1.
+        r_out[head_pos] = (head_sum[emit_head] - 1).astype(r_c.dtype)
+    else:
+        # Weighted encoding: heads carry w = 0 and the whole effect in r.
+        r_out[head_pos] = head_sum[emit_head].astype(r_c.dtype)
+        w_out[head_pos] = 0
+
+    if k:
+        rank = np.arange(k, dtype=np.int64) - kcum[:-1][seg_of_kept]
+        pos = out_starts[:-1][seg_of_kept] + emit_head[seg_of_kept] + rank
+        kind_out[pos] = kind_c[kept_idx]
+        t_out[pos] = t_c[kept_idx]
+        r_out[pos] = r_kept.astype(r_c.dtype)
+        if w_c is not None:
+            w_out[pos] = w_c[kept_idx]
+
+    return kind_out, t_out, r_out, out_counts, w_out
+
+
+def _partition_level(seg: Segments, internal_mask: np.ndarray) -> Segments:
+    """One level of the recursion: split every internal segment in half."""
+    all_internal = bool(internal_mask.all())
+    counts = seg.counts() if all_internal else seg.counts()[internal_mask]
+    lo = seg.lo if all_internal else seg.lo[internal_mask]
+    hi = seg.hi if all_internal else seg.hi[internal_mask]
+    mid = (lo + hi) // 2
+
+    if all_internal:
+        # Common case away from the bottom of the recursion: every segment
+        # splits, so the op arrays can be used in place (no gather copy).
+        kind, t, r, w = seg.kind, seg.t, seg.r, seg.w
+        new_starts = seg.starts
+    else:
+        starts = seg.starts[:-1][internal_mask]
+        take = _gather_indices(starts, counts)
+        kind = seg.kind[take]
+        t = seg.t[take]
+        r = seg.r[take]
+        w = None if seg.w is None else seg.w[take]
+        new_starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+    seg_of_op = np.repeat(np.arange(lo.size, dtype=np.int64), counts)
+
+    mid_op = mid[seg_of_op].astype(t.dtype, copy=False)
+    hi_op = hi[seg_of_op].astype(t.dtype, copy=False)
+    is_postfix = kind == POSTFIX
+
+    # Left child [lo, mid]: ops with t <= mid are unchanged; others become
+    # full-interval Prefixes.  A projected-out Prefix keeps its w+r effect
+    # (its "+w part" covered the whole child); a projected-out Postfix
+    # contributes only its trailing r.  In the unit-weight encoding the
+    # full-interval form Prefix(mid, r') has effect 1 + r', hence the -1s;
+    # in the weighted encoding full ops carry w = 0 and the effect in r.
+    inside_l = t <= mid_op
+    kind_l = np.where(inside_l, kind, PREFIX).astype(np.uint8)
+    t_l = np.where(inside_l, t, mid_op)
+    if w is None:
+        r_l = np.where(inside_l, r, np.where(is_postfix, r - 1, r))
+        w_l = None
+    else:
+        r_l = np.where(inside_l, r, np.where(is_postfix, r, w + r))
+        w_l = np.where(inside_l, w, 0)
+    kl, tl, rl, counts_l, wl = _shrink_child(
+        kind_l, t_l, r_l, mid_op, mid.astype(t.dtype), seg_of_op,
+        new_starts, w_l,
+    )
+
+    # Right child [mid+1, hi]: mirrored rules.
+    inside_r = t > mid_op
+    kind_r = np.where(inside_r, kind, PREFIX).astype(np.uint8)
+    t_r = np.where(inside_r, t, hi_op)
+    if w is None:
+        r_r = np.where(inside_r, r, np.where(is_postfix, r, r - 1))
+        w_r = None
+    else:
+        r_r = np.where(inside_r, r, np.where(is_postfix, w + r, r))
+        w_r = np.where(inside_r, w, 0)
+    kr, tr, rr, counts_r, wr = _shrink_child(
+        kind_r, t_r, r_r, hi_op, hi.astype(t.dtype), seg_of_op,
+        new_starts, w_r,
+    )
+
+    all_counts = np.concatenate([counts_l, counts_r])
+    return Segments(
+        kind=np.concatenate([kl, kr]),
+        t=np.concatenate([tl, tr]),
+        r=np.concatenate([rl, rr]),
+        starts=np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(all_counts)]
+        ),
+        lo=np.concatenate([lo, mid + 1]),
+        hi=np.concatenate([mid, hi]),
+        w=None if wl is None else np.concatenate([wl, wr]),
+    )
+
+
+def solve_prepost_arrays(
+    seg: Segments,
+    out: np.ndarray,
+    *,
+    stats: Optional[EngineStats] = None,
+    memory: Optional[MemoryModel] = None,
+) -> None:
+    """Run the level-synchronous recursion until every segment is solved.
+
+    ``out`` must cover all cells referenced by the segments (it is indexed
+    by absolute cell positions).  Values of empty segments stay 0.
+    """
+    while seg.n_segments:
+        if stats is not None:
+            m = seg.n_ops
+            stats.levels += 1
+            stats.ops_per_level.append(m)
+            stats.work += m
+            counts = seg.counts()
+            stats.span_basic += float(counts.max()) if counts.size else 0.0
+            stats.span_parallel += math.log2(max(m, 2))
+            stats.peak_level_ops = max(stats.peak_level_ops, m)
+            stats.peak_bytes = max(stats.peak_bytes, seg.nbytes + out.nbytes)
+            if stats.record_segments:
+                stats.segment_sizes_per_level.append(counts.copy())
+        if memory is not None:
+            memory.observe("engine.segments", seg.nbytes)
+        leaf_mask = seg.lo == seg.hi
+        if leaf_mask.any():
+            consumed = _solve_leaves(seg, leaf_mask, out)
+            if stats is not None:
+                stats.work += consumed
+        internal = ~leaf_mask
+        if not internal.any():
+            break
+        seg = _partition_level(seg, internal)
+    if memory is not None:
+        memory.observe("engine.segments", 0)
+
+
+def iaf_distances(
+    trace: TraceLike,
+    *,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    stats: Optional[EngineStats] = None,
+    memory: Optional[MemoryModel] = None,
+) -> np.ndarray:
+    """Backward distance vector of ``trace`` via the vectorized engine.
+
+    0-based: ``out[i]`` counts the distinct addresses in
+    ``trace[i : next(i)]`` (entries whose address never recurs hold the
+    distinct count of the remaining suffix instead; they are ignored by
+    curve construction, mirroring Lemma 4.1's accounting).
+    """
+    arr = as_trace(trace, dtype=dtype)
+    n = arr.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    dt = validate_dtype(dtype)
+    kind, t, r = prepost_sequence_arrays(arr, dtype=dt)
+    if memory is not None:
+        memory.allocate("engine.trace", int(arr.nbytes))
+    values = np.zeros(n + 1, dtype=np.int64)  # cell 0 is the sentinel
+    seg = Segments.single(kind, t, r, 0, n)
+    solve_prepost_arrays(seg, values, stats=stats, memory=memory)
+    if memory is not None:
+        memory.free("engine.trace", int(arr.nbytes))
+    return values[1:]
+
+
+def iaf_hit_rate_curve(
+    trace: TraceLike,
+    *,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    stats: Optional[EngineStats] = None,
+    memory: Optional[MemoryModel] = None,
+) -> HitRateCurve:
+    """Full pipeline: pre-process, distance computation, post-process."""
+    arr = as_trace(trace, dtype=dtype)
+    d = iaf_distances(arr, dtype=dtype, stats=stats, memory=memory)
+    _, nxt = prev_next_arrays(arr)
+    return curve_from_backward_distances(d, nxt)

@@ -1,0 +1,279 @@
+"""PARALLEL-INCREMENT-AND-FREEZE (Sections 4 and 6).
+
+Two layers of parallelism, mirroring the paper:
+
+* **Subtree parallelism** (the Θ(log n) form of Theorem 4.3, which the
+  paper's implementation uses): run the level-synchronous engine until
+  enough independent subproblems exist, then solve disjoint groups of
+  subproblems on a thread pool.  Groups write to disjoint slices of the
+  output array, and the heavy numpy kernels release the GIL, so this is
+  real shared-memory parallelism — on hardware with one core it still
+  exercises the full code path.
+* **Intra-partition parallelism** (the O(log² n)-span form of Theorem
+  6.2): the engine's partition step is already expressed as maps and
+  scans — the Lemma 6.1 cluster-sum — so its span under the CREW PRAM
+  model is O(log n) per level.  :class:`~repro.core.engine.EngineStats`
+  records both span accountings; :func:`measure_parallel_cost` exposes
+  them for the Figure-2 speedup model.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._typing import DEFAULT_DTYPE, TraceLike, as_trace
+from ..errors import CapacityError
+from ..pram.model import SpeedupCurve
+from ..pram.scheduler import Cost
+from .engine import EngineStats, Segments, _partition_level, _solve_leaves, \
+    solve_prepost_arrays
+from .hitrate import HitRateCurve, curve_from_backward_distances
+from .ops import prepost_sequence_arrays
+from .prevnext import prev_next_arrays
+
+
+def _split_segments(seg: Segments, groups: int) -> List[Segments]:
+    """Cut a segment batch into ≤ ``groups`` contiguous, op-balanced parts.
+
+    Subproblems are independent, so any partition of the segment list is
+    valid; contiguous cuts keep each part's op arrays as zero-copy views.
+    """
+    counts = seg.counts()
+    total = int(counts.sum())
+    if seg.n_segments == 0 or groups <= 1:
+        return [seg]
+    target = max(1, total // groups)
+    parts: List[Segments] = []
+    s_begin = 0
+    acc = 0
+    for s in range(seg.n_segments):
+        acc += int(counts[s])
+        last = s == seg.n_segments - 1
+        if acc >= target or last:
+            o_begin = int(seg.starts[s_begin])
+            o_end = int(seg.starts[s + 1])
+            parts.append(
+                Segments(
+                    kind=seg.kind[o_begin:o_end],
+                    t=seg.t[o_begin:o_end],
+                    r=seg.r[o_begin:o_end],
+                    starts=(seg.starts[s_begin : s + 2] - o_begin).copy(),
+                    lo=seg.lo[s_begin : s + 1],
+                    hi=seg.hi[s_begin : s + 1],
+                )
+            )
+            s_begin = s + 1
+            acc = 0
+            if len(parts) == groups - 1 and not last:
+                # Everything remaining goes into the final part.
+                o_begin = int(seg.starts[s_begin])
+                parts.append(
+                    Segments(
+                        kind=seg.kind[o_begin:],
+                        t=seg.t[o_begin:],
+                        r=seg.r[o_begin:],
+                        starts=(seg.starts[s_begin:] - o_begin).copy(),
+                        lo=seg.lo[s_begin:],
+                        hi=seg.hi[s_begin:],
+                    )
+                )
+                break
+    return [p for p in parts if p.n_segments]
+
+
+def parallel_iaf_distances(
+    trace: TraceLike,
+    *,
+    workers: int = 1,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    stats: Optional[EngineStats] = None,
+) -> np.ndarray:
+    """Backward distance vector with subtree parallelism over ``workers``.
+
+    Identical output to :func:`repro.core.engine.iaf_distances`; the first
+    ``ceil(log2 workers)`` levels run serially (they are a vanishing
+    fraction of the work), after which each thread owns a contiguous
+    group of subproblems.
+    """
+    if workers < 1:
+        raise CapacityError(f"workers must be >= 1, got {workers}")
+    arr = as_trace(trace, dtype=dtype)
+    n = arr.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    kind, t, r = prepost_sequence_arrays(arr, dtype=dtype)
+    values = np.zeros(n + 1, dtype=np.int64)
+    seg = Segments.single(kind, t, r, 0, n)
+
+    # Serial warm-up: split until there are enough independent subtrees.
+    while 0 < seg.n_segments < 4 * workers and workers > 1:
+        if stats is not None:
+            stats.levels += 1
+            m = seg.n_ops
+            stats.ops_per_level.append(m)
+            stats.work += m
+            counts = seg.counts()
+            stats.span_basic += float(counts.max()) if counts.size else 0.0
+            stats.span_parallel += float(np.log2(max(m, 2)))
+            stats.peak_level_ops = max(stats.peak_level_ops, m)
+        leaf_mask = seg.lo == seg.hi
+        if leaf_mask.any():
+            consumed = _solve_leaves(seg, leaf_mask, values)
+            if stats is not None:
+                stats.work += consumed
+        internal = ~leaf_mask
+        if not internal.any():
+            return values[1:]
+        seg = _partition_level(seg, internal)
+
+    if workers == 1:
+        solve_prepost_arrays(seg, values, stats=stats)
+        return values[1:]
+
+    parts = _split_segments(seg, workers)
+    part_stats = [EngineStats() for _ in parts]
+
+    def run(i: int) -> None:
+        # Disjoint cell intervals per part -> disjoint writes to `values`.
+        solve_prepost_arrays(parts[i], values, stats=part_stats[i])
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        list(pool.map(run, range(len(parts))))
+
+    if stats is not None:
+        for ps in part_stats:
+            stats.work += ps.work
+            stats.peak_level_ops = max(stats.peak_level_ops, ps.peak_level_ops)
+        stats.levels += max((ps.levels for ps in part_stats), default=0)
+        stats.span_basic += max((ps.span_basic for ps in part_stats), default=0.0)
+        stats.span_parallel += max(
+            (ps.span_parallel for ps in part_stats), default=0.0
+        )
+    return values[1:]
+
+
+def parallel_iaf_hit_rate_curve(
+    trace: TraceLike,
+    *,
+    workers: int = 1,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    stats: Optional[EngineStats] = None,
+) -> HitRateCurve:
+    """Full pipeline with parallel distance computation."""
+    arr = as_trace(trace, dtype=dtype)
+    d = parallel_iaf_distances(arr, workers=workers, dtype=dtype, stats=stats)
+    _, nxt = prev_next_arrays(arr)
+    return curve_from_backward_distances(d, nxt)
+
+
+def _solve_part_remote(payload: Tuple) -> Tuple[List[Tuple[int, int]], np.ndarray]:
+    """Process-pool worker: solve one Segments part in a child process.
+
+    The part arrives as plain arrays (picklable); all coordinates are
+    rebased to the part's span so the local output array is small.
+    Returns the segment intervals (absolute) and the local values.
+    """
+    kind, t, r, starts, lo, hi = payload
+    base = int(lo.min())
+    span = int(hi.max()) - base + 1
+    local = np.zeros(span, dtype=np.int64)
+    part = Segments(
+        kind=kind,
+        t=(t - base).astype(t.dtype),
+        r=r,
+        starts=starts,
+        lo=lo - base,
+        hi=hi - base,
+    )
+    solve_prepost_arrays(part, local)
+    intervals = [(int(a), int(b)) for a, b in zip(lo.tolist(), hi.tolist())]
+    return intervals, local
+
+
+def process_parallel_iaf_distances(
+    trace: TraceLike,
+    *,
+    workers: int = 2,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Backward distances with *process*-based parallelism.
+
+    The thread-pool variant relies on numpy kernels releasing the GIL;
+    this one sidesteps the GIL entirely: after the serial warm-up levels,
+    each subtree group is shipped to a worker process (the per-part op
+    arrays are O(n/workers), so the pickling cost is one pass over the
+    data) and the distance slices are merged back by interval.
+
+    Output is identical to :func:`repro.core.engine.iaf_distances`.
+    """
+    if workers < 1:
+        raise CapacityError(f"workers must be >= 1, got {workers}")
+    arr = as_trace(trace, dtype=dtype)
+    n = arr.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    kind, t, r = prepost_sequence_arrays(arr, dtype=dtype)
+    values = np.zeros(n + 1, dtype=np.int64)
+    seg = Segments.single(kind, t, r, 0, n)
+    while 0 < seg.n_segments < 4 * workers and workers > 1:
+        leaf_mask = seg.lo == seg.hi
+        if leaf_mask.any():
+            _solve_leaves(seg, leaf_mask, values)
+        internal = ~leaf_mask
+        if not internal.any():
+            return values[1:]
+        seg = _partition_level(seg, internal)
+    if workers == 1 or seg.n_segments == 0:
+        solve_prepost_arrays(seg, values)
+        return values[1:]
+
+    parts = _split_segments(seg, workers)
+    payloads = [
+        (p.kind, np.ascontiguousarray(p.t), np.ascontiguousarray(p.r),
+         np.ascontiguousarray(p.starts), np.ascontiguousarray(p.lo),
+         np.ascontiguousarray(p.hi))
+        for p in parts
+    ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for intervals, local in pool.map(_solve_part_remote, payloads):
+            if not intervals:
+                continue
+            base = min(a for a, _b in intervals)
+            for a, b in intervals:
+                values[a : b + 1] = local[a - base : b - base + 1]
+    return values[1:]
+
+
+@dataclass(frozen=True)
+class ParallelCostReport:
+    """Measured work/span of one run under both span accountings."""
+
+    basic: Cost
+    parallel: Cost
+
+    def basic_speedups(self, processors: List[int]) -> SpeedupCurve:
+        """Figure-2-style curve for basic IAF (Θ(log n) parallelism)."""
+        return SpeedupCurve.from_cost("iaf", self.basic, processors)
+
+    def parallel_speedups(self, processors: List[int]) -> SpeedupCurve:
+        """Curve for PARALLEL-IAF (Θ(n/log n) parallelism)."""
+        return SpeedupCurve.from_cost("parallel-iaf", self.parallel, processors)
+
+
+def measure_parallel_cost(
+    trace: TraceLike, *, dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE
+) -> ParallelCostReport:
+    """Run the engine once, returning its PRAM costs for speedup modeling."""
+    stats = EngineStats()
+    from .engine import iaf_distances  # local import avoids cycle at module load
+
+    iaf_distances(trace, dtype=dtype, stats=stats)
+    return ParallelCostReport(
+        basic=stats.basic_cost(), parallel=stats.parallel_cost()
+    )

@@ -1,0 +1,195 @@
+"""The partition routine on Prefix/Postfix sequences (Sections 6 and 8).
+
+``partition_prepost`` takes the shrunk projection of the operation
+sequence on an interval and produces the shrunk projections on its two
+halves.  Two implementations are provided:
+
+* :func:`partition_prepost` — the engineered serial routine of Section 8:
+  a single right-to-left pass that merges full-interval operations into
+  their predecessors on the fly and **stops early**: once it meets a
+  ``Prefix(t, r)`` with ``t`` inside the left half, every earlier
+  operation belongs verbatim to the left child, and the operations before
+  that Prefix have zero net effect on the right child (the Prefix's own
+  trailing ``r`` still lands there, folded into the pending accumulator).
+* :func:`partition_prepost_simple` — a two-pass left-to-right version with
+  no early exit, used to cross-check the optimized one.
+
+``solve_prepost_recursive`` runs the full divide-and-conquer on top of the
+partition — an independent mid-scale oracle for the vectorized engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from ..errors import OperationError
+from .ops import (
+    PostfixOp,
+    PrefixOp,
+    PrePostOp,
+    is_full_interval,
+    prepost_sequence,
+    project_prepost,
+)
+
+
+def _append_merged(
+    out: List[PrePostOp], op: PrePostOp, child_hi: int
+) -> None:
+    """Append ``op`` to ``out``, merging it if it is full-interval.
+
+    A full-interval op (``Prefix(child_hi, r)``, uniform effect ``1+r``)
+    merges into the last op of ``out`` by adding its effect to that op's
+    trailing ``r`` — regardless of the predecessor's type (Section 8).
+    With an empty ``out`` it must stay, unless its effect is zero.
+    """
+    if is_full_interval(op, child_hi):
+        effect = 1 + op.r
+        if out:
+            last = out[-1]
+            if isinstance(last, PrefixOp):
+                out[-1] = PrefixOp(last.t, last.r + effect)
+            else:
+                out[-1] = PostfixOp(last.t, last.r + effect)
+        elif effect != 0:
+            out.append(PrefixOp(child_hi, effect - 1))
+        return
+    out.append(op)
+
+
+def partition_prepost_simple(
+    ops: List[PrePostOp], lo: int, hi: int
+) -> Tuple[List[PrePostOp], List[PrePostOp]]:
+    """Left-to-right partition with no early exit (the checking version)."""
+    if lo >= hi:
+        raise OperationError(f"cannot partition interval [{lo}, {hi}]")
+    mid = (lo + hi) // 2
+    left: List[PrePostOp] = []
+    right: List[PrePostOp] = []
+    for op in ops:
+        _append_merged(left, project_prepost(op, lo, mid), mid)
+        _append_merged(right, project_prepost(op, mid + 1, hi), hi)
+    return left, right
+
+
+def partition_prepost(
+    ops: List[PrePostOp], lo: int, hi: int
+) -> Tuple[List[PrePostOp], List[PrePostOp]]:
+    """Right-to-left partition with the Section-8 early exit.
+
+    Builds both children back to front.  ``pending_left``/``pending_right``
+    accumulate the uniform effect of full-interval projections awaiting a
+    non-full predecessor to merge into; leftover pending at the front
+    becomes a head op (dropped if its net effect is zero — on the right
+    child this is exactly how the pre-exit operations vanish).
+    """
+    if lo >= hi:
+        raise OperationError(f"cannot partition interval [{lo}, {hi}]")
+    mid = (lo + hi) // 2
+    left_rev: List[PrePostOp] = []
+    right_rev: List[PrePostOp] = []
+    pending_left = 0
+    pending_right = 0
+    stop_at: Optional[int] = None
+
+    def _absorb_rev(
+        out_rev: List[PrePostOp], op: PrePostOp, child_hi: int, pending: int
+    ) -> int:
+        """Right-to-left counterpart of :func:`_append_merged`."""
+        if is_full_interval(op, child_hi):
+            return pending + 1 + op.r
+        if isinstance(op, PrefixOp):
+            out_rev.append(PrefixOp(op.t, op.r + pending))
+        else:
+            out_rev.append(PostfixOp(op.t, op.r + pending))
+        return 0
+
+    for idx in range(len(ops) - 1, -1, -1):
+        op = ops[idx]
+        if isinstance(op, PrefixOp) and op.t <= mid:
+            # Early exit: ops[0..idx] go verbatim to the left child (this
+            # Prefix absorbs any pending left merge); on the right child
+            # only this op's trailing r survives of ops[0..idx].
+            stop_at = idx
+            left_rev.append(PrefixOp(op.t, op.r + pending_left))
+            pending_left = 0
+            pending_right += op.r
+            break
+        pending_left = _absorb_rev(
+            left_rev, project_prepost(op, lo, mid), mid, pending_left
+        )
+        pending_right = _absorb_rev(
+            right_rev, project_prepost(op, mid + 1, hi), hi, pending_right
+        )
+
+    if pending_left != 0:
+        left_rev.append(PrefixOp(mid, pending_left - 1))
+    if pending_right != 0:
+        right_rev.append(PrefixOp(hi, pending_right - 1))
+
+    left = ops[:stop_at] + left_rev[::-1] if stop_at is not None \
+        else left_rev[::-1]
+    return left, right_rev[::-1]
+
+
+def _solve_leaf(ops: List[PrePostOp], cell: int) -> int:
+    """Single-cell base case: sum effects until the first Postfix freezes.
+
+    At a leaf every op has ``t == cell``; a Prefix contributes ``1 + r``,
+    the first Postfix contributes its leading ``+1`` and freezes the cell
+    (its trailing ``r`` and every later op are skipped).
+    """
+    value = 0
+    for op in ops:
+        if op.t != cell:
+            raise OperationError(
+                f"leaf op {op!r} does not target cell {cell}"
+            )
+        if isinstance(op, PostfixOp):
+            return value + 1
+        value += 1 + op.r
+    return value
+
+
+def solve_prepost(ops: List[PrePostOp], lo: int, hi: int) -> np.ndarray:
+    """Divide-and-conquer evaluation of a Prefix/Postfix sequence.
+
+    Returns the values of cells ``lo..hi``.  Uses the optimized partition;
+    tests cross-check against :func:`partition_prepost_simple` and the
+    direct executors in :mod:`repro.core.ops`.
+    """
+    out = np.zeros(hi - lo + 1, dtype=np.int64)
+    _solve_rec(ops, lo, hi, lo, out)
+    return out
+
+
+def _solve_rec(
+    ops: List[PrePostOp], lo: int, hi: int, base: int, out: np.ndarray
+) -> None:
+    if not ops and lo == hi:
+        out[lo - base] = 0
+        return
+    if lo == hi:
+        out[lo - base] = _solve_leaf(ops, lo)
+        return
+    left, right = partition_prepost(ops, lo, hi)
+    mid = (lo + hi) // 2
+    _solve_rec(left, lo, mid, base, out)
+    _solve_rec(right, mid + 1, hi, base, out)
+
+
+def prepost_distances(trace: TraceLike) -> np.ndarray:
+    """Backward distance vector via the serial Prefix/Postfix recursion.
+
+    0-based like :func:`repro.core.reference.reference_distances`.
+    """
+    arr = as_trace(trace)
+    n = arr.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    ops = prepost_sequence(arr)
+    values = solve_prepost(ops, 0, n)  # cell 0 is the sentinel
+    return values[1:]

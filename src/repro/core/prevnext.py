@@ -1,0 +1,74 @@
+"""Pre-processing phase: ``prev(i)`` and ``next(i)`` (Section 3).
+
+For each access ``i``, ``prev(i)`` is the most recent earlier position
+with the same address (or -1), and ``next(i)`` the earliest later one (or
+``n``).  Section 3 observes this phase "reduces straightforwardly to a
+constant number of sort and prefix-sum operations"; the vectorized
+implementation here is exactly that reduction — one stable argsort by
+address, then neighbours within equal-address runs.
+
+Conventions (0-based, used across the package):
+
+* ``prev[i] == -1``  means "no previous occurrence" (paper: prev = 0).
+* ``next[i] == n``   means "no next occurrence"   (paper: next = infinity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+
+
+def prev_next_arrays(trace: TraceLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``(prev, next)`` computation in O(n log n).
+
+    The returned arrays are int64 regardless of the trace dtype (they hold
+    positions, not addresses).
+    """
+    arr = as_trace(trace, dtype=np.int64) if not isinstance(trace, np.ndarray) \
+        else trace
+    arr = np.asarray(arr)
+    n = arr.size
+    prev = np.full(n, -1, dtype=np.int64)
+    nxt = np.full(n, n, dtype=np.int64)
+    if n == 0:
+        return prev, nxt
+    order = np.argsort(arr, kind="stable")
+    vals = arr[order]
+    same = vals[1:] == vals[:-1]
+    # Stable sort keeps positions ascending within an address run, so the
+    # neighbour in the run is exactly the prev/next occurrence.
+    later = order[1:][same]
+    earlier = order[:-1][same]
+    prev[later] = earlier
+    nxt[earlier] = later
+    return prev, nxt
+
+
+def prev_next_arrays_python(trace: TraceLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Hash-map reference implementation (O(n) expected), for cross-checks."""
+    arr = np.asarray(as_trace(trace))
+    n = arr.size
+    prev = np.full(n, -1, dtype=np.int64)
+    nxt = np.full(n, n, dtype=np.int64)
+    last_seen: Dict[int, int] = {}
+    for i, addr in enumerate(arr.tolist()):
+        j = last_seen.get(addr)
+        if j is not None:
+            prev[i] = j
+            nxt[j] = i
+        last_seen[addr] = i
+    return prev, nxt
+
+
+def first_occurrence_mask(prev: np.ndarray) -> np.ndarray:
+    """Boolean mask of compulsory (first-touch) accesses."""
+    return np.asarray(prev) == -1
+
+
+def distinct_count(prev: np.ndarray) -> int:
+    """Number of distinct addresses, derived from ``prev`` for free."""
+    return int(first_occurrence_mask(prev).sum())

@@ -1,0 +1,111 @@
+"""Pure-Python INCREMENT-AND-FREEZE, exactly as defined in Section 4.
+
+This is the paper's algorithm with no engineering: build the operation
+sequence ``S``, then recursively project it onto halves of the array,
+shrinking projections by dropping null operations and merging adjacent
+same-range Increments (Lemma 4.2), until single-cell base cases are
+evaluated directly.
+
+It is deliberately simple — O(n log n) with interpreter constants — and
+serves as the mid-level oracle between the O(n·m) direct executor in
+:mod:`repro.core.ops` and the vectorized production engine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from .ops import IncFreezeOp, Increment, increment_freeze_sequence
+from .prevnext import prev_next_arrays
+
+
+def shrunk_projection(
+    ops: List[IncFreezeOp], a: int, b: int
+) -> List[IncFreezeOp]:
+    """Project ``ops`` onto ``[a, b]``, drop nulls, merge adjacent Increments.
+
+    Two adjacent Increments over the *same* range combine into one with
+    summed ``r`` (the paper's second shrinking rule); Lemma 4.2 then
+    bounds the result's length by O(b - a + 1).
+    """
+    out: List[IncFreezeOp] = []
+    for op in ops:
+        projected = op.project(a, b)
+        if projected.is_null:
+            continue
+        if (
+            out
+            and isinstance(projected, Increment)
+            and isinstance(out[-1], Increment)
+            and out[-1].start == projected.start
+            and out[-1].stop == projected.stop
+        ):
+            prev_inc = out[-1]
+            out[-1] = Increment(
+                prev_inc.start, prev_inc.stop, prev_inc.r + projected.r
+            )
+        else:
+            out.append(projected)
+    return out
+
+
+def _solve_cell(ops: List[IncFreezeOp], cell: int) -> int:
+    """Base case: execute the (projected) sequence on a single cell."""
+    value = 0
+    frozen = False
+    for op in ops:
+        if isinstance(op, Increment):
+            if not frozen and op.start <= cell <= op.stop:
+                value += op.r
+        else:  # Freeze
+            if op.target == cell:
+                frozen = True
+    return value
+
+
+def _recurse(
+    ops: List[IncFreezeOp], a: int, b: int, out: np.ndarray
+) -> None:
+    if a > b or not ops:
+        return
+    if a == b:
+        out[a] = _solve_cell(ops, a)
+        return
+    mid = (a + b) // 2
+    _recurse(shrunk_projection(ops, a, mid), a, mid, out)
+    _recurse(shrunk_projection(ops, mid + 1, b), mid + 1, b, out)
+
+
+def reference_distances(trace: TraceLike) -> np.ndarray:
+    """Backward distance vector ``<d_1..d_n>`` by the Section-4 recursion.
+
+    Returned 0-based: ``out[i]`` is ``d_{i+1}`` in paper notation — the
+    number of distinct addresses in ``trace[i : next(i)]``.
+    """
+    arr = as_trace(trace)
+    n = arr.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    ops = increment_freeze_sequence(arr)
+    values = np.zeros(n + 1, dtype=np.int64)  # cell 0 is the sentinel
+    _recurse(shrunk_projection(ops, 1, n), 1, n, values)
+    return values[1:]
+
+
+def reference_hit_curve_counts(trace: TraceLike) -> np.ndarray:
+    """Cumulative hit counts per cache size, straight from the definition.
+
+    Independent of :mod:`repro.core.hitrate` — used to cross-check the
+    post-processing phase itself.
+    """
+    arr = as_trace(trace)
+    d = reference_distances(arr)
+    _, nxt = prev_next_arrays(arr)
+    contributing = d[nxt < arr.size]
+    if contributing.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    hist = np.bincount(contributing)
+    return np.cumsum(hist[1:])

@@ -1,0 +1,190 @@
+"""Online hit-rate-curve analysis: feed accesses as they happen.
+
+The deployment the paper argues is finally practical: a monitor attached
+to a production cache that ingests the request stream and, at any
+moment, can answer "what is the hit-rate curve so far / this window?" —
+in O(k) memory and O(log k) amortized work per access.
+
+:class:`OnlineCurveAnalyzer` wraps BOUNDED-INCREMENT-AND-FREEZE's chunk
+loop in push form: accesses accumulate in the current chunk buffer; when
+the chunk fills, it is processed against the running ``Q̄`` suffix and
+folded into the global (and per-window) curves.  ``flush()`` processes a
+partial chunk early (say, at a period boundary); results are identical
+to an offline :func:`repro.core.bounded.bounded_iaf` run over the same
+concatenated stream with the same chunk boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from .._typing import DEFAULT_DTYPE, TraceLike, validate_dtype
+from ..errors import CapacityError
+from .bounded import _process_chunk, recent_distinct_suffix
+from .hitrate import HitRateCurve, merge_curves
+
+
+class OnlineCurveAnalyzer:
+    """Streaming LRU hit-rate curves, bounded at cache size ``k``.
+
+    Parameters mirror :func:`repro.core.bounded.bounded_iaf`; unlike the
+    offline form, ``max_cache_size`` is mandatory (an online monitor
+    cannot know the final universe size up front — the paper notes ``k``
+    can also be grown adaptively, which ``expand_k`` supports).
+    """
+
+    def __init__(
+        self,
+        max_cache_size: int,
+        *,
+        chunk_multiplier: int = 4,
+        dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    ) -> None:
+        if max_cache_size < 1:
+            raise CapacityError(
+                f"max_cache_size must be >= 1, got {max_cache_size}"
+            )
+        if chunk_multiplier < 1:
+            raise CapacityError(
+                f"chunk_multiplier must be >= 1, got {chunk_multiplier}"
+            )
+        self._k = int(max_cache_size)
+        self._chunk_len = chunk_multiplier * self._k
+        self._dtype = validate_dtype(dtype)
+        self._qbar = np.zeros(0, dtype=self._dtype)
+        self._pending: List[np.ndarray] = []
+        self._pending_len = 0
+        self._windows: List[HitRateCurve] = []
+        self._accesses = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    @property
+    def max_cache_size(self) -> int:
+        return self._k
+
+    @property
+    def accesses_ingested(self) -> int:
+        """Total accesses pushed so far (including unprocessed buffer)."""
+        return self._accesses
+
+    def push(self, accesses: TraceLike) -> int:
+        """Ingest a batch of accesses; returns windows completed by it."""
+        arr = np.atleast_1d(np.asarray(accesses)).astype(self._dtype,
+                                                         copy=False)
+        if arr.ndim != 1:
+            raise CapacityError("push expects a scalar or 1-D batch")
+        self._accesses += int(arr.size)
+        completed = 0
+        while arr.size:
+            room = self._chunk_len - self._pending_len
+            take, arr = arr[:room], arr[room:]
+            self._pending.append(take)
+            self._pending_len += int(take.size)
+            if self._pending_len == self._chunk_len:
+                self._process_pending()
+                completed += 1
+        return completed
+
+    def flush(self) -> bool:
+        """Process a partial chunk now (window boundary); True if any."""
+        if self._pending_len == 0:
+            return False
+        self._process_pending()
+        return True
+
+    def expand_k(self, new_k: int) -> None:
+        """Grow the tracked maximum cache size (Section 7 footnote: with
+        ``k = u``, k grows as new addresses appear).
+
+        Growing is sound mid-stream only up to the information already
+        discarded: past windows stay truncated at their old ``k``, so the
+        merged curve keeps the smallest truncation.  ``Q̄`` is already the
+        most-recent-k suffix and simply stops truncating as hard.
+        """
+        if new_k < self._k:
+            raise CapacityError("k can only grow, never shrink")
+        self._k = int(new_k)
+        self._chunk_len = max(self._chunk_len, self._k)
+
+    def _process_pending(self) -> None:
+        chunk = (
+            np.concatenate(self._pending)
+            if len(self._pending) != 1
+            else self._pending[0]
+        )
+        self._pending = []
+        self._pending_len = 0
+        window = _process_chunk(self._qbar, chunk, self._k, self._dtype)
+        self._windows.append(window)
+        self._qbar = recent_distinct_suffix(self._qbar, chunk, self._k)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def windows(self) -> List[HitRateCurve]:
+        """Curves of completed windows, in stream order."""
+        return list(self._windows)
+
+    def curve(self, *, include_pending: bool = True) -> HitRateCurve:
+        """The curve over everything ingested so far.
+
+        With ``include_pending`` the partial chunk is analyzed on the fly
+        (without committing a window), so the answer is always exact for
+        the full prefix of the stream.
+        """
+        parts = list(self._windows)
+        if include_pending and self._pending_len:
+            chunk = np.concatenate(self._pending)
+            parts.append(
+                _process_chunk(self._qbar, chunk, self._k, self._dtype)
+            )
+        if not parts:
+            return HitRateCurve(
+                np.zeros(0, dtype=np.int64), 0, truncated_at=self._min_k()
+            )
+        merged = merge_curves(
+            [self._retruncate(p, self._min_k()) for p in parts]
+        )
+        return merged
+
+    def window_curve(self, index: int) -> HitRateCurve:
+        """Curve of one completed window."""
+        return self._windows[index]
+
+    def _min_k(self) -> int:
+        ks = [w.truncated_at for w in self._windows
+              if w.truncated_at is not None]
+        return min(ks + [self._k])
+
+    @staticmethod
+    def _retruncate(curve: HitRateCurve, k: int) -> HitRateCurve:
+        if curve.truncated_at == k:
+            return curve
+        return HitRateCurve(
+            curve.hits_cumulative[:k], curve.total_accesses, truncated_at=k
+        )
+
+
+def analyze_stream(
+    batches: Iterable[TraceLike],
+    max_cache_size: int,
+    *,
+    chunk_multiplier: int = 4,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> Tuple[HitRateCurve, List[HitRateCurve]]:
+    """One-shot helper: run the analyzer over an iterable of batches.
+
+    Composes directly with :func:`repro.workloads.traceio.stream_trace`::
+
+        curve, windows = analyze_stream(stream_trace(path, 1 << 16), k)
+    """
+    analyzer = OnlineCurveAnalyzer(
+        max_cache_size, chunk_multiplier=chunk_multiplier, dtype=dtype
+    )
+    for batch in batches:
+        analyzer.push(batch)
+    analyzer.flush()
+    return analyzer.curve(), analyzer.windows

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc. are still
+raised directly for misuse of the API surface itself).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (wrong dtype/shape, negative addresses, ...)."""
+
+
+class OperationError(ReproError):
+    """An Increment/Freeze (or Prefix/Postfix) operation is invalid."""
+
+
+class FrozenCellError(OperationError):
+    """An element of the distance array was frozen twice."""
+
+
+class CapacityError(ReproError):
+    """A cache or memory-model capacity parameter is invalid."""
+
+
+class ExternalMemoryError(ReproError):
+    """Invalid configuration or use of the simulated external memory."""
+
+
+class BlockDeviceError(ExternalMemoryError):
+    """Out-of-range block access or misaligned IO on the block device."""
+
+
+class SchedulerError(ReproError):
+    """Invalid fork/join structure in the PRAM cost tracer."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (sizes, skew parameters, ...)."""
+
+
+class TraceFileError(ReproError):
+    """A trace file is truncated, has a bad magic number, or bad metadata."""

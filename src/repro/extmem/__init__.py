@@ -1,0 +1,16 @@
+"""Simulated external memory: block device, IO accounting, external sort."""
+
+from .blockdevice import BlockDevice, ExternalFile, MemoryConfig
+from .iostats import IOStats, blocks_for_items, blocks_for_span
+from .sort import external_sort, sort_bound_blocks
+
+__all__ = [
+    "BlockDevice",
+    "ExternalFile",
+    "MemoryConfig",
+    "IOStats",
+    "blocks_for_items",
+    "blocks_for_span",
+    "external_sort",
+    "sort_bound_blocks",
+]

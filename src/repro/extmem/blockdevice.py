@@ -1,0 +1,196 @@
+"""Simulated external memory: a block device holding named integer files.
+
+This is the substrate EXTERNAL-INCREMENT-AND-FREEZE (Section 5) and the
+external merge sort run against.  The paper's testbed has a real memory
+hierarchy; here the hierarchy is explicit — the substitution preserves the
+quantity the theory bounds (block transfers between a size-``M`` internal
+memory and disk, in units of ``B``-item blocks).
+
+Data lives in numpy arrays ("files").  Every read or write is charged to
+an :class:`~repro.extmem.iostats.IOStats` at block granularity.  The
+device does not *enforce* the internal-memory limit ``M`` (the algorithms
+are responsible for their working-set discipline, as in the model), but it
+exposes ``M`` and ``B`` so algorithms can size their fan-outs and buffers,
+and an optional strict mode asserts that no single transfer exceeds ``M``
+items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from ..errors import BlockDeviceError, ExternalMemoryError
+from .iostats import IOStats, blocks_for_items, blocks_for_span
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """External-memory model parameters.
+
+    ``memory_items`` is ``M`` and ``block_items`` is ``B``, both counted in
+    *items* (array elements), matching how the paper states its bounds.
+    """
+
+    memory_items: int
+    block_items: int
+
+    def __post_init__(self) -> None:
+        if self.block_items < 1:
+            raise ExternalMemoryError(
+                f"B must be >= 1, got {self.block_items}"
+            )
+        if self.memory_items < 2 * self.block_items:
+            raise ExternalMemoryError(
+                f"M must be >= 2B (tall-cache-ish), got M={self.memory_items} "
+                f"B={self.block_items}"
+            )
+
+    @property
+    def fanout(self) -> int:
+        """The M/B recursive fan-out used by the Section-5 algorithm."""
+        return self.memory_items // self.block_items
+
+
+class ExternalFile:
+    """An append-only, randomly readable integer file on the device.
+
+    Append buffers to one block internally (so sequential writes cost
+    1 IO per ``B`` items, as in the model); reads of arbitrary ranges are
+    charged for every block the range overlaps.
+    """
+
+    def __init__(self, device: "BlockDevice", name: str, dtype: np.dtype) -> None:
+        self._device = device
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self._chunks: list[np.ndarray] = []
+        self._flat: Optional[np.ndarray] = None
+        self._pending: list[np.ndarray] = []
+        self._pending_len = 0
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length + self._pending_len
+
+    def append(self, data: np.ndarray) -> None:
+        """Append ``data``; whole blocks are flushed (and charged) eagerly."""
+        arr = np.ascontiguousarray(data, dtype=self.dtype).ravel()
+        if arr.size == 0:
+            return
+        self._pending.append(arr)
+        self._pending_len += arr.size
+        self._flat = None
+        B = self._device.config.block_items
+        if self._pending_len >= B:
+            whole = (self._pending_len // B) * B
+            buf = np.concatenate(self._pending)
+            self._commit(buf[:whole])
+            rest = buf[whole:]
+            self._pending = [rest] if rest.size else []
+            self._pending_len = rest.size
+
+    def flush(self) -> None:
+        """Flush a trailing partial block (costs one write transfer)."""
+        if self._pending_len:
+            self._commit(np.concatenate(self._pending))
+            self._pending = []
+            self._pending_len = 0
+
+    def _commit(self, arr: np.ndarray) -> None:
+        self._device._check_transfer(arr.size)
+        self._device.stats.record_write(
+            blocks_for_items(arr.size, self._device.config.block_items),
+            tag=f"write:{self.name}",
+        )
+        self._chunks.append(arr)
+        self._length += arr.size
+        self._flat = None
+
+    def _materialized(self) -> np.ndarray:
+        if self._flat is None or self._flat.size != len(self):
+            parts = self._chunks + (self._pending if self._pending_len else [])
+            self._flat = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=self.dtype)
+            )
+        return self._flat
+
+    def read(self, start: int, stop: int) -> np.ndarray:
+        """Read items ``[start, stop)``; charged per overlapped block."""
+        if start < 0 or stop > len(self) or start > stop:
+            raise BlockDeviceError(
+                f"read [{start}, {stop}) out of range for file {self.name!r} "
+                f"of length {len(self)}"
+            )
+        self._device._check_transfer(stop - start)
+        self._device.stats.record_read(
+            blocks_for_span(start, stop, self._device.config.block_items),
+            tag=f"read:{self.name}",
+        )
+        return self._materialized()[start:stop].copy()
+
+    def read_blocks(self, block_len: Optional[int] = None) -> Iterator[np.ndarray]:
+        """Stream the file sequentially in ``block_len``-item pieces.
+
+        ``block_len`` defaults to ``B``; sequential streaming is the access
+        pattern of every pass in the Section-5 algorithm.
+        """
+        step = self._device.config.block_items if block_len is None else block_len
+        if step < 1:
+            raise BlockDeviceError(f"block_len must be >= 1, got {step}")
+        pos = 0
+        while pos < len(self):
+            take = min(step, len(self) - pos)
+            yield self.read(pos, pos + take)
+            pos += take
+
+
+class BlockDevice:
+    """A collection of :class:`ExternalFile` objects plus shared IO counters."""
+
+    def __init__(self, config: MemoryConfig, *, strict: bool = False) -> None:
+        self.config = config
+        self.stats = IOStats()
+        self.strict = strict
+        self._files: Dict[str, ExternalFile] = {}
+
+    def create(self, name: str, dtype: "np.typing.DTypeLike" = np.int64) -> ExternalFile:
+        """Create a new empty file; name must be unused."""
+        if name in self._files:
+            raise BlockDeviceError(f"file {name!r} already exists")
+        f = ExternalFile(self, name, np.dtype(dtype))
+        self._files[name] = f
+        return f
+
+    def create_from(self, name: str, data: np.ndarray) -> ExternalFile:
+        """Create a file pre-populated with ``data`` (charged as writes)."""
+        f = self.create(name, np.asarray(data).dtype)
+        f.append(np.asarray(data))
+        f.flush()
+        return f
+
+    def open(self, name: str) -> ExternalFile:
+        """Look up an existing file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise BlockDeviceError(f"no such file {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        """Remove a file (no IO charge: deallocation is free in the model)."""
+        if name not in self._files:
+            raise BlockDeviceError(f"no such file {name!r}")
+        del self._files[name]
+
+    def list_files(self) -> list[str]:
+        """Names of all live files."""
+        return sorted(self._files)
+
+    def _check_transfer(self, items: int) -> None:
+        if self.strict and items > self.config.memory_items:
+            raise ExternalMemoryError(
+                f"single transfer of {items} items exceeds internal memory "
+                f"M={self.config.memory_items}"
+            )

@@ -1,0 +1,21 @@
+"""Measurement substrate: deterministic memory ledger and timing helpers."""
+
+from .memory import (
+    HASH_SLOT_BYTES,
+    TREE_NODE_BYTES,
+    MemoryModel,
+    format_bytes,
+    measure_tracemalloc,
+)
+from .timing import PhaseTimer, median_time, time_call
+
+__all__ = [
+    "HASH_SLOT_BYTES",
+    "TREE_NODE_BYTES",
+    "MemoryModel",
+    "format_bytes",
+    "measure_tracemalloc",
+    "PhaseTimer",
+    "median_time",
+    "time_call",
+]

@@ -1,0 +1,145 @@
+"""Memory accounting for the Table 2b / 3b reproductions.
+
+The paper reports resident memory of C++ implementations.  In CPython,
+per-object overhead (tens of bytes per boxed integer) would drown the
+asymptotic differences between the algorithms, so this module provides two
+complementary measurements:
+
+* :class:`MemoryModel` — a deterministic, byte-exact ledger of the memory
+  an algorithm's *data structures* occupy, attributed by category.  Each
+  algorithm charges the model for the arrays/nodes a C implementation
+  would allocate (for numpy state this is literally ``arr.nbytes``; for
+  tree baselines it is ``node_count * bytes_per_node``).  Peak and current
+  totals are tracked.
+* :func:`measure_tracemalloc` — actual interpreter-level peak allocation
+  around a callable, for sanity-checking the model.
+
+The ledger design lets benchmarks report "memory used by OST" versus
+"memory used by IAF" on equal footing, mirroring Tables 2b and 3b.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+from ..errors import CapacityError
+
+#: Bytes per augmented-search-tree node in the memory model: two child
+#: pointers, parent pointer, key, subtree size/weight, i.e. five 8-byte
+#: words.  This matches what a compact C++ node would occupy.
+TREE_NODE_BYTES = 40
+
+#: Bytes per hash-table slot (key + value word) used by baselines that keep
+#: an address -> last-position map.
+HASH_SLOT_BYTES = 16
+
+
+@dataclass
+class MemoryModel:
+    """Ledger of bytes currently held and the peak ever held.
+
+    Categories are free-form strings ("ops", "tree", "trace", ...); the
+    benchmark reports break usage down by category, and the total mirrors
+    the single number the paper's tables report.
+    """
+
+    current_by_category: Dict[str, int] = field(default_factory=dict)
+    peak_bytes: int = 0
+
+    @property
+    def current_bytes(self) -> int:
+        """Total bytes currently charged across all categories."""
+        return sum(self.current_by_category.values())
+
+    def allocate(self, category: str, nbytes: int) -> None:
+        """Charge ``nbytes`` to ``category`` and update the peak."""
+        if nbytes < 0:
+            raise CapacityError(f"cannot allocate negative bytes: {nbytes}")
+        self.current_by_category[category] = (
+            self.current_by_category.get(category, 0) + nbytes
+        )
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    def free(self, category: str, nbytes: int) -> None:
+        """Release ``nbytes`` previously charged to ``category``."""
+        have = self.current_by_category.get(category, 0)
+        if nbytes < 0 or nbytes > have:
+            raise CapacityError(
+                f"cannot free {nbytes} bytes from category {category!r} "
+                f"holding {have}"
+            )
+        self.current_by_category[category] = have - nbytes
+
+    def free_all(self, category: str) -> None:
+        """Release everything charged to ``category``."""
+        self.current_by_category[category] = 0
+
+    def allocate_array(self, category: str, arr: np.ndarray) -> None:
+        """Charge the exact byte size of a numpy array."""
+        self.allocate(category, int(arr.nbytes))
+
+    def free_array(self, category: str, arr: np.ndarray) -> None:
+        """Release the exact byte size of a numpy array."""
+        self.free(category, int(arr.nbytes))
+
+    def observe(self, category: str, nbytes: int) -> None:
+        """Set ``category`` to an absolute level (allocate-or-free to it).
+
+        Convenient for structures whose size fluctuates (tree node counts):
+        callers report the current size and the ledger adjusts the delta.
+        """
+        have = self.current_by_category.get(category, 0)
+        if nbytes >= have:
+            self.allocate(category, nbytes - have)
+        else:
+            self.free(category, have - nbytes)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Immutable copy of the per-category byte counts."""
+        return dict(self.current_by_category)
+
+    def reset(self) -> None:
+        """Clear all charges and the recorded peak."""
+        self.current_by_category.clear()
+        self.peak_bytes = 0
+
+
+def measure_tracemalloc(fn: Callable[[], Any]) -> Tuple[Any, int]:
+    """Run ``fn`` and return ``(result, peak_bytes)`` via tracemalloc.
+
+    Nested use is supported: if tracing is already active, the surrounding
+    trace is left running and the inner peak is measured relative to the
+    current allocation level.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, max(0, peak - baseline)
+
+
+def format_bytes(nbytes: int) -> str:
+    """Human-readable MiB/GiB formatting used in benchmark tables.
+
+    >>> format_bytes(3 * 1024 * 1024)
+    '3.00 MiB'
+    """
+    if nbytes < 0:
+        raise CapacityError(f"negative byte count: {nbytes}")
+    mib = nbytes / (1024.0 * 1024.0)
+    if mib >= 1024.0:
+        return f"{mib / 1024.0:.2f} GiB"
+    if mib >= 1.0:
+        return f"{mib:.2f} MiB"
+    return f"{nbytes / 1024.0:.2f} KiB"

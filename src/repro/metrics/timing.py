@@ -1,0 +1,69 @@
+"""Wall-clock timing helpers for the benchmark harness.
+
+``pytest-benchmark`` drives the statistically careful measurements; these
+helpers cover the harness's own bookkeeping (per-phase breakdowns, repeated
+medians for table rows printed outside pytest-benchmark's control).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Used by algorithms that expose a pre-process / distance / post-process
+    breakdown (Section 3 decomposes the problem into exactly those phases).
+    """
+
+    seconds_by_phase: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one phase; repeated names accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds_by_phase[name] = (
+                self.seconds_by_phase.get(name, 0.0) + elapsed
+            )
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self.seconds_by_phase.values())
+
+    def reset(self) -> None:
+        """Forget all recorded phases."""
+        self.seconds_by_phase.clear()
+
+
+def time_call(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` once, returning ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def median_time(fn: Callable[[], Any], repeats: int = 3) -> Tuple[Any, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, median seconds).
+
+    ``repeats`` must be >= 1.  The median is robust to one-off warmup or
+    GC pauses, which matters when timing sub-100ms table rows.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    times: List[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        result, elapsed = time_call(fn)
+        times.append(elapsed)
+    return result, statistics.median(times)

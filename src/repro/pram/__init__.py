@@ -1,0 +1,41 @@
+"""CREW PRAM cost model: work/span tracing, primitives, speedup prediction."""
+
+from .model import SpeedupCurve, predicted_time, self_relative_speedup
+from .primitives import (
+    cluster_op,
+    cluster_sum,
+    cluster_sum_vectorized,
+    prefix_scan,
+    sequence_compression,
+    theoretical_span_prefix_sum,
+)
+from .scheduler import ZERO_COST, Cost, WorkSpanTracer, parallel, serial
+from .simulator import (
+    greedy_makespan,
+    level_span,
+    level_work,
+    lpt_makespan,
+    verify_graham_bound,
+)
+
+__all__ = [
+    "SpeedupCurve",
+    "predicted_time",
+    "self_relative_speedup",
+    "cluster_op",
+    "cluster_sum",
+    "cluster_sum_vectorized",
+    "prefix_scan",
+    "sequence_compression",
+    "theoretical_span_prefix_sum",
+    "ZERO_COST",
+    "Cost",
+    "WorkSpanTracer",
+    "parallel",
+    "serial",
+    "greedy_makespan",
+    "level_span",
+    "level_work",
+    "lpt_makespan",
+    "verify_graham_bound",
+]

@@ -1,0 +1,60 @@
+"""Speedup prediction from (work, span) under greedy scheduling.
+
+Brent's bound: a greedy scheduler executes a computation of work ``W`` and
+span ``S`` on ``p`` processors in time ``T_p <= W/p + S``.  Figure 2 of the
+paper plots *self-relative speedup* ``T_1 / T_p``; on this one-core
+reproduction machine we evaluate the same quantity under the model (the
+substitution recorded in DESIGN.md), using work/span measured by the
+:class:`~repro.pram.scheduler.WorkSpanTracer` on real runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SchedulerError
+from .scheduler import Cost
+
+
+def predicted_time(cost: Cost, processors: int) -> float:
+    """Greedy-scheduler running time ``W/p + S`` (Brent)."""
+    if processors < 1:
+        raise SchedulerError(f"processors must be >= 1, got {processors}")
+    return cost.work / processors + cost.span
+
+
+def self_relative_speedup(cost: Cost, processors: int) -> float:
+    """``T_1 / T_p`` under the greedy bound.
+
+    ``T_1`` is taken as ``work`` (a single processor executes all work
+    serially), so speedup = W / (W/p + S), which saturates at the
+    parallelism W/S as p grows — the effect visible in Figure 2 where
+    basic IAF tops out near its Θ(log n) parallelism.
+    """
+    return cost.work / predicted_time(cost, processors)
+
+
+@dataclass(frozen=True)
+class SpeedupCurve:
+    """A (processors, speedup) series for one algorithm, Figure-2 style."""
+
+    algorithm: str
+    processors: tuple
+    speedups: tuple
+
+    @staticmethod
+    def from_cost(
+        algorithm: str, cost: Cost, processors: Sequence[int]
+    ) -> "SpeedupCurve":
+        """Evaluate the Brent-bound speedup at each processor count."""
+        procs = tuple(int(p) for p in processors)
+        return SpeedupCurve(
+            algorithm=algorithm,
+            processors=procs,
+            speedups=tuple(self_relative_speedup(cost, p) for p in procs),
+        )
+
+    def saturation(self) -> float:
+        """The parallelism ceiling this curve approaches (work/span)."""
+        return float("inf") if not self.speedups else max(self.speedups)

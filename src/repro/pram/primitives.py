@@ -1,0 +1,160 @@
+"""CREW PRAM primitives used by PARALLEL-INCREMENT-AND-FREEZE (Section 6).
+
+Three building blocks, each with work O(m) and span O(log m) in the model:
+
+* :func:`prefix_scan` — generic parallel prefix sum over any associative
+  operator (Blelloch-style up/down sweep; the recursion here mirrors the
+  textbook circuit so that the charged span is honest).
+* :func:`sequence_compression` — remove "holes" from a sequence using a
+  prefix sum of null indicators (the paper's "sequence compression").
+* :func:`cluster_sum` — Lemma 6.1: for pairs (1, 0) / (0, k_i), compute
+  for every position the sum of ``k_j`` over the maximal trailing run of
+  zero-flagged pairs.  Both a generic scan-based version (charged to a
+  tracer) and a vectorized numpy version are provided; tests verify they
+  agree and that the operator is associative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from .scheduler import WorkSpanTracer
+
+T = TypeVar("T")
+Pair = Tuple[int, int]
+
+
+def prefix_scan(
+    items: Sequence[T],
+    op: Callable[[T, T], T],
+    *,
+    tracer: Optional[WorkSpanTracer] = None,
+) -> List[T]:
+    """Inclusive prefix scan ``b_i = a_1 ∘ … ∘ a_i`` for associative ``op``.
+
+    Implemented as the classic two-sweep parallel circuit: pairwise
+    combine (up-sweep), recurse on the half-length sequence, then expand
+    (down-sweep).  Work O(m), span O(log m) — charged to ``tracer`` if
+    given.
+    """
+    m = len(items)
+    if m == 0:
+        return []
+    if m == 1:
+        if tracer is not None:
+            tracer.add(1, 1)
+        return [items[0]]
+    # Up-sweep: combine adjacent pairs (all in parallel -> span 1, work m/2).
+    if tracer is not None:
+        tracer.add(m // 2, 1)
+    paired: List[T] = [
+        op(items[2 * i], items[2 * i + 1]) for i in range(m // 2)
+    ]
+    if m % 2:
+        paired.append(items[-1])
+    partial = prefix_scan(paired, op, tracer=tracer)
+    # Down-sweep: fill odd positions (parallel again).
+    if tracer is not None:
+        tracer.add(m // 2, 1)
+    out: List[T] = [items[0]] * m
+    for i in range(m):
+        if i == 0:
+            out[0] = items[0]
+        elif i % 2 == 1:
+            out[i] = partial[i // 2]
+        else:
+            out[i] = op(partial[i // 2 - 1], items[i])
+    return out
+
+
+def sequence_compression(
+    values: Sequence[T],
+    is_null: Sequence[bool],
+    *,
+    tracer: Optional[WorkSpanTracer] = None,
+) -> List[T]:
+    """Keep the non-null values, preserving order.
+
+    Performed the PRAM way: prefix-sum the null indicators to compute each
+    survivor's output slot, then scatter.  Work O(m), span O(log m).
+    """
+    m = len(values)
+    if m != len(is_null):
+        raise ValueError("values and is_null must have equal length")
+    if m == 0:
+        return []
+    flags = [0 if null else 1 for null in is_null]
+    slots = prefix_scan(flags, lambda a, b: a + b, tracer=tracer)
+    out: List[T] = [values[0]] * slots[-1] if slots[-1] else []
+    if tracer is not None:
+        tracer.add(m, 1)
+    for i in range(m):
+        if not is_null[i]:
+            out[slots[i] - 1] = values[i]
+    return out
+
+
+def cluster_op(left: Pair, right: Pair) -> Pair:
+    """The associative ``∘`` of Lemma 6.1 on pairs (flag, value).
+
+    ``(a, b) ∘ (c, d)`` is ``(c, d)`` when ``c == 1`` (a flagged pair
+    resets the running cluster), else ``(a, b + d)``.
+    """
+    a, b = left
+    c, d = right
+    if c == 1:
+        return (c, d)
+    return (a, b + d)
+
+
+def cluster_sum(
+    pairs: Sequence[Pair],
+    *,
+    tracer: Optional[WorkSpanTracer] = None,
+) -> List[int]:
+    """Lemma 6.1 via a prefix scan of :func:`cluster_op`.
+
+    ``pairs[i]`` must be ``(1, 0)`` or ``(0, k_i)``.  Returns the second
+    coordinate of each prefix combination: the sum of ``k_j`` over the
+    maximal run of zero-flagged pairs ending at ``i`` (0 at flagged
+    positions).
+    """
+    for i, (a, b) in enumerate(pairs):
+        if a not in (0, 1) or (a == 1 and b != 0):
+            raise ValueError(f"pair {i} is {(a, b)}; must be (1,0) or (0,k)")
+    scanned = prefix_scan(list(pairs), cluster_op, tracer=tracer)
+    return [y for (_x, y) in scanned]
+
+
+def cluster_sum_vectorized(
+    flags: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Vectorized Lemma 6.1: numpy equivalent of :func:`cluster_sum`.
+
+    ``flags`` is 0/1 (1 resets the cluster and must carry value 0);
+    returns the trailing-run sums.  O(m) numpy work — this is the form the
+    production engine uses for its segmented merges.
+    """
+    flags = np.asarray(flags)
+    values = np.asarray(values)
+    if flags.shape != values.shape or flags.ndim != 1:
+        raise ValueError("flags and values must be equal-length 1-D arrays")
+    m = flags.size
+    if m == 0:
+        return np.zeros(0, dtype=values.dtype)
+    csum = np.cumsum(values)
+    positions = np.arange(m)
+    # Index of the most recent flagged position at or before i (-1 if none).
+    last_flag = np.maximum.accumulate(np.where(flags == 1, positions, -1))
+    base = np.where(last_flag >= 0, csum[np.maximum(last_flag, 0)], 0)
+    return csum - base
+
+
+def theoretical_span_prefix_sum(m: int) -> float:
+    """Span of an m-item parallel prefix sum: O(log m) (2·ceil(log2 m) here)."""
+    if m <= 1:
+        return float(m)
+    return 2.0 * math.ceil(math.log2(m))

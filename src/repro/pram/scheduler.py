@@ -1,0 +1,164 @@
+"""Fork-join work/span tracer for the CREW PRAM cost model.
+
+The paper's parallelism results (Theorems 4.3, 6.2, 7.4) are statements
+about *work* (total operations) and *span* (critical-path length).  This
+tracer lets an instrumented algorithm record both compositionally:
+
+* ``add(w)`` charges ``w`` units of serial work (work += w, span += w).
+* ``fork()`` opens a parallel region; each ``spawn()`` inside it is a
+  branch.  When the region closes, the region contributes the *sum* of
+  branch works to work and the *max* of branch spans to span.
+
+Regions nest arbitrarily (a branch may itself fork), which is exactly the
+fork-join subset of CREW PRAM that Section 3 says all the paper's
+algorithms fit in.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An immutable (work, span) pair with serial/parallel composition."""
+
+    work: float
+    span: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or self.span < 0:
+            raise SchedulerError(f"negative cost: {self}")
+        if self.span > self.work:
+            raise SchedulerError(
+                f"span cannot exceed work: work={self.work} span={self.span}"
+            )
+
+    @property
+    def parallelism(self) -> float:
+        """work / span — the scaling limit (infinite if span is 0)."""
+        return float("inf") if self.span == 0 else self.work / self.span
+
+    def then(self, other: "Cost") -> "Cost":
+        """Serial composition: works add, spans add."""
+        return Cost(self.work + other.work, self.span + other.span)
+
+    def beside(self, other: "Cost") -> "Cost":
+        """Parallel composition: works add, spans take the max."""
+        return Cost(self.work + other.work, max(self.span, other.span))
+
+
+ZERO_COST = Cost(0.0, 0.0)
+
+
+def serial(*costs: Cost) -> Cost:
+    """Serial composition of any number of costs."""
+    total = ZERO_COST
+    for c in costs:
+        total = total.then(c)
+    return total
+
+
+def parallel(*costs: Cost) -> Cost:
+    """Parallel composition of any number of costs."""
+    total = ZERO_COST
+    for c in costs:
+        total = total.beside(c)
+    return total
+
+
+class _Frame:
+    """One serial execution context: accumulated work and span so far."""
+
+    __slots__ = ("work", "span")
+
+    def __init__(self) -> None:
+        self.work = 0.0
+        self.span = 0.0
+
+
+class WorkSpanTracer:
+    """Imperative fork-join tracer.
+
+    Example::
+
+        t = WorkSpanTracer()
+        t.add(n)                      # serial O(n) step
+        with t.fork() as region:
+            with region.spawn():
+                t.add(n / 2)          # left branch
+            with region.spawn():
+                t.add(n / 2)          # right branch
+        # t.cost() == Cost(work=2n, span=n + n/2)
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[_Frame] = [_Frame()]
+        self._region_depth = 0
+
+    def add(self, work: float, span: float | None = None) -> None:
+        """Charge serial work (span defaults to the same amount)."""
+        if work < 0:
+            raise SchedulerError(f"negative work: {work}")
+        s = work if span is None else span
+        if s < 0 or s > work:
+            raise SchedulerError(f"invalid span {s} for work {work}")
+        frame = self._stack[-1]
+        frame.work += work
+        frame.span += s
+
+    @contextmanager
+    def fork(self) -> Iterator["_Region"]:
+        """Open a parallel region; use ``region.spawn()`` for each branch."""
+        region = _Region(self)
+        self._region_depth += 1
+        try:
+            yield region
+        finally:
+            self._region_depth -= 1
+            region._open = False
+            frame = self._stack[-1]
+            frame.work += region.total_work
+            frame.span += region.max_span
+
+    def cost(self) -> Cost:
+        """The cost accumulated on the root frame so far."""
+        if len(self._stack) != 1:
+            raise SchedulerError("cost() called with open spawn branches")
+        root = self._stack[0]
+        return Cost(root.work, root.span)
+
+    def reset(self) -> None:
+        """Discard everything recorded so far."""
+        self._stack = [_Frame()]
+        self._region_depth = 0
+
+
+class _Region:
+    """Bookkeeping for one fork region: sums works, maxes spans."""
+
+    def __init__(self, tracer: WorkSpanTracer) -> None:
+        self._tracer = tracer
+        self.total_work = 0.0
+        self.max_span = 0.0
+        self._open = True
+
+    @contextmanager
+    def spawn(self) -> Iterator[None]:
+        """One parallel branch of the region."""
+        if not self._open:
+            raise SchedulerError("spawn() on a closed fork region")
+        frame = _Frame()
+        self._tracer._stack.append(frame)
+        try:
+            yield
+        finally:
+            popped = self._tracer._stack.pop()
+            if popped is not frame:
+                raise SchedulerError("mismatched fork/spawn nesting")
+            self.total_work += frame.work
+            self.max_span = max(self.max_span, frame.span)

@@ -1,0 +1,50 @@
+"""Workload substrate: synthetic generators, the Table-1 catalog, trace IO."""
+
+from .catalog import (
+    CATALOG,
+    DISTRIBUTIONS,
+    SIZES,
+    ZIPF_ALPHAS,
+    WorkloadSpec,
+    catalog_table,
+    get_workload,
+)
+from .cdn import CdnTraceSpec, cdn_trace, simple_cdn_trace
+from .stats import TraceStats, frequency_profile, trace_stats, unique_prefix_counts
+from .synthetic import (
+    mixture_trace,
+    sequential_scan_trace,
+    stack_depth_trace,
+    uniform_trace,
+    working_set_trace,
+    zipfian_trace,
+)
+from .traceio import mmap_trace, read_trace, stream_trace, trace_info, write_trace
+
+__all__ = [
+    "CATALOG",
+    "DISTRIBUTIONS",
+    "SIZES",
+    "ZIPF_ALPHAS",
+    "WorkloadSpec",
+    "catalog_table",
+    "get_workload",
+    "CdnTraceSpec",
+    "cdn_trace",
+    "simple_cdn_trace",
+    "TraceStats",
+    "frequency_profile",
+    "trace_stats",
+    "unique_prefix_counts",
+    "mixture_trace",
+    "sequential_scan_trace",
+    "stack_depth_trace",
+    "uniform_trace",
+    "working_set_trace",
+    "zipfian_trace",
+    "mmap_trace",
+    "read_trace",
+    "stream_trace",
+    "trace_info",
+    "write_trace",
+]

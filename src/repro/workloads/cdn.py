@@ -1,0 +1,130 @@
+"""CDN-flavoured synthetic workloads.
+
+The paper's motivating deployment is a content-distribution cache, whose
+traffic differs from a stationary Zipf draw in two ways this module
+models:
+
+* **Popularity churn** — what is hot changes over time.  Time is cut
+  into epochs; each epoch migrates a fraction of the popularity ranks
+  (new releases displace old hits), so the *distribution shape* is
+  stable while its support drifts.  This is exactly the regime where
+  windowed curves (Section 7) earn their keep.
+* **Catalog growth** — genuinely new objects keep arriving (compulsory
+  misses never stop).  A fraction of each epoch's requests goes to
+  never-seen-before addresses.
+
+Everything is deterministic under ``seed`` and returns plain traces, so
+the generator composes with every algorithm and simulator in the
+package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._typing import DEFAULT_DTYPE, validate_dtype
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class CdnTraceSpec:
+    """Parameters of one CDN-like trace."""
+
+    requests: int
+    catalog: int
+    alpha: float = 0.8
+    epochs: int = 8
+    churn_fraction: float = 0.2
+    new_object_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.requests < 0:
+            raise WorkloadError(f"requests must be >= 0, got {self.requests}")
+        if self.catalog < 1:
+            raise WorkloadError(f"catalog must be >= 1, got {self.catalog}")
+        if self.alpha < 0:
+            raise WorkloadError(f"alpha must be >= 0, got {self.alpha}")
+        if self.epochs < 1:
+            raise WorkloadError(f"epochs must be >= 1, got {self.epochs}")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise WorkloadError("churn_fraction must be in [0, 1]")
+        if not 0.0 <= self.new_object_fraction <= 1.0:
+            raise WorkloadError("new_object_fraction must be in [0, 1]")
+
+
+def cdn_trace(
+    spec: CdnTraceSpec,
+    *,
+    seed: Optional[int] = None,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Materialize a trace from ``spec``.
+
+    Rank ``r`` receives probability ∝ ``(r+1)^-alpha``; the rank→address
+    assignment starts as the identity over ``[0, catalog)`` and each
+    epoch reassigns ``churn_fraction`` of the *top half* of the ranks to
+    fresh addresses (the realistic direction of churn: new content
+    enters hot, old content decays into the tail).  Additionally each
+    request is, with probability ``new_object_fraction``, a one-off
+    access to a brand-new address.
+    """
+    dt = validate_dtype(dtype)
+    rng = np.random.default_rng(seed)
+    n, u = spec.requests, spec.catalog
+    if n == 0:
+        return np.zeros(0, dtype=dt)
+
+    weights = (np.arange(1, u + 1, dtype=np.float64)) ** (-spec.alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+
+    rank_to_addr = np.arange(u, dtype=np.int64)
+    next_fresh = u  # addresses above the catalog are "new content"
+
+    out = np.empty(n, dtype=np.int64)
+    bounds = np.linspace(0, n, spec.epochs + 1).astype(np.int64)
+    for e in range(spec.epochs):
+        lo, hi = int(bounds[e]), int(bounds[e + 1])
+        if e > 0 and spec.churn_fraction > 0:
+            hot = max(1, u // 2)
+            k = int(round(spec.churn_fraction * hot))
+            if k:
+                which = rng.choice(hot, size=k, replace=False)
+                rank_to_addr[which] = np.arange(
+                    next_fresh, next_fresh + k, dtype=np.int64
+                )
+                next_fresh += k
+        count = hi - lo
+        ranks = np.searchsorted(cdf, rng.random(count), side="left")
+        epoch_trace = rank_to_addr[ranks]
+        fresh_mask = rng.random(count) < spec.new_object_fraction
+        n_fresh = int(fresh_mask.sum())
+        if n_fresh:
+            epoch_trace = epoch_trace.copy()
+            epoch_trace[fresh_mask] = np.arange(
+                next_fresh, next_fresh + n_fresh, dtype=np.int64
+            )
+            next_fresh += n_fresh
+        out[lo:hi] = epoch_trace
+    if int(out.max()) > np.iinfo(dt).max:
+        raise WorkloadError(f"trace addresses overflow dtype {dt}")
+    return out.astype(dt)
+
+
+def simple_cdn_trace(
+    requests: int,
+    catalog: int,
+    *,
+    alpha: float = 0.8,
+    seed: Optional[int] = None,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Convenience wrapper with default churn parameters."""
+    return cdn_trace(
+        CdnTraceSpec(requests=requests, catalog=catalog, alpha=alpha),
+        seed=seed,
+        dtype=dtype,
+    )

@@ -1,0 +1,91 @@
+"""Trace statistics: the quantities Table 1 and Section 9 reason about.
+
+``n`` (requests), ``u`` (distinct ids), requests-per-id, per-address
+frequency profiles, and compulsory-miss counts.  These are cheap,
+vectorized, and used both by benchmarks (to print catalog rows) and by the
+memory model (tree baselines scale with ``u``, IAF with ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary of one trace."""
+
+    n: int
+    unique_ids: int
+    requests_per_id: float
+    max_frequency: int
+    compulsory_misses: int
+
+    @property
+    def best_possible_hit_rate(self) -> float:
+        """Hit rate of an infinite cache: 1 - u/n (first touches always miss)."""
+        return 0.0 if self.n == 0 else 1.0 - self.unique_ids / self.n
+
+
+def trace_stats(trace: TraceLike) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace`` in O(n log n)."""
+    arr = as_trace(trace)
+    if arr.size == 0:
+        return TraceStats(0, 0, 0.0, 0, 0)
+    _, counts = np.unique(arr, return_counts=True)
+    u = int(counts.size)
+    return TraceStats(
+        n=int(arr.size),
+        unique_ids=u,
+        requests_per_id=arr.size / u,
+        max_frequency=int(counts.max()),
+        compulsory_misses=u,
+    )
+
+
+def frequency_profile(trace: TraceLike, buckets: int = 10) -> Dict[str, int]:
+    """Histogram of per-address access counts in log-spaced buckets.
+
+    Returns a mapping like ``{"1": 412, "2-3": 96, "4-7": 11, ...}`` —
+    handy for eyeballing how skewed a Zipfian trace actually came out.
+    """
+    arr = as_trace(trace)
+    if arr.size == 0:
+        return {}
+    _, counts = np.unique(arr, return_counts=True)
+    out: Dict[str, int] = {}
+    lo = 1
+    for _ in range(buckets):
+        hi = lo * 2 - 1
+        mask = (counts >= lo) & (counts <= hi)
+        label = str(lo) if lo == hi else f"{lo}-{hi}"
+        if mask.any():
+            out[label] = int(mask.sum())
+        if hi >= counts.max():
+            break
+        lo = hi + 1
+    return out
+
+
+def unique_prefix_counts(trace: TraceLike) -> np.ndarray:
+    """``out[i]`` = number of distinct addresses in ``trace[: i + 1]``.
+
+    Vectorized working-set growth curve; the value at the end equals ``u``.
+    """
+    arr = as_trace(trace)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    # First occurrence positions: stable sort by address, mark run heads.
+    order = np.argsort(arr, kind="stable")
+    sorted_vals = arr[order]
+    is_head = np.empty(arr.size, dtype=bool)
+    is_head[0] = True
+    np.not_equal(sorted_vals[1:], sorted_vals[:-1], out=is_head[1:])
+    first_seen = np.zeros(arr.size, dtype=np.int64)
+    first_seen[order] = is_head
+    return np.cumsum(first_seen)

@@ -1,0 +1,198 @@
+"""Synthetic trace generators.
+
+The paper evaluates on synthetic traces drawn from a uniform distribution
+and from Zipfian distributions with skew ``alpha`` in {0.1, 0.2, 0.4, 0.6,
+0.8} (Section 9.1).  This module reproduces those generators, plus a
+handful of structured workloads (scans, phased working sets, mixtures)
+used by the examples and the windowed-curve experiments.
+
+All generators are deterministic given a ``seed`` and return contiguous
+integer numpy arrays suitable for every algorithm in :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._typing import DEFAULT_DTYPE, validate_dtype
+from ..errors import WorkloadError
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _check_sizes(n: int, universe: int) -> None:
+    if n < 0:
+        raise WorkloadError(f"trace length must be >= 0, got {n}")
+    if universe < 1:
+        raise WorkloadError(f"universe size must be >= 1, got {universe}")
+
+
+def uniform_trace(
+    n: int,
+    universe: int,
+    *,
+    seed: Optional[int] = None,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Trace of ``n`` accesses drawn uniformly from ``[0, universe)``."""
+    _check_sizes(n, universe)
+    dt = validate_dtype(dtype)
+    return _rng(seed).integers(0, universe, size=n, dtype=dt)
+
+
+def zipfian_trace(
+    n: int,
+    universe: int,
+    alpha: float,
+    *,
+    seed: Optional[int] = None,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Trace of ``n`` accesses from a Zipf(``alpha``) law over ``universe`` ids.
+
+    Address ``i`` (0-based rank) has probability proportional to
+    ``(i + 1) ** -alpha``.  ``alpha = 0`` degenerates to the uniform
+    distribution; the paper uses alpha in [0.1, 0.8], where the harmonic
+    normalizer is finite for any finite universe.
+
+    Sampling is done by inverse-transform against the exact CDF, which is
+    O(universe) setup and O(n log universe) sampling — deterministic and
+    exact, unlike rejection methods.
+    """
+    _check_sizes(n, universe)
+    if alpha < 0:
+        raise WorkloadError(f"zipf alpha must be >= 0, got {alpha}")
+    dt = validate_dtype(dtype)
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks ** (-float(alpha))
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    points = _rng(seed).random(n)
+    # searchsorted returns the rank index (0-based address).
+    return np.searchsorted(cdf, points, side="left").astype(dt)
+
+
+def sequential_scan_trace(
+    n: int,
+    universe: int,
+    *,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Cyclic sequential scan: 0,1,...,u-1,0,1,...  The LRU worst case.
+
+    Every access to a previously seen address has stack distance exactly
+    ``universe``, so the hit-rate curve is a step function: 0 below
+    ``universe``, and ``(n - universe) / n`` at and above it.
+    """
+    _check_sizes(n, universe)
+    dt = validate_dtype(dtype)
+    return (np.arange(n, dtype=np.int64) % universe).astype(dt)
+
+
+def working_set_trace(
+    n: int,
+    universe: int,
+    *,
+    phases: int = 4,
+    working_set_size: Optional[int] = None,
+    seed: Optional[int] = None,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Phased workload: each phase accesses a disjoint working set uniformly.
+
+    Models the "the answers change over time" motivation from the paper's
+    introduction — the per-window hit-rate curves produced by
+    BOUNDED-INCREMENT-AND-FREEZE differ sharply across phases while the
+    whole-trace curve blurs them together.
+
+    ``working_set_size`` defaults to ``universe // phases`` (disjoint
+    sets); phases wrap around the universe if a larger size is requested.
+    """
+    _check_sizes(n, universe)
+    if phases < 1:
+        raise WorkloadError(f"phases must be >= 1, got {phases}")
+    wss = universe // phases if working_set_size is None else working_set_size
+    if wss < 1 or wss > universe:
+        raise WorkloadError(
+            f"working_set_size must be in [1, {universe}], got {wss}"
+        )
+    dt = validate_dtype(dtype)
+    rng = _rng(seed)
+    out = np.empty(n, dtype=dt)
+    bounds = np.linspace(0, n, phases + 1).astype(np.int64)
+    for p in range(phases):
+        lo, hi = int(bounds[p]), int(bounds[p + 1])
+        base = (p * wss) % universe
+        offsets = rng.integers(0, wss, size=hi - lo, dtype=np.int64)
+        out[lo:hi] = ((base + offsets) % universe).astype(dt)
+    return out
+
+
+def mixture_trace(
+    parts: Sequence[np.ndarray],
+    *,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Interleave several traces by a random round-robin shuffle of origin.
+
+    Each input trace is consumed in order; which trace supplies the next
+    access is chosen uniformly.  Address spaces are assumed pre-disjoint
+    (callers offset them); this helper does not remap.
+    """
+    parts = [np.asarray(p) for p in parts]
+    if not parts:
+        raise WorkloadError("mixture_trace requires at least one part")
+    if any(p.ndim != 1 for p in parts):
+        raise WorkloadError("all mixture parts must be 1-D traces")
+    total = sum(p.size for p in parts)
+    if total == 0:
+        return np.empty(0, dtype=parts[0].dtype)
+    origin = np.repeat(np.arange(len(parts)), [p.size for p in parts])
+    _rng(seed).shuffle(origin)
+    out = np.empty(total, dtype=np.result_type(*[p.dtype for p in parts]))
+    for idx, part in enumerate(parts):
+        out[origin == idx] = part
+    return out
+
+
+def stack_depth_trace(
+    n: int,
+    depths: Sequence[int],
+    *,
+    seed: Optional[int] = None,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Generate a trace whose accesses have (approximately) given stack depths.
+
+    Classic LRU-stack-model generator: maintain an explicit LRU stack;
+    each access picks a depth from ``depths`` uniformly at random and
+    touches the element at that depth (promoting it to the front), or a
+    brand-new address when the chosen depth exceeds the current stack.
+    Useful for constructing traces whose hit-rate curve has known knees.
+    """
+    _check_sizes(n, 1)
+    depths_arr = np.asarray(list(depths), dtype=np.int64)
+    if depths_arr.size == 0:
+        raise WorkloadError("depths must be non-empty")
+    if (depths_arr < 1).any():
+        raise WorkloadError("stack depths must be >= 1")
+    dt = validate_dtype(dtype)
+    rng = _rng(seed)
+    stack: list[int] = []
+    next_addr = 0
+    out = np.empty(n, dtype=dt)
+    choices = rng.integers(0, depths_arr.size, size=n)
+    for i in range(n):
+        depth = int(depths_arr[choices[i]])
+        if depth > len(stack):
+            addr = next_addr
+            next_addr += 1
+        else:
+            addr = stack.pop(depth - 1)
+        stack.insert(0, addr)
+        out[i] = addr
+    return out

@@ -1,0 +1,102 @@
+"""Binary trace file format with streaming access.
+
+Large production traces do not fit in memory; the paper's external-memory
+variants (Section 5) assume the trace streams from disk.  This module
+defines a small self-describing binary format:
+
+``REPROTRC`` magic (8 bytes) | version u32 | dtype code u32 | n u64 |
+raw little-endian address payload.
+
+Readers can load the whole trace, stream fixed-size chunks (the access
+pattern of BOUNDED-INCREMENT-AND-FREEZE), or memory-map the payload.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterator, Union
+
+import numpy as np
+
+from .._typing import validate_dtype
+from ..errors import TraceFileError
+
+MAGIC = b"REPROTRC"
+VERSION = 1
+_HEADER = struct.Struct("<8sII Q")  # magic, version, dtype code, n
+
+_DTYPE_CODES = {np.dtype(np.int32): 4, np.dtype(np.int64): 8}
+_CODE_DTYPES = {v: k for k, v in _DTYPE_CODES.items()}
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_trace(path: PathLike, trace: np.ndarray) -> None:
+    """Write ``trace`` to ``path`` in the REPROTRC format."""
+    arr = np.ascontiguousarray(trace)
+    dt = validate_dtype(arr.dtype)
+    header = _HEADER.pack(MAGIC, VERSION, _DTYPE_CODES[dt], arr.size)
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(arr.astype(dt.newbyteorder("<"), copy=False).tobytes())
+
+
+def _read_header(fh) -> tuple[np.dtype, int]:
+    raw = fh.read(_HEADER.size)
+    if len(raw) != _HEADER.size:
+        raise TraceFileError("trace file truncated in header")
+    magic, version, code, n = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise TraceFileError(f"bad magic {magic!r}; not a REPROTRC file")
+    if version != VERSION:
+        raise TraceFileError(f"unsupported trace file version {version}")
+    if code not in _CODE_DTYPES:
+        raise TraceFileError(f"unknown dtype code {code}")
+    return _CODE_DTYPES[code], n
+
+
+def trace_info(path: PathLike) -> tuple[np.dtype, int]:
+    """Return ``(dtype, length)`` from a trace file header."""
+    with open(path, "rb") as fh:
+        return _read_header(fh)
+
+
+def read_trace(path: PathLike) -> np.ndarray:
+    """Load an entire trace file into memory."""
+    with open(path, "rb") as fh:
+        dt, n = _read_header(fh)
+        payload = fh.read(n * dt.itemsize)
+        if len(payload) != n * dt.itemsize:
+            raise TraceFileError(
+                f"trace file truncated: expected {n} items, payload short"
+            )
+        return np.frombuffer(payload, dtype=dt.newbyteorder("<")).astype(dt)
+
+
+def stream_trace(path: PathLike, chunk_len: int) -> Iterator[np.ndarray]:
+    """Yield the trace in chunks of at most ``chunk_len`` accesses.
+
+    This is the exact access pattern of BOUNDED-INCREMENT-AND-FREEZE: the
+    algorithm needs only O(k) state, so the trace never has to be resident.
+    """
+    if chunk_len < 1:
+        raise TraceFileError(f"chunk_len must be >= 1, got {chunk_len}")
+    with open(path, "rb") as fh:
+        dt, n = _read_header(fh)
+        remaining = n
+        while remaining > 0:
+            take = min(chunk_len, remaining)
+            payload = fh.read(take * dt.itemsize)
+            if len(payload) != take * dt.itemsize:
+                raise TraceFileError("trace file truncated mid-stream")
+            yield np.frombuffer(payload, dtype=dt.newbyteorder("<")).astype(dt)
+            remaining -= take
+
+
+def mmap_trace(path: PathLike) -> np.ndarray:
+    """Memory-map the trace payload (read-only view, zero copy)."""
+    dt, n = trace_info(path)
+    return np.memmap(
+        path, dtype=dt.newbyteorder("<"), mode="r", offset=_HEADER.size, shape=(n,)
+    )

@@ -1,0 +1,122 @@
+"""Tests for curve-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curves import (
+    CurveSummary,
+    curve_max_abs_error,
+    knee_points,
+    marginal_hit_rate,
+    smallest_cache_for_hit_rate,
+)
+from repro.core.hitrate import HitRateCurve
+from repro.errors import ReproError
+
+
+def _curve(counts, total):
+    return HitRateCurve(np.asarray(counts, dtype=np.int64), total)
+
+
+class TestMaxAbsError:
+    def test_identical_curves(self):
+        c = _curve([1, 5], 10)
+        assert curve_max_abs_error(c, c) == 0.0
+
+    def test_padded_comparison(self):
+        a = _curve([5], 10)
+        b = _curve([5, 7], 10)
+        assert curve_max_abs_error(a, b) == pytest.approx(0.2)
+
+    def test_mismatched_totals_rejected(self):
+        with pytest.raises(ReproError):
+            curve_max_abs_error(_curve([1], 10), _curve([1], 20))
+
+
+class TestKnees:
+    def test_detects_jump(self):
+        # size 3 gains 0.5 at once.
+        c = _curve([0, 0, 5, 5], 10)
+        assert knee_points(c, min_gain=0.2).tolist() == [3]
+
+    def test_no_knees_on_flat_curve(self):
+        c = _curve([0, 0, 0], 10)
+        assert knee_points(c).size == 0
+
+
+class TestTargets:
+    def test_smallest_cache_for_target(self):
+        c = _curve([1, 4, 8], 10)
+        assert smallest_cache_for_hit_rate(c, 0.4) == 2
+        assert smallest_cache_for_hit_rate(c, 0.8) == 3
+        assert smallest_cache_for_hit_rate(c, 0.9) is None
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ReproError):
+            smallest_cache_for_hit_rate(_curve([1], 10), 1.5)
+
+    def test_marginal_gain(self):
+        c = _curve([2, 4, 8], 10)
+        assert marginal_hit_rate(c, 1, 2) == pytest.approx(0.6)
+        with pytest.raises(ReproError):
+            marginal_hit_rate(c, 1, -1)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        c = _curve([2, 4, 8], 10)
+        s = CurveSummary.of(c)
+        assert s.total_accesses == 10
+        assert s.max_size == 3
+        assert s.final_hit_rate == pytest.approx(0.8)
+        assert s.half_rate_size == 2  # first size with rate >= 0.4
+
+    def test_summary_of_empty(self):
+        s = CurveSummary.of(_curve([], 0))
+        assert s.final_hit_rate == 0.0 and s.half_rate_size is None
+
+
+class TestWindowDrift:
+    def test_fewer_than_two_windows(self):
+        from repro.analysis.curves import window_drift
+
+        assert window_drift([]).size == 0
+        assert window_drift([_curve([1], 5)]).size == 0
+
+    def test_identical_windows_no_drift(self):
+        from repro.analysis.curves import window_drift
+
+        w = _curve([1, 3], 10)
+        assert window_drift([w, w, w]).tolist() == [0.0, 0.0]
+
+    def test_detects_regime_change(self):
+        from repro.analysis.curves import detect_phase_changes, window_drift
+
+        calm = _curve([8, 9], 10)
+        stormy = _curve([0, 1], 10)
+        drift = window_drift([calm, calm, stormy, stormy])
+        assert drift[0] == pytest.approx(0.0)
+        assert drift[1] == pytest.approx(0.8)
+        assert detect_phase_changes(
+            [calm, calm, stormy, stormy], threshold=0.5
+        ).tolist() == [2]
+
+    def test_threshold_validation(self):
+        from repro.analysis.curves import detect_phase_changes
+
+        with pytest.raises(ReproError):
+            detect_phase_changes([], threshold=1.5)
+
+    def test_on_real_windowed_run(self):
+        import numpy as np
+
+        from repro.analysis.curves import detect_phase_changes
+        from repro.core.bounded import bounded_iaf
+
+        rng = np.random.default_rng(0)
+        tight = rng.integers(0, 20, size=4_000)
+        wide = 1_000 + rng.integers(0, 2_000, size=4_000)
+        trace = np.concatenate([tight, wide])
+        res = bounded_iaf(trace, 100, chunk_multiplier=20)
+        changes = detect_phase_changes(res.windows, threshold=0.2)
+        assert changes.size >= 1  # the tight->wide boundary shows up

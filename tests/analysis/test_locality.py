@@ -1,0 +1,128 @@
+"""Tests for the data-locality instrumentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.analysis.locality import (
+    NODE_WORDS,
+    ReferenceTrace,
+    TracedAugmentedTree,
+    engine_reference_trace,
+    simulate_cache_misses,
+    tree_reference_trace,
+)
+from repro.baselines.naive import naive_stack_distances
+from repro.errors import CapacityError
+
+from ..conftest import small_traces
+
+
+class TestReferenceTrace:
+    def test_touch_and_stream_ordering(self):
+        rt = ReferenceTrace()
+        rt.touch(5)
+        rt.stream(100, 3)
+        rt.touch(7)
+        assert rt.addresses().tolist() == [5, 100, 101, 102, 7]
+
+    def test_len(self):
+        rt = ReferenceTrace()
+        rt.stream(0, 10)
+        rt.touch(1)
+        assert len(rt) == 11
+
+    def test_empty(self):
+        assert ReferenceTrace().addresses().size == 0
+
+
+class TestTracedTree:
+    @given(small_traces())
+    def test_traced_tree_computes_correct_distances(self, trace):
+        """Instrumentation must not change the algorithm's answers."""
+        rt = ReferenceTrace()
+        tree = TracedAugmentedTree(rt)
+        last = {}
+        out = np.zeros(trace.size, dtype=np.int64)
+        for i, addr in enumerate(trace.tolist()):
+            p = last.get(addr)
+            if p is not None:
+                out[i] = tree.count_ge(p)
+                tree.delete(p)
+            tree.insert(i)
+            last[addr] = i
+        assert np.array_equal(out, naive_stack_distances(trace))
+
+    def test_allocator_recycles(self):
+        rt = ReferenceTrace()
+        tree = TracedAugmentedTree(rt)
+        tree.insert(1)
+        tree.delete(1)
+        tree.insert(2)
+        # The second insert reuses the freed slot: pool never grew.
+        assert tree._next_address == NODE_WORDS
+
+    def test_visits_recorded(self):
+        rt = ReferenceTrace()
+        tree = TracedAugmentedTree(rt)
+        for k in range(16):
+            tree.insert(k)
+        before = len(rt)
+        tree.count_ge(3)
+        assert len(rt) > before
+
+
+class TestCacheSimulation:
+    def test_sequential_stream_misses_once_per_line(self):
+        rt = ReferenceTrace()
+        rt.stream(0, 80)
+        rep = simulate_cache_misses(
+            rt, cache_words=64, line_words=8, trace_length=10
+        )
+        assert rep.misses == 10  # 80 words / 8-word lines
+        # Next-line prefetch hides all but the first fetch.
+        assert rep.demand_misses == 1
+
+    def test_random_pointer_chase_all_demand(self):
+        rng = np.random.default_rng(0)
+        rt = ReferenceTrace()
+        for addr in rng.integers(0, 100_000, size=500) * 8:
+            rt.touch(int(addr))
+        rep = simulate_cache_misses(
+            rt, cache_words=64, line_words=8, trace_length=500
+        )
+        assert rep.demand_misses >= 0.9 * rep.misses > 0
+
+    def test_working_set_in_cache_never_misses_twice(self):
+        rt = ReferenceTrace()
+        for _ in range(10):
+            rt.stream(0, 32)
+        rep = simulate_cache_misses(
+            rt, cache_words=64, line_words=8, trace_length=10
+        )
+        assert rep.misses == 4  # only the first pass faults
+
+    def test_geometry_validation(self):
+        with pytest.raises(CapacityError):
+            simulate_cache_misses(
+                ReferenceTrace(), cache_words=4, line_words=8, trace_length=1
+            )
+
+
+class TestEndToEnd:
+    def test_engine_traffic_is_prefetchable(self):
+        trace = np.random.default_rng(1).integers(0, 2_000, size=8_000)
+        refs = engine_reference_trace(trace)
+        rep = simulate_cache_misses(
+            refs, cache_words=4096, line_words=8, trace_length=trace.size
+        )
+        assert rep.demand_misses_per_access < 0.01
+        assert rep.misses_per_access > 0.5  # bandwidth is still paid
+
+    def test_tree_stalls_once_it_outgrows_cache(self):
+        trace = np.random.default_rng(2).integers(0, 20_000, size=40_000)
+        refs = tree_reference_trace(trace)
+        rep = simulate_cache_misses(
+            refs, cache_words=2048, line_words=8, trace_length=trace.size
+        )
+        assert rep.demand_misses_per_access > 1.0

@@ -1,0 +1,37 @@
+"""Tests for benchmark-table rendering."""
+
+from repro.analysis.report import mebibytes, render_table, seconds, speedup
+
+
+class TestRenderTable:
+    def test_contains_title_headers_rows(self):
+        out = render_table(
+            "Table X", ["name", "value"], [["alpha", 1.5], ["beta", 2]]
+        )
+        assert "Table X" in out
+        assert "name" in out and "value" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_note_rendered(self):
+        out = render_table("T", ["a"], [], note="scaled down")
+        assert "note: scaled down" in out
+
+    def test_alignment_consistent(self):
+        out = render_table("T", ["col"], [["x"], ["longer-value"]])
+        lines = [l for l in out.splitlines() if l.strip() and "=" not in l
+                 and "-" not in l[:3]]
+        header, row1, row2 = lines[1], lines[2], lines[3]
+        assert len(row1.rstrip()) <= len(row2.rstrip())
+
+
+class TestFormatters:
+    def test_seconds(self):
+        assert seconds(0.0123) == "12.3 ms"
+        assert seconds(2.5) == "2.50 s"
+
+    def test_mebibytes(self):
+        assert mebibytes(2 * 1024 * 1024) == "2.00 MiB"
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == "5.00x"
+        assert speedup(1.0, 0.0) == "inf"

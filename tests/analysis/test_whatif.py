@@ -1,0 +1,110 @@
+"""Tests for the cost-model what-if planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.whatif import (
+    CostModel,
+    cost_curve,
+    largest_size_within_budget,
+    optimal_cache_size,
+    resize_savings,
+    total_cost,
+)
+from repro.core.engine import iaf_hit_rate_curve
+from repro.core.hitrate import HitRateCurve
+from repro.errors import ReproError
+
+from ..conftest import nonempty_traces
+
+
+def _curve(counts, total):
+    return HitRateCurve(np.asarray(counts, dtype=np.int64), total)
+
+
+class TestCostModel:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CostModel(-1.0, 1.0)
+        with pytest.raises(ReproError):
+            CostModel(1.0, -1.0)
+
+
+class TestTotalCost:
+    def test_size_zero_all_misses(self):
+        c = _curve([5, 8], 10)
+        m = CostModel(capacity_cost_per_slot=1.0, miss_cost=2.0)
+        assert total_cost(c, m, 0) == 20.0
+
+    def test_arithmetic(self):
+        c = _curve([5, 8], 10)
+        m = CostModel(capacity_cost_per_slot=1.0, miss_cost=2.0)
+        # size 2: 2*1 capacity + 2 misses * 2 = 6
+        assert total_cost(c, m, 2) == 6.0
+
+    def test_cost_curve_matches_pointwise(self):
+        c = _curve([2, 5, 6], 10)
+        m = CostModel(0.5, 3.0)
+        cc = cost_curve(c, m)
+        for k in (1, 2, 3):
+            assert cc[k - 1] == pytest.approx(total_cost(c, m, k))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ReproError):
+            total_cost(_curve([1], 2), CostModel(1, 1), -1)
+
+
+class TestOptimalSize:
+    def test_picks_the_knee(self):
+        # Huge miss cost -> buy the whole curve; huge slot cost -> none.
+        c = _curve([0, 0, 9], 10)
+        expensive_misses = CostModel(0.01, 100.0)
+        assert optimal_cache_size(c, expensive_misses).size == 3
+        expensive_slots = CostModel(1000.0, 0.01)
+        assert optimal_cache_size(c, expensive_slots).size == 0
+
+    def test_decision_fields_consistent(self):
+        c = _curve([3, 6, 8], 10)
+        m = CostModel(0.5, 2.0)
+        d = optimal_cache_size(c, m)
+        assert d.total_cost == pytest.approx(d.capacity_cost + d.miss_cost)
+        assert 0.0 <= d.hit_rate <= 1.0
+
+    @given(nonempty_traces(), st.floats(0.01, 5.0), st.floats(0.01, 5.0))
+    def test_optimal_really_is_minimal(self, trace, slot, miss):
+        curve = iaf_hit_rate_curve(trace)
+        m = CostModel(slot, miss)
+        d = optimal_cache_size(curve, m)
+        probes = range(0, curve.max_size + 1)
+        best = min(total_cost(curve, m, k) for k in probes)
+        assert d.total_cost == pytest.approx(best)
+
+    def test_empty_curve(self):
+        d = optimal_cache_size(_curve([], 0), CostModel(1, 1))
+        assert d.size == 0 and d.total_cost == 0.0
+
+
+class TestResizeAndBudget:
+    def test_savings_are_nonnegative_at_optimum(self):
+        c = _curve([4, 7, 9], 10)
+        m = CostModel(0.5, 1.5)
+        best, saving = resize_savings(c, m, current_size=1)
+        assert saving >= 0.0
+        _, zero_saving = resize_savings(c, m, current_size=best.size)
+        assert zero_saving == pytest.approx(0.0)
+
+    def test_budget_floor(self):
+        c = _curve([1, 2, 3, 4], 10)
+        m = CostModel(2.0, 1.0)
+        assert largest_size_within_budget(c, m, 7.0) == 3
+        assert largest_size_within_budget(c, m, 1.0) is None
+
+    def test_budget_free_slots(self):
+        c = _curve([1, 2], 10)
+        assert largest_size_within_budget(c, CostModel(0.0, 1.0), 1.0) == 2
+
+    def test_budget_validation(self):
+        with pytest.raises(ReproError):
+            largest_size_within_budget(_curve([1], 2), CostModel(1, 1), -1)

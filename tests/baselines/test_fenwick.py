@@ -1,0 +1,81 @@
+"""Tests for the Fenwick-tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.fenwick import FenwickTree, fenwick_stack_distances
+from repro.baselines.naive import naive_stack_distances
+from repro.metrics.memory import MemoryModel
+
+from ..conftest import small_traces
+
+
+class TestFenwickTree:
+    def test_point_updates_and_prefix_sums(self):
+        t = FenwickTree(8)
+        t.add(0, 5)
+        t.add(3, 2)
+        t.add(7, 1)
+        assert t.prefix_sum(0) == 0
+        assert t.prefix_sum(1) == 5
+        assert t.prefix_sum(4) == 7
+        assert t.prefix_sum(8) == 8
+
+    def test_range_sum(self):
+        t = FenwickTree(10)
+        for i in range(10):
+            t.add(i, i)
+        assert t.range_sum(2, 5) == 2 + 3 + 4
+        assert t.range_sum(5, 5) == 0
+
+    def test_negative_deltas(self):
+        t = FenwickTree(4)
+        t.add(1, 3)
+        t.add(1, -3)
+        assert t.prefix_sum(4) == 0
+
+    def test_bounds_checking(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(4, 1)
+        with pytest.raises(IndexError):
+            t.prefix_sum(5)
+        with pytest.raises(IndexError):
+            t.range_sum(3, 1)
+
+    def test_zero_size(self):
+        t = FenwickTree(0)
+        assert t.prefix_sum(0) == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(-5, 5)),
+                    max_size=40))
+    def test_matches_plain_array(self, updates):
+        t = FenwickTree(16)
+        model = [0] * 16
+        for idx, delta in updates:
+            t.add(idx, delta)
+            model[idx] += delta
+        for count in range(17):
+            assert t.prefix_sum(count) == sum(model[:count])
+
+
+class TestFenwickAlgorithm:
+    @given(small_traces())
+    def test_matches_naive(self, trace):
+        assert np.array_equal(
+            fenwick_stack_distances(trace), naive_stack_distances(trace)
+        )
+
+    def test_larger_trace(self):
+        tr = np.random.default_rng(0).integers(0, 60, size=3_000)
+        assert np.array_equal(
+            fenwick_stack_distances(tr), naive_stack_distances(tr)
+        )
+
+    def test_memory_scales_with_n(self):
+        m1, m2 = MemoryModel(), MemoryModel()
+        fenwick_stack_distances(np.zeros(1_000, dtype=np.int64), memory=m1)
+        fenwick_stack_distances(np.zeros(4_000, dtype=np.int64), memory=m2)
+        assert m2.peak_bytes > 3 * m1.peak_bytes  # Theta(n), unlike the OST

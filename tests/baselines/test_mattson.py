@@ -1,0 +1,38 @@
+"""Tests for the Mattson 1970 stack algorithm."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.baselines.mattson import mattson_hit_counts, mattson_stack_distances
+from repro.baselines.naive import naive_hit_counts, naive_stack_distances
+from repro.metrics.memory import MemoryModel
+
+from ..conftest import small_traces
+
+
+class TestMattson:
+    def test_empty(self):
+        assert mattson_stack_distances([]).size == 0
+
+    def test_hot_single_address(self):
+        assert mattson_stack_distances([3, 3, 3]).tolist() == [0, 1, 1]
+
+    def test_stack_depth_semantics(self):
+        # After a b c, accessing a finds it at depth 3.
+        assert mattson_stack_distances([1, 2, 3, 1]).tolist() == [0, 0, 0, 3]
+
+    @given(small_traces())
+    def test_matches_naive(self, trace):
+        assert np.array_equal(
+            mattson_stack_distances(trace), naive_stack_distances(trace)
+        )
+
+    @given(small_traces())
+    def test_hit_counts_match_naive(self, trace):
+        assert np.array_equal(mattson_hit_counts(trace),
+                              naive_hit_counts(trace))
+
+    def test_memory_tracks_stack_size(self):
+        mem = MemoryModel()
+        mattson_stack_distances(np.arange(100), memory=mem)
+        assert mem.peak_bytes >= 100 * 16  # one slot per distinct address

@@ -1,0 +1,78 @@
+"""Tests pinning down the brute-force oracles with hand-computed cases.
+
+Everything else is validated against these, so these are validated
+against arithmetic done by hand from the paper's definitions.
+"""
+
+import numpy as np
+
+from repro.baselines.naive import (
+    naive_backward_distances,
+    naive_hit_counts,
+    naive_hit_rate,
+    naive_stack_distances,
+)
+
+
+class TestBackwardDistances:
+    def test_empty(self):
+        assert naive_backward_distances([]).size == 0
+
+    def test_single(self):
+        # No accesses after position 0 -> empty window -> 0.
+        assert naive_backward_distances([7]).tolist() == [0]
+
+    def test_immediate_repeat(self):
+        # [a, a]: d_1 = |{a}| = 1 (window is just t_2).
+        assert naive_backward_distances([4, 4]).tolist() == [1, 0]
+
+    def test_paper_style_example(self):
+        # trace a b c a : window of a covers b, c, a -> 3 distinct;
+        # b and c never recur -> distinct counts of their suffixes.
+        assert naive_backward_distances([1, 2, 3, 1]).tolist() == [3, 2, 1, 0]
+
+    def test_window_stops_at_next_occurrence(self):
+        # a b a b: d_1 counts {b, a} = 2 (stops at the second a).
+        assert naive_backward_distances([1, 2, 1, 2]).tolist() == [2, 2, 1, 0]
+
+
+class TestStackDistances:
+    def test_first_occurrences_are_zero(self):
+        assert naive_stack_distances([1, 2, 3]).tolist() == [0, 0, 0]
+
+    def test_immediate_repeat_distance_one(self):
+        assert naive_stack_distances([5, 5]).tolist() == [0, 1]
+
+    def test_classic_sequence(self):
+        # a b c b a: b reused over {b, c} -> 2; a reused over {a,b,c} -> 3.
+        assert naive_stack_distances([1, 2, 3, 2, 1]).tolist() == [0, 0, 0, 2, 3]
+
+    def test_forward_backward_consistency(self):
+        tr = np.array([1, 2, 1, 3, 2, 1])
+        d = naive_backward_distances(tr)
+        f = naive_stack_distances(tr)
+        # f_i = d_prev(i) wherever a previous occurrence exists.
+        assert f[2] == d[0] and f[4] == d[1] and f[5] == d[2]
+
+
+class TestHitCounts:
+    def test_scan_is_step_function(self):
+        # 0 1 2 0 1 2: every reuse has distance exactly 3.
+        counts = naive_hit_counts([0, 1, 2, 0, 1, 2])
+        assert counts.tolist() == [0, 0, 3]
+
+    def test_hot_loop_all_hits_at_one(self):
+        counts = naive_hit_counts([9] * 5)
+        assert counts.tolist() == [4]
+
+    def test_hit_rate_endpoints(self):
+        tr = [0, 1, 2, 0, 1, 2]
+        assert naive_hit_rate(tr, 2) == 0.0
+        assert naive_hit_rate(tr, 3) == 0.5
+        assert naive_hit_rate(tr, 100) == 0.5
+        assert naive_hit_rate([], 4) == 0.0
+
+    def test_infinite_cache_hits_everything_but_first_touches(self):
+        tr = np.random.default_rng(0).integers(0, 6, size=50)
+        counts = naive_hit_counts(tr)
+        assert counts[-1] == 50 - np.unique(tr).size

@@ -1,0 +1,98 @@
+"""Tests for the weight-balanced order-statistic tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_stack_distances
+from repro.baselines.ost import OrderStatisticTree, ost_stack_distances
+from repro.metrics.memory import MemoryModel
+
+from ..conftest import small_traces
+
+
+class TestTreeOperations:
+    def test_insert_and_rank(self):
+        t = OrderStatisticTree()
+        for k in [5, 1, 9, 3]:
+            t.insert(k)
+        assert len(t) == 4
+        assert t.count_ge(0) == 4
+        assert t.count_ge(3) == 3
+        assert t.count_ge(4) == 2
+        assert t.count_ge(10) == 0
+
+    def test_duplicate_insert_rejected(self):
+        t = OrderStatisticTree()
+        t.insert(1)
+        with pytest.raises(KeyError):
+            t.insert(1)
+
+    def test_delete_missing_rejected(self):
+        t = OrderStatisticTree()
+        with pytest.raises(KeyError):
+            t.delete(1)
+
+    def test_delete_leaf_and_internal(self):
+        t = OrderStatisticTree()
+        for k in range(10):
+            t.insert(k)
+        t.delete(0)      # leaf-ish
+        t.delete(5)      # internal with two children
+        assert len(t) == 8
+        assert 5 not in t and 0 not in t
+        assert t.count_ge(5) == 4  # {6,7,8,9}
+        t.check_invariants()
+
+    @given(st.lists(st.integers(0, 200), unique=True, max_size=60),
+           st.data())
+    def test_random_ops_match_sorted_list(self, keys, data):
+        """Model-based test: tree vs a plain sorted list."""
+        t = OrderStatisticTree()
+        model = []
+        for k in keys:
+            t.insert(k)
+            model.append(k)
+        # Delete a random subset.
+        to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True)
+                              if keys else st.just([]))
+        for k in to_delete:
+            t.delete(k)
+            model.remove(k)
+        t.check_invariants()
+        assert len(t) == len(model)
+        for probe in range(-1, 202, 13):
+            assert t.count_ge(probe) == sum(1 for x in model if x >= probe)
+
+    def test_balance_under_sequential_inserts(self):
+        """insert_max is the algorithm's hot path; the tree must stay
+        balanced (depth O(log n)) rather than degrade to a list."""
+        t = OrderStatisticTree()
+        for k in range(2048):
+            t.insert_max(k)
+        t.check_invariants()
+        # Probe depth via recursion: count_ge walks root-to-leaf.
+        node = t._root
+        depth = 0
+        while node is not None:
+            node = node.left
+            depth += 1
+        assert depth <= 40  # weight-balanced: ~2.5 log2(2048) ≈ 27
+
+
+class TestOstAlgorithm:
+    @given(small_traces())
+    def test_matches_naive(self, trace):
+        assert np.array_equal(
+            ost_stack_distances(trace), naive_stack_distances(trace)
+        )
+
+    def test_memory_scales_with_universe_not_length(self):
+        rng = np.random.default_rng(0)
+        m_small, m_large = MemoryModel(), MemoryModel()
+        ost_stack_distances(rng.integers(0, 64, 2_000), memory=m_small)
+        ost_stack_distances(rng.integers(0, 64, 8_000), memory=m_large)
+        # 4x the trace with the same universe: footprint within 1%.
+        assert abs(m_large.peak_bytes - m_small.peak_bytes) <= \
+            0.01 * m_small.peak_bytes + 64

@@ -1,0 +1,86 @@
+"""Tests for the PARDA chunked-parallel baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import baseline_hit_rate_curve
+from repro.baselines.naive import naive_hit_counts, naive_stack_distances
+from repro.baselines.parda import parda_stack_distance_histogram
+from repro.errors import CapacityError
+from repro.metrics.memory import MemoryModel
+
+from ..conftest import nonempty_traces, small_traces
+
+
+def _hist_from_naive(trace):
+    d = naive_stack_distances(trace)
+    finite = d[d > 0]
+    width = int(finite.max()) + 1 if finite.size else 1
+    return np.bincount(finite, minlength=width) if finite.size else \
+        np.zeros(1, dtype=np.int64)
+
+
+class TestPardaCorrectness:
+    @given(small_traces(), st.integers(1, 6))
+    def test_histogram_matches_naive(self, trace, workers):
+        hist, total = parda_stack_distance_histogram(trace, workers=workers)
+        want = _hist_from_naive(trace)
+        assert total == trace.size
+        np.testing.assert_array_equal(
+            hist[1:], want[1 : hist.size] if want.size >= hist.size
+            else np.pad(want[1:], (0, hist.size - want.size)),
+        )
+
+    def test_single_worker_equals_serial_splay(self):
+        tr = np.random.default_rng(0).integers(0, 15, size=400)
+        h1, _ = parda_stack_distance_histogram(tr, workers=1)
+        want = _hist_from_naive(tr)
+        assert np.array_equal(h1, want)
+
+    def test_many_workers_tiny_chunks(self):
+        tr = np.random.default_rng(1).integers(0, 5, size=37)
+        h, _ = parda_stack_distance_histogram(tr, workers=12)
+        assert np.array_equal(h, _hist_from_naive(tr))
+
+    def test_empty(self):
+        h, total = parda_stack_distance_histogram(np.array([], np.int64),
+                                                  workers=3)
+        assert total == 0 and h.sum() == 0
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(CapacityError):
+            parda_stack_distance_histogram([1], workers=0)
+
+
+class TestPardaCacheLimit:
+    @given(nonempty_traces(max_addr=10), st.integers(1, 8),
+           st.integers(1, 4))
+    def test_limit_filters_distances(self, trace, limit, workers):
+        hist, _ = parda_stack_distance_histogram(
+            trace, workers=workers, max_cache_size=limit
+        )
+        full = _hist_from_naive(trace)
+        assert hist.size <= limit + 1
+        for d in range(1, min(hist.size, full.size)):
+            assert hist[d] == full[d]
+
+    def test_curve_via_baseline_wrapper(self):
+        tr = np.random.default_rng(2).integers(0, 9, size=200)
+        curve = baseline_hit_rate_curve(tr, "parda", workers=3)
+        want = naive_hit_counts(tr)
+        assert np.array_equal(curve.hits_cumulative, want)
+
+
+class TestPardaMemoryStory:
+    def test_memory_grows_with_workers(self):
+        """The Omega(u*p) blow-up of Section 2: more threads, more copies."""
+        tr = np.random.default_rng(3).integers(0, 128, size=8_000)
+        peaks = []
+        for workers in (1, 4, 8):
+            mem = MemoryModel()
+            parda_stack_distance_histogram(tr, workers=workers, memory=mem)
+            peaks.append(mem.peak_bytes)
+        assert peaks[1] > 2 * peaks[0]
+        assert peaks[2] > 1.5 * peaks[1]

@@ -1,0 +1,103 @@
+"""Tests for the SHARDS-style sampling baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.shards import (
+    ApproximateCurve,
+    _splitmix64,
+    shards_error,
+    shards_hit_rate_curve,
+)
+from repro.core.engine import iaf_hit_rate_curve
+from repro.errors import ReproError
+from repro.workloads.synthetic import zipfian_trace
+
+from ..conftest import small_traces
+
+
+class TestSamplingHash:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(_splitmix64(x), _splitmix64(x))
+
+    def test_roughly_uniform(self):
+        x = np.arange(100_000, dtype=np.uint64)
+        h = _splitmix64(x)
+        # Top bit should be ~50/50 for consecutive inputs.
+        frac = (h >> np.uint64(63)).mean()
+        assert 0.45 < frac < 0.55
+
+
+class TestShardsAccuracy:
+    def test_rate_one_is_exact(self):
+        tr = np.random.default_rng(0).integers(0, 50, size=2_000)
+        exact = iaf_hit_rate_curve(tr)
+        approx = shards_hit_rate_curve(tr, 1.0)
+        assert approx.sampled_accesses == tr.size
+        for k in (1, 5, 25, 50):
+            assert approx.hit_rate(k) == pytest.approx(exact.hit_rate(k))
+
+    def test_sampled_estimate_close_on_smooth_curve(self):
+        tr = zipfian_trace(200_000, 20_000, 0.8, seed=1)
+        exact = iaf_hit_rate_curve(tr)
+        approx = shards_hit_rate_curve(tr, 0.1, seed=2)
+        err = shards_error(approx, exact.hit_rate_array())
+        assert err < 0.05
+        assert approx.sampled_accesses < tr.size // 5
+
+    def test_lower_rate_fewer_samples(self):
+        tr = zipfian_trace(50_000, 5_000, 0.4, seed=0)
+        hi = shards_hit_rate_curve(tr, 0.5, seed=0)
+        lo = shards_hit_rate_curve(tr, 0.05, seed=0)
+        assert lo.sampled_accesses < hi.sampled_accesses
+
+    def test_no_guarantee_is_demonstrable(self):
+        """An adversarial trace defeats the heuristic — the reason exact
+        computation matters.  All mass is at one stack distance; a
+        sampled estimate displaces it (scaled distances overshoot)."""
+        u = 1_000
+        tr = np.tile(np.arange(u), 20)  # scan: every distance == u
+        exact = iaf_hit_rate_curve(tr)
+        approx = shards_hit_rate_curve(tr, 0.05, seed=1)
+        # Just below the cliff the exact curve is 0; the estimate, having
+        # quantized/rescaled sampled distances, bleeds mass across it.
+        k = u - 1
+        assert exact.hit_rate(k) == 0.0
+        assert approx.hit_rate(k) >= 0.0  # may or may not bleed...
+        # ...but across seeds the estimate at the cliff edge must deviate
+        # somewhere (existence of error):
+        deviations = []
+        for seed in range(8):
+            a = shards_hit_rate_curve(tr, 0.05, seed=seed)
+            deviations.append(
+                abs(a.hit_rate(u) - exact.hit_rate(u))
+                + abs(a.hit_rate(k) - exact.hit_rate(k))
+            )
+        assert max(deviations) > 0.0
+
+    @given(small_traces())
+    def test_estimates_are_bounded(self, trace):
+        approx = shards_hit_rate_curve(trace, 0.5, seed=3)
+        rates = approx.hit_rate_array()
+        assert (rates >= 0).all()
+        # The estimate may overshoot slightly, but not absurdly.
+        assert (rates <= 2.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            shards_hit_rate_curve([1, 2], 0.0)
+        with pytest.raises(ReproError):
+            shards_hit_rate_curve([1, 2], 1.5)
+
+    def test_empty_trace(self):
+        approx = shards_hit_rate_curve(np.array([], dtype=np.int64), 0.5)
+        assert approx.total_accesses == 0
+        assert approx.hit_rate(10) == 0.0
+
+    def test_max_cache_size_truncates(self):
+        tr = np.random.default_rng(1).integers(0, 100, size=5_000)
+        approx = shards_hit_rate_curve(tr, 0.5, max_cache_size=10)
+        assert approx.max_size <= 10

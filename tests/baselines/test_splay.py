@@ -1,0 +1,95 @@
+"""Tests for the size-augmented splay tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_stack_distances
+from repro.baselines.splay import SplayTree, splay_stack_distances
+
+from ..conftest import small_traces
+
+
+class TestSplayTreeOperations:
+    def test_insert_and_rank(self):
+        t = SplayTree()
+        for k in [5, 1, 9, 3]:
+            t.insert(k)
+        assert len(t) == 4
+        assert t.count_ge(1) == 4
+        assert t.count_ge(5) == 2
+        t.check_invariants()
+
+    def test_splay_restructures_on_rank_query(self):
+        t = SplayTree()
+        for k in range(16):
+            t.insert_max(k)
+        t.count_ge(3)
+        # The last node on the search path (3's predecessor boundary) is
+        # splayed to the root.
+        assert t._root.key in (2, 3)
+        t.check_invariants()
+
+    def test_duplicate_insert_rejected_and_sizes_restored(self):
+        t = SplayTree()
+        for k in [2, 1, 3]:
+            t.insert(k)
+        with pytest.raises(KeyError):
+            t.insert(2)
+        t.check_invariants()
+        assert len(t) == 3
+
+    def test_delete_root_rejoins(self):
+        t = SplayTree()
+        for k in range(10):
+            t.insert_max(k)
+        t.delete(4)
+        assert len(t) == 9
+        assert 4 not in t
+        t.check_invariants()
+
+    def test_delete_min_and_max(self):
+        t = SplayTree()
+        for k in range(6):
+            t.insert_max(k)
+        t.delete(0)
+        t.delete(5)
+        t.check_invariants()
+        assert t.count_ge(0) == 4
+
+    def test_delete_missing_rejected(self):
+        t = SplayTree()
+        t.insert(1)
+        with pytest.raises(KeyError):
+            t.delete(9)
+
+    @given(st.lists(st.integers(0, 100), unique=True, max_size=50), st.data())
+    def test_random_ops_match_sorted_list(self, keys, data):
+        t = SplayTree()
+        model = []
+        for k in keys:
+            t.insert(k)
+            model.append(k)
+        to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True)
+                              if keys else st.just([]))
+        for k in to_delete:
+            t.delete(k)
+            model.remove(k)
+        t.check_invariants()
+        for probe in range(-1, 102, 7):
+            assert t.count_ge(probe) == sum(1 for x in model if x >= probe)
+
+
+class TestSplayAlgorithm:
+    @given(small_traces())
+    def test_matches_naive(self, trace):
+        assert np.array_equal(
+            splay_stack_distances(trace), naive_stack_distances(trace)
+        )
+
+    def test_larger_random_trace(self):
+        tr = np.random.default_rng(0).integers(0, 40, size=2000)
+        assert np.array_equal(
+            splay_stack_distances(tr), naive_stack_distances(tr)
+        )

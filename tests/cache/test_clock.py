@@ -1,0 +1,73 @@
+"""Tests for the CLOCK (second-chance) simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.clock import ClockCache, simulate_clock
+from repro.cache.lru import simulate_lru
+from repro.cache.opt import simulate_opt
+from repro.errors import CapacityError
+
+from ..conftest import small_traces
+
+
+class TestClockCache:
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            ClockCache(0)
+
+    def test_fills_before_evicting(self):
+        c = ClockCache(3)
+        for a in (1, 2, 3):
+            assert not c.access(a)
+        assert len(c) == 3
+        assert all(a in c for a in (1, 2, 3))
+
+    def test_second_chance_protects_referenced(self):
+        c = ClockCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)      # re-reference 1 -> its bit is set
+        c.access(3)      # hand clears 1's bit... sweep order decides
+        # CLOCK approximates LRU: 2 (unreferenced since admission's bit
+        # was cleared first) should be a plausible victim; either way the
+        # cache holds exactly 2 items and 3 is resident.
+        assert len(c) == 2 and 3 in c
+
+    def test_hit_miss_counting(self):
+        res = simulate_clock([1, 2, 1, 1, 3], 2)
+        assert res.hits + res.misses == 5
+        assert res.hits >= 2  # the two repeat-1s while resident
+
+    def test_never_exceeds_capacity(self):
+        c = ClockCache(3)
+        for a in range(200):
+            c.access(a % 11)
+            assert len(c) <= 3
+
+    @given(small_traces(max_len=30), st.integers(1, 6))
+    def test_opt_dominates_clock(self, trace, k):
+        assert simulate_opt(trace, k).hits >= simulate_clock(trace, k).hits
+
+    @given(small_traces(max_len=30), st.integers(1, 6))
+    def test_clock_equals_lru_with_capacity_one(self, trace, k):
+        """At capacity 1 every online policy without lookahead coincides."""
+        assert simulate_clock(trace, 1).hits == simulate_lru(trace, 1).hits
+
+    def test_clock_tracks_lru_closely_on_loops(self):
+        """On a hot loop that fits, CLOCK = LRU = all hits after warmup."""
+        tr = np.tile(np.arange(4), 25)
+        assert simulate_clock(tr, 4).hits == simulate_lru(tr, 4).hits == 96
+
+    def test_clock_can_deviate_from_lru(self):
+        """Existence check: CLOCK is an approximation, not a re-skin."""
+        rng = np.random.default_rng(0)
+        deviated = False
+        for seed in range(20):
+            tr = np.random.default_rng(seed).integers(0, 12, size=200)
+            if simulate_clock(tr, 6).hits != simulate_lru(tr, 6).hits:
+                deviated = True
+                break
+        assert deviated

@@ -1,0 +1,49 @@
+"""Tests for the FIFO simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.fifo import FIFOCache, simulate_fifo
+from repro.cache.lru import simulate_lru
+from repro.cache.opt import simulate_opt
+from repro.errors import CapacityError
+
+from ..conftest import small_traces
+
+
+class TestFIFOCache:
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            FIFOCache(0)
+
+    def test_no_recency_promotion(self):
+        """The defining FIFO behaviour: hits don't refresh position."""
+        c = FIFOCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)      # hit, but 1 remains the oldest
+        c.access(3)      # evicts 1, not 2
+        assert 1 not in c._resident
+        assert 2 in c._resident and 3 in c._resident
+
+    def test_differs_from_lru_on_belady_anomaly_patterns(self):
+        # The trace above: LRU would have kept 1.
+        tr = [1, 2, 1, 3, 1]
+        assert simulate_fifo(tr, 2).hits < simulate_lru(tr, 2).hits
+
+    def test_never_exceeds_capacity(self):
+        c = FIFOCache(3)
+        for a in range(50):
+            c.access(a % 9)
+            assert len(c) <= 3
+
+    @given(small_traces(max_len=25), st.integers(1, 5))
+    def test_opt_dominates_fifo(self, trace, k):
+        assert simulate_opt(trace, k).hits >= simulate_fifo(trace, k).hits
+
+    @given(small_traces())
+    def test_counts_add_up(self, trace):
+        res = simulate_fifo(trace, 3)
+        assert res.hits + res.misses == trace.size

@@ -1,0 +1,66 @@
+"""Tests for the LFU simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.lfu import LFUCache, simulate_lfu
+from repro.cache.lru import simulate_lru
+from repro.cache.opt import simulate_opt
+from repro.errors import CapacityError
+from repro.workloads.synthetic import zipfian_trace
+
+from ..conftest import small_traces
+
+
+class TestLFUCache:
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            LFUCache(0)
+
+    def test_evicts_least_frequent(self):
+        c = LFUCache(2)
+        c.access(1)
+        c.access(1)
+        c.access(2)
+        c.access(3)  # 2 has freq 1, 1 has freq 2 -> evict 2
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_lru_tiebreak_on_equal_frequency(self):
+        c = LFUCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(3)  # both freq 1; 1 is older -> evicted
+        assert 2 in c and 3 in c and 1 not in c
+
+    def test_never_exceeds_capacity(self):
+        c = LFUCache(3)
+        for a in range(300):
+            c.access(a % 13)
+            assert len(c) <= 3
+
+    @given(small_traces(max_len=30), st.integers(1, 6))
+    def test_opt_dominates_lfu(self, trace, k):
+        assert simulate_opt(trace, k).hits >= simulate_lfu(trace, k).hits
+
+    @given(small_traces())
+    def test_counts_add_up(self, trace):
+        res = simulate_lfu(trace, 4)
+        assert res.hits + res.misses == trace.size
+
+
+class TestPolicyOrderings:
+    def test_lfu_beats_lru_on_stable_skew(self):
+        """The 'optimization beyond LRU' the introduction asks about."""
+        tr = zipfian_trace(30_000, 2_000, alpha=1.1, seed=4)
+        k = 50
+        assert simulate_lfu(tr, k).hits > simulate_lru(tr, k).hits
+
+    def test_lfu_loses_when_popularity_shifts(self):
+        """...and the regime where that optimization backfires."""
+        a = zipfian_trace(8_000, 500, alpha=1.2, seed=1)
+        b = zipfian_trace(8_000, 500, alpha=1.2, seed=2) + 500
+        tr = np.concatenate([a, b.astype(a.dtype)])
+        k = 50
+        assert simulate_lfu(tr, k).hits < simulate_lru(tr, k).hits

@@ -1,0 +1,85 @@
+"""Tests for the direct LRU simulator (the ground truth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache, lru_hits_per_size, simulate_lru
+from repro.errors import CapacityError
+
+from ..conftest import small_traces
+
+
+class TestLRUCache:
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            LRUCache(0)
+
+    def test_hit_and_miss(self):
+        c = LRUCache(2)
+        assert not c.access(1)
+        assert not c.access(2)
+        assert c.access(1)          # still resident
+        assert not c.access(3)      # evicts 2 (LRU)
+        assert not c.access(2)
+        assert c.hits == 1 and c.misses == 4
+
+    def test_eviction_order_is_recency(self):
+        c = LRUCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)                 # 2 is now LRU
+        c.access(3)                 # evicts 2
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_contents_mru_first(self):
+        c = LRUCache(3)
+        for a in (1, 2, 3, 1):
+            c.access(a)
+        assert c.contents_mru_first() == [1, 3, 2]
+
+    def test_never_exceeds_capacity(self):
+        c = LRUCache(3)
+        for a in range(100):
+            c.access(a % 7)
+            assert len(c) <= 3
+
+
+class TestSimulate:
+    def test_result_fields(self):
+        res = simulate_lru([1, 2, 1], 2)
+        assert res.hits == 1 and res.misses == 2
+        assert res.accesses == 3
+        assert res.hit_rate == pytest.approx(1 / 3)
+
+    def test_empty_trace(self):
+        res = simulate_lru([], 4)
+        assert res.hit_rate == 0.0
+
+    @given(small_traces(), st.integers(1, 10))
+    def test_inclusion_property(self, trace, k):
+        """Mattson's inclusion: a bigger LRU cache never hits less."""
+        small = simulate_lru(trace, k)
+        big = simulate_lru(trace, k + 1)
+        assert big.hits >= small.hits
+
+    @given(small_traces())
+    def test_infinite_cache_hits_all_reuses(self, trace):
+        if trace.size == 0:
+            return
+        u = int(np.unique(trace).size)
+        res = simulate_lru(trace, u)
+        assert res.hits == trace.size - u
+
+
+class TestHitsPerSize:
+    def test_matches_individual_sims(self):
+        tr = np.random.default_rng(0).integers(0, 6, size=60)
+        per_size = lru_hits_per_size(tr)
+        for k in range(1, per_size.size + 1):
+            assert per_size[k - 1] == simulate_lru(tr, k).hits
+
+    def test_respects_max_size(self):
+        tr = np.random.default_rng(0).integers(0, 10, size=40)
+        assert lru_hits_per_size(tr, max_size=3).size == 3

@@ -1,0 +1,74 @@
+"""Tests for the Bélády/OPT simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.lru import simulate_lru
+from repro.cache.opt import opt_hits_per_size, simulate_opt
+from repro.errors import CapacityError
+
+from ..conftest import small_traces
+
+
+class TestOptSimulator:
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            simulate_opt([1], 0)
+
+    def test_classic_example(self):
+        """Bélády beats LRU on the looping pattern."""
+        trace = [0, 1, 2, 0, 1, 2, 0, 1, 2]
+        assert simulate_opt(trace, 2).hits > simulate_lru(trace, 2).hits
+
+    def test_known_optimal_count(self):
+        # a b c a b c, k=2.  OPT: miss a, miss b, miss c (evict b, whose
+        # next use is furthest), hit a, miss b (evict a, never used again),
+        # hit c -> 2 hits, which test_matches_exhaustive confirms is best.
+        res = simulate_opt([0, 1, 2, 0, 1, 2], 2)
+        assert res.hits == 2
+
+    def test_matches_exhaustive(self):
+        """Compare against brute-force search over all eviction choices."""
+        import itertools
+
+        def best_hits(trace, k):
+            # Exhaustive DFS over eviction decisions.
+            def go(i, resident):
+                if i == len(trace):
+                    return 0
+                x = trace[i]
+                if x in resident:
+                    return 1 + go(i + 1, resident)
+                if len(resident) < k:
+                    return go(i + 1, resident | {x})
+                return max(
+                    go(i + 1, (resident - {v}) | {x}) for v in resident
+                )
+            return go(0, frozenset())
+
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            tr = rng.integers(0, 4, size=10).tolist()
+            for k in (1, 2, 3):
+                assert simulate_opt(tr, k).hits == best_hits(tuple(tr), k), (
+                    tr, k
+                )
+
+    @given(small_traces(max_len=25), st.integers(1, 6))
+    def test_dominates_lru(self, trace, k):
+        """OPT is offline optimal, so it never loses to LRU."""
+        assert simulate_opt(trace, k).hits >= simulate_lru(trace, k).hits
+
+    @given(small_traces(max_len=25), st.integers(1, 5))
+    def test_inclusion_in_size(self, trace, k):
+        assert simulate_opt(trace, k + 1).hits >= simulate_opt(trace, k).hits
+
+
+class TestOptSweep:
+    def test_matches_individual(self):
+        tr = np.random.default_rng(1).integers(0, 5, size=40)
+        sweep = opt_hits_per_size(tr)
+        for k in range(1, sweep.size + 1):
+            assert sweep[k - 1] == simulate_opt(tr, k).hits

@@ -1,0 +1,45 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+# One shared profile: deterministic, bounded runtime per property.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need variation derive seeds from it."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def small_traces(max_len: int = 40, max_addr: int = 8):
+    """Hypothesis strategy: short traces over a small address universe.
+
+    Small universes force heavy reuse, which is where stack-distance
+    bookkeeping actually gets exercised.
+    """
+    return st.lists(
+        st.integers(min_value=0, max_value=max_addr - 1),
+        min_size=0,
+        max_size=max_len,
+    ).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+def nonempty_traces(max_len: int = 40, max_addr: int = 8):
+    """Like :func:`small_traces` but never empty."""
+    return st.lists(
+        st.integers(min_value=0, max_value=max_addr - 1),
+        min_size=1,
+        max_size=max_len,
+    ).map(lambda xs: np.asarray(xs, dtype=np.int64))

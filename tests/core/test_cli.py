@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.workloads.traceio import read_trace, write_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "t.trc"
+    trace = np.random.default_rng(0).integers(0, 40, size=2_000)
+    write_trace(path, trace)
+    return path
+
+
+class TestGenerate:
+    def test_generate_zipf(self, tmp_path, capsys):
+        out = tmp_path / "z.trc"
+        rc = main(["generate", str(out), "--kind", "zipf", "-n", "500",
+                   "-u", "50", "--alpha", "0.6", "--seed", "3"])
+        assert rc == 0
+        trace = read_trace(out)
+        assert trace.size == 500 and trace.max() < 50
+        assert "wrote 500" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("kind", ["uniform", "scan", "phases"])
+    def test_generate_other_kinds(self, tmp_path, kind):
+        out = tmp_path / f"{kind}.trc"
+        rc = main(["generate", str(out), "--kind", kind, "-n", "300",
+                   "-u", "30"])
+        assert rc == 0
+        assert read_trace(out).size == 300
+
+    def test_generate_int32(self, tmp_path):
+        out = tmp_path / "t32.trc"
+        main(["generate", str(out), "-n", "100", "-u", "10",
+              "--dtype", "int32"])
+        assert read_trace(out).dtype == np.int32
+
+
+class TestInfo:
+    def test_info_reports_stats(self, trace_file, capsys):
+        rc = main(["info", str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "requests:           2,000" in out
+        assert "distinct ids:       40" in out
+        assert "frequency profile" in out
+
+
+class TestAnalyze:
+    def test_default_reports_knees(self, trace_file, capsys):
+        rc = main(["analyze", str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LRU hit-rate curve" in out
+        assert "cache size" in out
+
+    def test_explicit_sizes_csv(self, trace_file, capsys):
+        rc = main(["analyze", str(trace_file), "--sizes", "1,10,40",
+                   "--format", "csv"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "cache_size,hits,hit_rate"
+        assert len(lines) == 4
+        # final hit count = n - u
+        assert lines[3].startswith("40,1960,")
+
+    def test_bounded_with_limit(self, trace_file, capsys):
+        rc = main(["analyze", str(trace_file), "--algorithm", "bounded-iaf",
+                   "-k", "10", "--sizes", "1,5,10"])
+        assert rc == 0
+
+    def test_targets(self, trace_file, capsys):
+        rc = main(["analyze", str(trace_file), "--sizes", "1",
+                   "--target", "0.5", "--target", "0.9999"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hit rate 50%: first reached at cache size" in out
+        assert "unreachable" in out
+
+    def test_bad_sizes_errors(self, trace_file, capsys):
+        rc = main(["analyze", str(trace_file), "--sizes", "a,b"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_agreeing_algorithms(self, trace_file, capsys):
+        rc = main(["compare", str(trace_file),
+                   "--algorithms", "iaf,ost,mattson"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all curves agree" in out
+
+    def test_unknown_algorithm(self, trace_file, capsys):
+        rc = main(["compare", str(trace_file), "--algorithms", "iaf,magic"])
+        assert rc == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_with_workers_and_limit(self, trace_file):
+        rc = main(["compare", str(trace_file),
+                   "--algorithms", "iaf,parda", "--workers", "3",
+                   "-k", "20"])
+        assert rc == 0
+
+
+class TestSaveCurve:
+    def test_analyze_save_round_trip(self, trace_file, tmp_path, capsys):
+        from repro.core.hitrate import load_curve
+
+        out = tmp_path / "curve.npz"
+        rc = main(["analyze", str(trace_file), "--sizes", "1",
+                   "--save", str(out)])
+        assert rc == 0
+        curve = load_curve(out)
+        assert curve.total_accesses == 2_000
+        assert "curve saved" in capsys.readouterr().out

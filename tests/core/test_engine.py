@@ -1,0 +1,140 @@
+"""Tests for the vectorized level-synchronous engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_backward_distances, naive_hit_counts
+from repro.core.engine import (
+    EngineStats,
+    Segments,
+    _gather_indices,
+    iaf_distances,
+    iaf_hit_rate_curve,
+    solve_prepost_arrays,
+)
+from repro.core.ops import prepost_sequence_arrays
+from repro.metrics.memory import MemoryModel
+
+from ..conftest import small_traces
+
+
+class TestGatherIndices:
+    def test_empty(self):
+        out = _gather_indices(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    def test_basic(self):
+        starts = np.array([2, 10, 20])
+        counts = np.array([3, 0, 2])
+        assert _gather_indices(starts, counts).tolist() == [2, 3, 4, 20, 21]
+
+
+class TestEngineCorrectness:
+    def test_empty_trace(self):
+        assert iaf_distances(np.array([], dtype=np.int64)).size == 0
+
+    def test_single_access(self):
+        assert iaf_distances([9]).tolist() == [0]
+
+    def test_known_example(self):
+        assert iaf_distances([1, 2, 1, 2]).tolist() == [2, 2, 1, 0]
+
+    @given(small_traces())
+    def test_matches_naive(self, trace):
+        assert np.array_equal(
+            iaf_distances(trace), naive_backward_distances(trace)
+        )
+
+    @given(small_traces(max_len=30, max_addr=5))
+    def test_int32_matches_int64(self, trace):
+        """Section 9.5: narrower counters change nothing but footprint."""
+        got32 = iaf_distances(trace.astype(np.int32), dtype=np.int32)
+        got64 = iaf_distances(trace, dtype=np.int64)
+        assert np.array_equal(got32, got64)
+
+    def test_deterministic(self):
+        tr = np.random.default_rng(1).integers(0, 50, size=500)
+        assert np.array_equal(iaf_distances(tr), iaf_distances(tr))
+
+    def test_medium_random_traces(self):
+        rng = np.random.default_rng(7)
+        for u in (1, 2, 17, 400):
+            tr = rng.integers(0, u, size=800)
+            assert np.array_equal(
+                iaf_distances(tr), naive_backward_distances(tr)
+            ), f"u={u}"
+
+    def test_adversarial_scan(self):
+        tr = np.tile(np.arange(50), 6)
+        assert np.array_equal(iaf_distances(tr), naive_backward_distances(tr))
+
+
+class TestEngineStats:
+    def test_levels_logarithmic(self):
+        tr = np.random.default_rng(0).integers(0, 100, size=4096)
+        stats = EngineStats()
+        iaf_distances(tr, stats=stats)
+        assert stats.levels <= int(np.log2(4096)) + 3
+
+    def test_ops_per_level_linear(self):
+        """Lemma 4.2: every level's total op count is O(n)."""
+        tr = np.random.default_rng(0).integers(0, 64, size=2048)
+        stats = EngineStats()
+        iaf_distances(tr, stats=stats)
+        assert max(stats.ops_per_level) <= 3 * tr.size
+
+    def test_work_n_log_n(self):
+        tr = np.random.default_rng(0).integers(0, 64, size=2048)
+        stats = EngineStats()
+        iaf_distances(tr, stats=stats)
+        assert stats.work <= 3 * tr.size * (np.log2(tr.size) + 2)
+
+    def test_span_accounting_orders(self):
+        """Basic span is ~linear; parallel span is polylog (Theorem 6.2)."""
+        tr = np.random.default_rng(0).integers(0, 64, size=2048)
+        stats = EngineStats()
+        iaf_distances(tr, stats=stats)
+        assert stats.span_parallel <= 4 * np.log2(tr.size) ** 2
+        assert stats.span_basic >= tr.size  # the O(n) span of Theorem 4.3
+        assert stats.basic_cost().parallelism < stats.parallel_cost().parallelism
+
+    def test_memory_model_charged_and_released(self):
+        tr = np.random.default_rng(0).integers(0, 64, size=1024)
+        mem = MemoryModel()
+        iaf_distances(tr, memory=mem)
+        assert mem.peak_bytes > 0
+        assert mem.current_bytes == 0
+
+
+class TestSegmentsAPI:
+    def test_single_wraps_one_interval(self):
+        kind, t, r = prepost_sequence_arrays([1, 2, 1])
+        seg = Segments.single(kind, t, r, 0, 3)
+        assert seg.n_segments == 1
+        assert seg.n_ops == kind.size
+        assert seg.nbytes > 0
+
+    def test_solve_on_segments_entrypoint(self):
+        tr = np.array([4, 5, 4, 6, 5])
+        kind, t, r = prepost_sequence_arrays(tr)
+        out = np.zeros(tr.size + 1, dtype=np.int64)
+        solve_prepost_arrays(Segments.single(kind, t, r, 0, tr.size), out)
+        assert np.array_equal(out[1:], naive_backward_distances(tr))
+
+
+class TestEngineCurve:
+    @given(small_traces())
+    def test_curve_matches_naive(self, trace):
+        curve = iaf_hit_rate_curve(trace)
+        want = naive_hit_counts(trace)
+        assert np.array_equal(curve.hits_cumulative, want)
+        assert curve.total_accesses == trace.size
+
+    def test_curve_final_value_is_reuse_count(self):
+        """H(u) * n = n - u: everything but compulsory misses hits."""
+        tr = np.random.default_rng(3).integers(0, 30, size=400)
+        curve = iaf_hit_rate_curve(tr)
+        u = np.unique(tr).size
+        assert curve.hits(curve.max_size) == tr.size - u

@@ -1,0 +1,141 @@
+"""Tests for EXTERNAL-INCREMENT-AND-FREEZE (Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_backward_distances
+from repro.core.external import (
+    BASE_CASE_DIVISOR,
+    external_iaf_distances,
+    external_io_bound_blocks,
+    _project_shrink_interval,
+)
+from repro.core.ops import apply_prepost, prepost_sequence, prepost_sequence_arrays
+from repro.errors import ExternalMemoryError
+from repro.extmem.blockdevice import BlockDevice, MemoryConfig
+
+from ..conftest import nonempty_traces, small_traces
+
+CONFIGS = [
+    MemoryConfig(16, 2),
+    MemoryConfig(32, 4),
+    MemoryConfig(64, 8),
+    MemoryConfig(256, 16),
+]
+
+
+class TestProjectShrinkInterval:
+    @given(nonempty_traces(max_len=20), st.data())
+    def test_matches_direct_semantics(self, trace, data):
+        """The streamed multi-way projection equals op-by-op semantics."""
+        n = trace.size
+        a = data.draw(st.integers(0, n))
+        b = data.draw(st.integers(a, n))
+        kind, t, r = prepost_sequence_arrays(trace)
+        k_c, t_c, r_c = _project_shrink_interval(kind, t, r, a, b)
+        # Evaluate both on [a, b] via the object-level executor.
+        from repro.core.ops import PostfixOp, PrefixOp, project_prepost
+
+        parent_ops = prepost_sequence(trace)
+        projected = [project_prepost(op, a, b) for op in parent_ops]
+        want = apply_prepost(projected, a, b)
+        child_ops = [
+            PostfixOp(int(t_c[i]), int(r_c[i])) if k_c[i] else
+            PrefixOp(int(t_c[i]), int(r_c[i]))
+            for i in range(k_c.size)
+        ]
+        got = apply_prepost(child_ops, a, b)
+        assert np.array_equal(got, want)
+
+
+class TestExternalCorrectness:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_random_traces(self, config, rng):
+        for _ in range(10):
+            n = int(rng.integers(1, 300))
+            u = int(rng.integers(1, 30))
+            tr = rng.integers(0, u, size=n)
+            d, _report = external_iaf_distances(tr, config)
+            assert np.array_equal(d, naive_backward_distances(tr))
+
+    def test_empty_trace(self):
+        d, report = external_iaf_distances(
+            np.array([], dtype=np.int64), CONFIGS[0]
+        )
+        assert d.size == 0
+        assert report.total_blocks() == 0
+
+    def test_trace_entirely_in_base_case(self):
+        tr = np.array([1, 2, 1])
+        d, report = external_iaf_distances(tr, MemoryConfig(1024, 16))
+        assert report.base_cases == 1
+        assert report.internal_nodes == 0
+        assert np.array_equal(d, naive_backward_distances(tr))
+
+    def test_recursion_depth_log_m_over_b(self):
+        n = 20_000
+        tr = np.random.default_rng(0).integers(0, 500, size=n)
+        config = MemoryConfig(256, 16)  # fanout 16, base 64
+        _, report = external_iaf_distances(tr, config)
+        base = config.fanout
+        expected = np.ceil(
+            np.log(n / (config.memory_items / BASE_CASE_DIVISOR))
+            / np.log(base)
+        )
+        assert report.max_depth <= expected + 1
+
+    def test_mismatched_device_config_rejected(self):
+        dev = BlockDevice(MemoryConfig(64, 8))
+        with pytest.raises(ExternalMemoryError):
+            external_iaf_distances([1, 2], MemoryConfig(32, 4), device=dev)
+
+
+class TestIOAccounting:
+    def test_io_grows_with_n_but_sublinearly_in_passes(self):
+        config = MemoryConfig(4096, 64)
+        blocks = []
+        for n in (2_000, 16_000, 128_000):
+            tr = np.random.default_rng(0).integers(0, n // 4, size=n)
+            _, report = external_iaf_distances(tr, config)
+            blocks.append(report.total_blocks())
+        # 8x the data should cost roughly 8x (one extra pass at most),
+        # nowhere near the 64x of a quadratic blow-up.
+        assert blocks[1] < 16 * blocks[0]
+        assert blocks[2] < 16 * blocks[1]
+
+    def test_within_constant_of_theorem_bound(self):
+        config = MemoryConfig(1024, 32)
+        n = 50_000
+        tr = np.random.default_rng(1).integers(0, 2000, size=n)
+        _, report = external_iaf_distances(tr, config)
+        bound = external_io_bound_blocks(n, config)
+        # The op encoding costs 3 words/op with ~2 ops per access, read and
+        # written once per level, so ~24x the item-count bound is the
+        # honest constant; assert we stay within 40x.
+        assert report.total_blocks() <= 40 * bound
+
+    def test_bound_function_basics(self):
+        assert external_io_bound_blocks(0, CONFIGS[0]) == 0.0
+        assert external_io_bound_blocks(100, MemoryConfig(64, 8)) > 0
+
+
+class TestDeviceInteraction:
+    def test_files_cleaned_up(self):
+        dev = BlockDevice(MemoryConfig(64, 8))
+        external_iaf_distances(
+            np.random.default_rng(0).integers(0, 20, 200),
+            MemoryConfig(64, 8),
+            device=dev,
+        )
+        assert dev.list_files() == ["iaf.distances"]
+
+    def test_distance_file_holds_all_cells(self):
+        dev = BlockDevice(MemoryConfig(64, 8))
+        tr = np.random.default_rng(0).integers(0, 20, 200)
+        d, _ = external_iaf_distances(tr, MemoryConfig(64, 8), device=dev)
+        f = dev.open("iaf.distances")
+        assert len(f) == tr.size + 1  # sentinel cell included
+        stored = f.read(0, len(f))
+        assert np.array_equal(stored[1:], d)

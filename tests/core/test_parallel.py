@@ -1,0 +1,121 @@
+"""Tests for PARALLEL-INCREMENT-AND-FREEZE."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_backward_distances
+from repro.core.engine import EngineStats, Segments, iaf_distances
+from repro.core.ops import prepost_sequence_arrays
+from repro.core.parallel import (
+    _split_segments,
+    measure_parallel_cost,
+    parallel_iaf_distances,
+    parallel_iaf_hit_rate_curve,
+)
+from repro.errors import CapacityError
+
+from ..conftest import small_traces
+
+
+class TestSplitSegments:
+    def _make(self, trace):
+        kind, t, r = prepost_sequence_arrays(np.asarray(trace))
+        return Segments.single(kind, t, r, 0, len(trace))
+
+    def test_single_group_is_identity(self):
+        seg = self._make([1, 2, 1])
+        parts = _split_segments(seg, 1)
+        assert len(parts) == 1
+        assert parts[0].n_ops == seg.n_ops
+
+    def test_partition_covers_all_segments(self):
+        from repro.core.engine import _partition_level
+
+        seg = self._make(list(range(64)) * 2)
+        for _ in range(4):
+            seg = _partition_level(seg, np.ones(seg.n_segments, dtype=bool))
+        parts = _split_segments(seg, 4)
+        assert sum(p.n_segments for p in parts) == seg.n_segments
+        assert sum(p.n_ops for p in parts) == seg.n_ops
+        assert len(parts) <= 4
+
+
+class TestParallelDistances:
+    @given(small_traces(), st.integers(1, 5))
+    def test_matches_serial_engine(self, trace, workers):
+        got = parallel_iaf_distances(trace, workers=workers)
+        want = iaf_distances(trace)
+        assert np.array_equal(got, want)
+
+    def test_larger_trace_many_workers(self):
+        tr = np.random.default_rng(0).integers(0, 100, size=5000)
+        for w in (2, 4, 8):
+            assert np.array_equal(
+                parallel_iaf_distances(tr, workers=w),
+                naive_backward_distances(tr),
+            )
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(CapacityError):
+            parallel_iaf_distances([1], workers=0)
+
+    def test_empty(self):
+        assert parallel_iaf_distances(np.array([], dtype=np.int64),
+                                      workers=4).size == 0
+
+    def test_curve_wrapper(self):
+        tr = np.random.default_rng(0).integers(0, 20, size=300)
+        c1 = parallel_iaf_hit_rate_curve(tr, workers=3)
+        from repro.core.engine import iaf_hit_rate_curve
+
+        assert c1.almost_equal(iaf_hit_rate_curve(tr))
+
+    def test_stats_work_collected_across_threads(self):
+        tr = np.random.default_rng(0).integers(0, 60, size=3000)
+        s_ser, s_par = EngineStats(), EngineStats()
+        iaf_distances(tr, stats=s_ser)
+        parallel_iaf_distances(tr, workers=4, stats=s_par)
+        # Same asymptotic work: within 30% of the serial engine's count.
+        assert abs(s_par.work - s_ser.work) <= 0.3 * s_ser.work
+
+
+class TestCostReport:
+    def test_speedup_curves_shape(self):
+        tr = np.random.default_rng(0).integers(0, 200, size=8000)
+        report = measure_parallel_cost(tr)
+        procs = [1, 2, 4, 8, 16]
+        basic = report.basic_speedups(procs)
+        par = report.parallel_speedups(procs)
+        # Speedups are monotone in p and PARALLEL-IAF dominates basic IAF.
+        assert list(basic.speedups) == sorted(basic.speedups)
+        assert list(par.speedups) == sorted(par.speedups)
+        assert par.speedups[-1] >= basic.speedups[-1]
+        # Basic IAF saturates near its Theta(log n) parallelism.
+        assert basic.saturation() <= 4 * np.log2(tr.size)
+
+
+class TestProcessParallel:
+    def test_matches_serial_engine(self):
+        from repro.core.parallel import process_parallel_iaf_distances
+
+        tr = np.random.default_rng(5).integers(0, 80, size=4_000)
+        want = iaf_distances(tr)
+        for w in (1, 2, 3):
+            got = process_parallel_iaf_distances(tr, workers=w)
+            assert np.array_equal(got, want), w
+
+    def test_rejects_bad_workers(self):
+        from repro.core.parallel import process_parallel_iaf_distances
+
+        with pytest.raises(CapacityError):
+            process_parallel_iaf_distances([1], workers=0)
+
+    def test_empty_and_tiny(self):
+        from repro.core.parallel import process_parallel_iaf_distances
+
+        assert process_parallel_iaf_distances(
+            np.array([], dtype=np.int64), workers=2
+        ).size == 0
+        assert process_parallel_iaf_distances([7], workers=2).tolist() == [0]

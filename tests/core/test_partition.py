@@ -1,0 +1,88 @@
+"""Tests for the serial Prefix/Postfix partition routine (Sections 6/8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.baselines.naive import naive_backward_distances
+from repro.core.ops import apply_prepost, prepost_sequence
+from repro.core.partition import (
+    partition_prepost,
+    partition_prepost_simple,
+    prepost_distances,
+    solve_prepost,
+)
+from repro.errors import OperationError
+
+from ..conftest import nonempty_traces, small_traces
+
+
+def _apply(ops, a, b):
+    return apply_prepost(ops, a, b).tolist()
+
+
+class TestPartitionAgainstSemantics:
+    @given(nonempty_traces(max_len=24))
+    def test_children_reproduce_parent_effect(self, trace):
+        """Applying each child sequence equals the parent's restriction."""
+        n = trace.size
+        if n < 1:
+            return
+        ops = prepost_sequence(trace)
+        whole = apply_prepost(ops, 0, n)
+        mid = n // 2
+        left, right = partition_prepost(ops, 0, n)
+        assert _apply(left, 0, mid) == whole[: mid + 1].tolist()
+        if mid + 1 <= n:
+            got_right = _apply(right, mid + 1, n)
+            want_right = whole[mid + 1 :].tolist()
+            assert got_right == want_right
+
+    @given(nonempty_traces(max_len=24))
+    def test_optimized_matches_simple(self, trace):
+        """The right-to-left early-exit version equals the two-pass one —
+        compared by effect (op lists may differ in head placement)."""
+        n = trace.size
+        ops = prepost_sequence(trace)
+        mid = n // 2
+        l1, r1 = partition_prepost(ops, 0, n)
+        l2, r2 = partition_prepost_simple(ops, 0, n)
+        assert _apply(l1, 0, mid) == _apply(l2, 0, mid)
+        if mid + 1 <= n:
+            assert _apply(r1, mid + 1, n) == _apply(r2, mid + 1, n)
+
+    @given(nonempty_traces(max_len=24))
+    def test_shrinking_bound(self, trace):
+        """Children never exceed the Lemma 4.2-style size bound."""
+        n = trace.size
+        ops = prepost_sequence(trace)
+        mid = n // 2
+        left, right = partition_prepost(ops, 0, n)
+        assert len(left) <= 3 * (mid + 1) + 1
+        assert len(right) <= 3 * (n - mid) + 1
+
+    def test_rejects_unsplittable_interval(self):
+        with pytest.raises(OperationError):
+            partition_prepost([], 3, 3)
+        with pytest.raises(OperationError):
+            partition_prepost_simple([], 3, 3)
+
+
+class TestSolvePrepost:
+    @given(small_traces())
+    def test_distances_match_naive(self, trace):
+        assert np.array_equal(
+            prepost_distances(trace), naive_backward_distances(trace)
+        )
+
+    @given(nonempty_traces(max_len=24))
+    def test_solver_matches_direct_executor(self, trace):
+        n = trace.size
+        ops = prepost_sequence(trace)
+        got = solve_prepost(ops, 0, n)
+        want = apply_prepost(ops, 0, n)
+        assert np.array_equal(got, want)
+
+    def test_known_example(self):
+        # [a, b, a]: d = [2, ?, ?]; d_1 = |{a,b}| = 2 drives the curve.
+        assert prepost_distances([1, 2, 1]).tolist() == [2, 1, 0]

@@ -1,0 +1,81 @@
+"""Tests for the paper-faithful Section-4 recursion."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.baselines.naive import naive_backward_distances
+from repro.core.ops import Freeze, Increment, increment_freeze_sequence
+from repro.core.reference import (
+    reference_distances,
+    reference_hit_curve_counts,
+    shrunk_projection,
+)
+
+from ..conftest import small_traces
+
+
+class TestShrunkProjection:
+    def test_drops_nulls(self):
+        ops = [Increment(1, 2, 1), Freeze(9), Increment(7, 8, 1)]
+        out = shrunk_projection(ops, 1, 4)
+        assert out == [Increment(1, 2, 1)]
+
+    def test_merges_adjacent_same_range(self):
+        ops = [Increment(1, 8, 1), Increment(2, 9, 2)]
+        out = shrunk_projection(ops, 3, 6)
+        assert out == [Increment(3, 6, 3)]
+
+    def test_does_not_merge_distinct_ranges(self):
+        ops = [Increment(1, 4, 1), Increment(2, 9, 2)]
+        out = shrunk_projection(ops, 2, 6)
+        assert out == [Increment(2, 4, 1), Increment(2, 6, 2)]
+
+    def test_freeze_interrupts_merging(self):
+        ops = [Increment(1, 9, 1), Freeze(4), Increment(1, 9, 1)]
+        out = shrunk_projection(ops, 3, 6)
+        assert out == [
+            Increment(3, 6, 1),
+            Freeze(4),
+            Increment(3, 6, 1),
+        ]
+
+    @given(small_traces(max_len=20))
+    def test_size_bound_lemma_4_2(self, trace):
+        """|shrunk projection onto I| = O(|I|) — we check the 6|I|+1 form."""
+        n = trace.size
+        if n < 2:
+            return
+        ops = shrunk_projection(increment_freeze_sequence(trace), 1, n)
+        mid = (1 + n) // 2
+        for a, b in [(1, mid), (mid + 1, n)]:
+            if a > b:
+                continue
+            sub = shrunk_projection(ops, a, b)
+            assert len(sub) <= 6 * (b - a + 1) + 1
+
+
+class TestReferenceDistances:
+    def test_empty(self):
+        assert reference_distances([]).size == 0
+
+    def test_single(self):
+        assert reference_distances([5]).tolist() == [0]
+
+    def test_repeat_pair(self):
+        # [a, a]: d_1 = |{a}| = 1; d_2 counts the distinct suffix after it.
+        assert reference_distances([3, 3]).tolist() == [1, 0]
+
+    def test_interleaved(self):
+        # [a, b, a, b]: d_1 = |{a,b}| = 2, d_2 = |{a,b}| = 2.
+        assert reference_distances([1, 2, 1, 2]).tolist()[:2] == [2, 2]
+
+    @given(small_traces())
+    def test_matches_naive(self, trace):
+        assert np.array_equal(
+            reference_distances(trace), naive_backward_distances(trace)
+        )
+
+    @given(small_traces())
+    def test_hit_curve_counts_monotone(self, trace):
+        counts = reference_hit_curve_counts(trace)
+        assert (np.diff(counts) >= 0).all() if counts.size else True

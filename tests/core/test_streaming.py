@@ -1,0 +1,107 @@
+"""Tests for the online streaming analyzer."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_hit_counts
+from repro.core.bounded import bounded_iaf
+from repro.core.streaming import OnlineCurveAnalyzer, analyze_stream
+from repro.errors import CapacityError
+
+from ..conftest import nonempty_traces
+
+
+class TestPushSemantics:
+    def test_counts_ingested(self):
+        a = OnlineCurveAnalyzer(4)
+        a.push([1, 2, 3])
+        a.push(7)
+        assert a.accesses_ingested == 4
+
+    def test_windows_complete_on_chunk_boundary(self):
+        a = OnlineCurveAnalyzer(2, chunk_multiplier=2)  # chunk length 4
+        assert a.push([1, 2, 3]) == 0
+        assert a.windows == []
+        assert a.push([4]) == 1
+        assert len(a.windows) == 1
+
+    def test_large_push_completes_many_windows(self):
+        a = OnlineCurveAnalyzer(2, chunk_multiplier=1)
+        completed = a.push(np.arange(11) % 3)
+        assert completed == 5
+        assert a.flush()
+        assert len(a.windows) == 6
+
+    def test_flush_empty_is_noop(self):
+        a = OnlineCurveAnalyzer(4)
+        assert not a.flush()
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            OnlineCurveAnalyzer(0)
+        with pytest.raises(CapacityError):
+            OnlineCurveAnalyzer(2, chunk_multiplier=0)
+
+
+class TestEquivalenceWithOffline:
+    @given(nonempty_traces(max_addr=8), st.integers(1, 8),
+           st.integers(1, 3), st.data())
+    def test_matches_bounded_iaf(self, trace, k, mult, data):
+        """Arbitrary batch boundaries never change the result."""
+        offline = bounded_iaf(trace, k, chunk_multiplier=mult)
+        analyzer = OnlineCurveAnalyzer(k, chunk_multiplier=mult)
+        pos = 0
+        while pos < trace.size:
+            step = data.draw(st.integers(1, trace.size - pos))
+            analyzer.push(trace[pos : pos + step])
+            pos += step
+        analyzer.flush()
+        assert analyzer.curve().almost_equal(offline.curve)
+        assert len(analyzer.windows) == len(offline.windows)
+        for got, want in zip(analyzer.windows, offline.windows):
+            assert got.almost_equal(want)
+
+    @given(nonempty_traces(max_addr=8), st.integers(1, 8))
+    def test_curve_exact_mid_stream(self, trace, k):
+        """curve() answers exactly for every prefix, pending included."""
+        analyzer = OnlineCurveAnalyzer(k, chunk_multiplier=2)
+        for i in range(trace.size):
+            analyzer.push(trace[i])
+            prefix = trace[: i + 1]
+            want = naive_hit_counts(prefix)
+            got = analyzer.curve()
+            for kk in range(1, k + 1):
+                w = int(want[min(kk, len(want)) - 1]) if len(want) else 0
+                assert got.hits(kk) == w, (i, kk)
+
+    def test_analyze_stream_helper(self):
+        trace = np.random.default_rng(0).integers(0, 9, size=300)
+        batches = [trace[i : i + 37] for i in range(0, trace.size, 37)]
+        curve, windows = analyze_stream(batches, 9)
+        offline = bounded_iaf(trace, 9, chunk_multiplier=4)
+        assert curve.almost_equal(offline.curve)
+        assert windows
+
+
+class TestExpandK:
+    def test_grow_only(self):
+        a = OnlineCurveAnalyzer(4)
+        with pytest.raises(CapacityError):
+            a.expand_k(3)
+
+    def test_merged_curve_keeps_smallest_truncation(self):
+        tr = np.random.default_rng(1).integers(0, 12, size=64)
+        a = OnlineCurveAnalyzer(3, chunk_multiplier=4)
+        a.push(tr[:32])
+        a.flush()
+        a.expand_k(8)
+        a.push(tr[32:])
+        a.flush()
+        curve = a.curve()
+        assert curve.truncated_at == 3
+        want = naive_hit_counts(tr)
+        for kk in (1, 2, 3):
+            w = int(want[min(kk, len(want)) - 1]) if len(want) else 0
+            assert curve.hits(kk) == w

@@ -1,0 +1,138 @@
+"""Tests for the variable-size-object extension (Section 9.1 remark)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.engine import iaf_distances
+from repro.core.weighted import (
+    EvictOnInsertWeightedLRU,
+    WeightedLRUCache,
+    naive_weighted_stack_distances,
+    ost_weighted_stack_distances,
+    simulate_weighted_lru,
+    weighted_backward_distances,
+    weighted_hit_rate_curve,
+    weighted_stack_distances,
+)
+from repro.errors import CapacityError, TraceError
+
+
+@st.composite
+def weighted_cases(draw):
+    u = draw(st.integers(1, 8))
+    trace = draw(st.lists(st.integers(0, u - 1), min_size=0, max_size=30))
+    sizes = draw(st.lists(st.integers(1, 9), min_size=u, max_size=u))
+    return np.asarray(trace, dtype=np.int64), np.asarray(sizes, dtype=np.int64)
+
+
+class TestWeightedDistances:
+    def test_hand_example(self):
+        # sizes: a=2, b=5.  trace a b a: the reuse of a spans {a, b} = 7.
+        out = weighted_stack_distances([0, 1, 0], [2, 5])
+        assert out.tolist() == [0, 0, 7]
+
+    def test_repeat_has_own_size(self):
+        out = weighted_stack_distances([3, 3], [1, 1, 1, 6])
+        assert out.tolist() == [0, 6]
+
+    @given(weighted_cases())
+    def test_engine_matches_oracle(self, case):
+        trace, sizes = case
+        assert np.array_equal(
+            weighted_stack_distances(trace, sizes),
+            naive_weighted_stack_distances(trace, sizes),
+        )
+
+    @given(weighted_cases())
+    def test_weighted_tree_matches_oracle(self, case):
+        trace, sizes = case
+        assert np.array_equal(
+            ost_weighted_stack_distances(trace, sizes),
+            naive_weighted_stack_distances(trace, sizes),
+        )
+
+    @given(weighted_cases())
+    def test_unit_weights_reduce_to_classic(self, case):
+        trace, _ = case
+        ones = np.ones(8, dtype=np.int64)
+        assert np.array_equal(
+            weighted_backward_distances(trace, ones), iaf_distances(trace)
+        )
+
+    @given(weighted_cases())
+    def test_distances_scale_with_uniform_size(self, case):
+        """Scaling every object by c scales every distance by c."""
+        trace, sizes = case
+        base = weighted_stack_distances(trace, sizes)
+        scaled = weighted_stack_distances(trace, sizes * 3)
+        assert np.array_equal(scaled, base * 3)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            weighted_stack_distances([0, 5], [1, 1])  # address 5 unsized
+        with pytest.raises(TraceError):
+            weighted_stack_distances([0], [0])  # zero size
+
+
+class TestWeightedCurve:
+    @given(weighted_cases(), st.data())
+    def test_curve_matches_stack_model_simulation(self, case, data):
+        trace, sizes = case
+        total = int(sizes.sum())
+        caps = data.draw(
+            st.lists(st.integers(1, total + 2), min_size=1, max_size=4)
+        )
+        curve = weighted_hit_rate_curve(trace, sizes, caps)
+        for idx, cap in enumerate(caps):
+            hits, misses = simulate_weighted_lru(trace, sizes, cap)
+            assert int(curve.hits[idx]) == hits
+            assert hits + misses == trace.size
+
+    def test_curve_monotone_in_capacity(self):
+        tr = np.random.default_rng(0).integers(0, 10, size=200)
+        sizes = np.random.default_rng(1).integers(1, 20, size=10)
+        caps = [1, 10, 50, 100, 200]
+        curve = weighted_hit_rate_curve(tr, sizes, caps)
+        assert list(curve.hits) == sorted(curve.hits)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            weighted_hit_rate_curve([0], [1], [-1])
+
+    def test_hit_rate_accessor(self):
+        curve = weighted_hit_rate_curve([0, 0], [1], [1])
+        assert curve.hit_rate(0) == 0.5
+
+
+class TestStackModelVsPracticalLRU:
+    def test_known_divergence(self):
+        """Variable-size LRU is not a stack algorithm: the practical
+        evict-on-insert cache beats the stack model on this trace because
+        the size-4 object never displaces the small one."""
+        trace, sizes, cap = [1, 1, 0, 0, 1], [4, 1], 2
+        stack_hits, _ = simulate_weighted_lru(trace, sizes, cap)
+        eoi = EvictOnInsertWeightedLRU(cap)
+        for a in trace:
+            eoi.access(a, sizes[a])
+        assert stack_hits == 1
+        assert eoi.hits == 2
+
+    @given(weighted_cases())
+    def test_models_agree_on_unit_sizes(self, case):
+        """With unit sizes both models are plain LRU."""
+        trace, _ = case
+        ones = np.ones(8, dtype=np.int64)
+        for cap in (1, 3, 8):
+            stack_hits, _ = simulate_weighted_lru(trace, ones, cap)
+            eoi = EvictOnInsertWeightedLRU(cap)
+            for a in trace:
+                eoi.access(int(a), 1)
+            assert stack_hits == eoi.hits
+
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            WeightedLRUCache(0)
+        with pytest.raises(CapacityError):
+            EvictOnInsertWeightedLRU(0)

@@ -1,0 +1,104 @@
+"""Tests for the simulated block device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BlockDeviceError, ExternalMemoryError
+from repro.extmem.blockdevice import BlockDevice, MemoryConfig
+
+
+@pytest.fixture
+def device():
+    return BlockDevice(MemoryConfig(memory_items=64, block_items=8))
+
+
+class TestMemoryConfig:
+    def test_fanout(self):
+        assert MemoryConfig(64, 8).fanout == 8
+
+    def test_rejects_tiny_memory(self):
+        with pytest.raises(ExternalMemoryError):
+            MemoryConfig(8, 8)
+
+    def test_rejects_zero_block(self):
+        with pytest.raises(ExternalMemoryError):
+            MemoryConfig(64, 0)
+
+
+class TestFileLifecycle:
+    def test_create_open_delete(self, device):
+        f = device.create("a")
+        assert device.open("a") is f
+        device.delete("a")
+        with pytest.raises(BlockDeviceError):
+            device.open("a")
+
+    def test_duplicate_create_rejected(self, device):
+        device.create("a")
+        with pytest.raises(BlockDeviceError):
+            device.create("a")
+
+    def test_delete_missing_rejected(self, device):
+        with pytest.raises(BlockDeviceError):
+            device.delete("nope")
+
+    def test_list_files(self, device):
+        device.create("b")
+        device.create("a")
+        assert device.list_files() == ["a", "b"]
+
+
+class TestReadWriteAccounting:
+    def test_aligned_write_cost(self, device):
+        f = device.create("a")
+        f.append(np.arange(16))  # exactly two blocks
+        assert device.stats.write_blocks == 2
+
+    def test_partial_block_buffered_until_flush(self, device):
+        f = device.create("a")
+        f.append(np.arange(5))
+        assert device.stats.write_blocks == 0  # buffered
+        f.flush()
+        assert device.stats.write_blocks == 1
+
+    def test_incremental_appends_coalesce(self, device):
+        f = device.create("a")
+        for i in range(16):
+            f.append(np.array([i]))
+        assert device.stats.write_blocks == 2  # two full blocks, no waste
+        assert len(f) == 16
+
+    def test_read_round_trip(self, device):
+        f = device.create_from("a", np.arange(20))
+        assert np.array_equal(f.read(3, 11), np.arange(3, 11))
+
+    def test_read_charges_overlapped_blocks(self, device):
+        f = device.create_from("a", np.arange(32))
+        device.stats.reset()
+        f.read(7, 9)  # straddles blocks 0 and 1
+        assert device.stats.read_blocks == 2
+
+    def test_read_out_of_range(self, device):
+        f = device.create_from("a", np.arange(8))
+        with pytest.raises(BlockDeviceError):
+            f.read(0, 9)
+        with pytest.raises(BlockDeviceError):
+            f.read(-1, 2)
+
+    def test_read_blocks_streams_everything(self, device):
+        data = np.arange(30)
+        f = device.create_from("a", data)
+        out = np.concatenate(list(f.read_blocks()))
+        assert np.array_equal(out, data)
+
+    def test_strict_mode_rejects_oversized_transfer(self):
+        dev = BlockDevice(MemoryConfig(64, 8), strict=True)
+        f = dev.create("a")
+        with pytest.raises(ExternalMemoryError):
+            f.append(np.arange(100))
+
+    def test_by_tag_attribution(self, device):
+        f = device.create_from("a", np.arange(16))
+        f.read(0, 16)
+        assert device.stats.by_tag["write:a"] == 2
+        assert device.stats.by_tag["read:a"] == 2

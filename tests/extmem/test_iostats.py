@@ -1,0 +1,52 @@
+"""Tests for IO accounting arithmetic."""
+
+import pytest
+
+from repro.extmem.iostats import IOStats, blocks_for_items, blocks_for_span
+
+
+class TestBlocksForSpan:
+    def test_empty_span(self):
+        assert blocks_for_span(5, 5, 4) == 0
+        assert blocks_for_span(6, 5, 4) == 0
+
+    def test_within_one_block(self):
+        assert blocks_for_span(0, 4, 4) == 1
+        assert blocks_for_span(1, 3, 4) == 1
+
+    def test_straddling(self):
+        assert blocks_for_span(3, 5, 4) == 2
+        assert blocks_for_span(0, 9, 4) == 3
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            blocks_for_span(0, 4, 0)
+
+
+class TestBlocksForItems:
+    def test_exact(self):
+        assert blocks_for_items(8, 4) == 2
+
+    def test_round_up(self):
+        assert blocks_for_items(9, 4) == 3
+
+    def test_zero(self):
+        assert blocks_for_items(0, 4) == 0
+
+
+class TestIOStats:
+    def test_totals_and_tags(self):
+        s = IOStats()
+        s.record_read(3, tag="input")
+        s.record_write(2, tag="input")
+        s.record_write(5)
+        assert s.read_blocks == 3
+        assert s.write_blocks == 7
+        assert s.total_blocks == 10
+        assert s.by_tag == {"input": 5}
+
+    def test_reset(self):
+        s = IOStats()
+        s.record_read(1, tag="x")
+        s.reset()
+        assert s.total_blocks == 0 and s.by_tag == {}

@@ -1,0 +1,63 @@
+"""Tests for the external-memory merge sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.extmem.blockdevice import BlockDevice, MemoryConfig
+from repro.extmem.sort import external_sort, sort_bound_blocks
+
+
+def _sort_on_device(data, memory_items=32, block_items=4):
+    dev = BlockDevice(MemoryConfig(memory_items, block_items))
+    src = dev.create_from("src", np.asarray(data, dtype=np.int64))
+    dev.stats.reset()
+    out = external_sort(dev, src, "out")
+    return dev, out
+
+
+class TestCorrectness:
+    def test_empty(self):
+        dev, out = _sort_on_device([])
+        assert len(out) == 0
+
+    def test_single_run(self):
+        data = np.random.default_rng(0).integers(0, 100, size=20)
+        dev, out = _sort_on_device(data)
+        assert np.array_equal(out.read(0, len(out)), np.sort(data))
+
+    def test_multi_pass(self):
+        data = np.random.default_rng(1).integers(0, 10_000, size=5_000)
+        dev, out = _sort_on_device(data, memory_items=64, block_items=8)
+        assert np.array_equal(out.read(0, len(out)), np.sort(data))
+
+    @given(st.lists(st.integers(0, 50), max_size=200))
+    def test_random(self, data):
+        dev, out = _sort_on_device(data)
+        got = out.read(0, len(out)) if len(out) else np.array([])
+        assert got.tolist() == sorted(data)
+
+    def test_result_named_out(self):
+        dev, out = _sort_on_device(np.arange(100)[::-1])
+        assert out.name == "out"
+        assert dev.open("out") is out
+
+    def test_intermediate_runs_deleted(self):
+        dev, out = _sort_on_device(
+            np.random.default_rng(0).integers(0, 100, 1000),
+            memory_items=16, block_items=2,
+        )
+        assert set(dev.list_files()) == {"src", "out"}
+
+
+class TestIOBound:
+    def test_io_within_constant_of_sort_bound(self):
+        n = 20_000
+        data = np.random.default_rng(2).integers(0, n, size=n)
+        dev, _ = _sort_on_device(data, memory_items=256, block_items=16)
+        bound = sort_bound_blocks(n, 256, 16)
+        assert dev.stats.total_blocks <= 6 * bound
+
+    def test_bound_zero_for_empty(self):
+        assert sort_bound_blocks(0, 64, 8) == 0.0

@@ -1,0 +1,116 @@
+"""Algebraic composition properties of hit-rate curves and distances.
+
+These properties relate a trace's curve to the curves of transformed
+traces — powerful cross-checks because each one exercises the whole
+pipeline twice and compares through an exact mathematical identity
+rather than a reference implementation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import hit_rate_curve, iaf_distances, stack_distances
+from repro.core.prevnext import prev_next_arrays
+
+from ..conftest import nonempty_traces, small_traces
+
+
+class TestDisjointInterleaving:
+    @given(nonempty_traces(max_addr=5), nonempty_traces(max_addr=5))
+    def test_concatenation_of_disjoint_spaces_sums_hits(self, a, b):
+        """Disjoint address spaces never interact: a reuse window of one
+        part never contains an address of the other (reuse windows don't
+        straddle the boundary), so every stack distance of the
+        concatenation equals the distance within its own part and hit
+        counts add at every size."""
+        b_shifted = (b + 1000).astype(a.dtype)
+        combined = np.concatenate([a, b_shifted])
+        ca = hit_rate_curve(a)
+        cb = hit_rate_curve(b_shifted)
+        cc = hit_rate_curve(combined)
+        for k in (1, 2, 3, 5, 8):
+            assert cc.hits(k) == ca.hits(k) + cb.hits(k)
+
+    @given(nonempty_traces(max_addr=5))
+    def test_self_concatenation_distances(self, trace):
+        """In T·T the second copy's first accesses see through to the
+        first copy; distances within the second copy match the first's."""
+        doubled = np.concatenate([trace, trace])
+        f = stack_distances(doubled)
+        f_single = stack_distances(trace)
+        n = trace.size
+        # Positions in the second copy whose prev is also in the second
+        # copy reproduce the single-trace distances.
+        prev, _ = prev_next_arrays(doubled)
+        for i in range(n, 2 * n):
+            if prev[i] >= n:
+                assert f[i] == f_single[i - n]
+
+
+class TestRepetitionAndPadding:
+    @given(small_traces(max_len=15, max_addr=4), st.integers(2, 4))
+    def test_tiling_saturates_hit_rate(self, trace, reps):
+        """Tiling a trace many times drives H(u) toward 1 (compulsory
+        misses amortize away)."""
+        if trace.size == 0:
+            return
+        u = int(np.unique(trace).size)
+        tiled = np.tile(trace, reps)
+        curve = hit_rate_curve(tiled)
+        assert curve.hits(u) == tiled.size - u
+
+    @given(nonempty_traces(max_addr=5))
+    def test_interleaving_unique_padding_inflates_distances(self, trace):
+        """Inserting a never-repeated address after every access adds
+        one distinct item per original access inside the reuse window:
+        f'_i = f_i + (i - prev(i))."""
+        n = trace.size
+        pad = np.arange(10_000, 10_000 + n)
+        woven = np.empty(2 * n, dtype=np.int64)
+        woven[0::2] = trace
+        woven[1::2] = pad
+        f_orig = stack_distances(trace)
+        f_woven = stack_distances(woven)[0::2]
+        prev, _ = prev_next_arrays(trace)
+        for i in range(n):
+            if f_orig[i] > 0:
+                assert f_woven[i] == f_orig[i] + (i - prev[i])
+
+    @given(nonempty_traces())
+    def test_distances_invariant_under_trailing_fresh_suffix(self, trace):
+        """Appending never-seen addresses cannot change earlier forward
+        distances."""
+        suffix = np.arange(5_000, 5_010)
+        extended = np.concatenate([trace, suffix])
+        assert np.array_equal(
+            stack_distances(extended)[: trace.size], stack_distances(trace)
+        )
+
+
+class TestBackwardForwardDuality:
+    @given(nonempty_traces())
+    def test_hit_count_identity(self, trace):
+        """Sum over re-accessed positions of [f_i <= k] equals sum over
+        positions-with-next of [d_i <= k] — the two phrasings of H."""
+        d = iaf_distances(trace)
+        f = stack_distances(trace)
+        prev, nxt = prev_next_arrays(trace)
+        n = trace.size
+        for k in (1, 2, 4, 8):
+            via_f = int(((f > 0) & (f <= k)).sum())
+            via_d = int(((nxt < n) & (d <= k)).sum())
+            assert via_f == via_d
+
+    @given(nonempty_traces())
+    def test_reverse_trace_swaps_conventions(self, trace):
+        """d(T) restricted to re-accessed windows equals f(reverse(T))
+        reversed, on the matching positions."""
+        d = iaf_distances(trace)
+        f_rev = stack_distances(trace[::-1])[::-1]
+        _, nxt = prev_next_arrays(trace)
+        n = trace.size
+        for i in range(n):
+            if nxt[i] < n:
+                assert d[i] == f_rev[i]

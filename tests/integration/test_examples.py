@@ -1,0 +1,33 @@
+"""Smoke test: the examples run and their self-checks pass.
+
+Only the parameterizable example is exercised here (the others run for
+tens of seconds at their illustrative sizes and are executed by the
+release checklist instead); its internal assertion verifies all
+algorithms agree on the curve.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_compare_algorithms_example_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "compare_algorithms.py"), "3000"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "All algorithms, identical curves" in result.stdout
+    assert "curves verified equal" in result.stdout
+
+
+def test_all_examples_importable():
+    """Every example at least compiles (catches bit-rotted imports)."""
+    import py_compile
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,128 @@
+"""Property-based invariants of the whole system (hypothesis-driven)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import hit_rate_curve, iaf_distances, stack_distances
+from repro.cache.lru import simulate_lru
+from repro.cache.opt import simulate_opt
+from repro.core.bounded import bounded_iaf
+from repro.core.engine import EngineStats
+
+from ..conftest import nonempty_traces, small_traces
+
+
+class TestCurveInvariants:
+    @given(nonempty_traces())
+    def test_monotone_nondecreasing(self, trace):
+        curve = hit_rate_curve(trace)
+        rates = curve.hit_rate_array()
+        assert (np.diff(rates) >= -1e-15).all()
+
+    @given(nonempty_traces())
+    def test_bounded_by_compulsory_misses(self, trace):
+        """H(k) <= 1 - u/n for every k: first touches always miss."""
+        curve = hit_rate_curve(trace)
+        u = np.unique(trace).size
+        best = 1.0 - u / trace.size
+        assert curve.hit_rate(curve.max_size or 1) <= best + 1e-12
+
+    @given(nonempty_traces())
+    def test_infinite_cache_achieves_compulsory_bound(self, trace):
+        curve = hit_rate_curve(trace)
+        u = int(np.unique(trace).size)
+        assert curve.hits(u) == trace.size - u
+
+    @given(nonempty_traces())
+    def test_curve_support_is_at_most_u(self, trace):
+        """No stack distance can exceed the number of distinct addresses."""
+        curve = hit_rate_curve(trace)
+        assert curve.max_size <= np.unique(trace).size
+
+    @given(nonempty_traces(), st.integers(1, 10))
+    def test_opt_dominates_lru_everywhere(self, trace, k):
+        curve = hit_rate_curve(trace)
+        assert simulate_opt(trace, k).hits >= curve.hits(k)
+
+
+class TestDistanceInvariants:
+    @given(nonempty_traces())
+    def test_stack_distance_at_most_gap_length(self, trace):
+        """f_i <= i - prev(i): can't see more distinct items than items."""
+        from repro.core.prevnext import prev_next_arrays
+
+        dist = stack_distances(trace)
+        prev, _ = prev_next_arrays(trace)
+        for i in range(trace.size):
+            if prev[i] != -1:
+                assert 1 <= dist[i] <= i - prev[i]
+
+    @given(nonempty_traces())
+    def test_immediate_repeat_has_distance_one(self, trace):
+        dist = stack_distances(trace)
+        for i in range(1, trace.size):
+            if trace[i] == trace[i - 1]:
+                assert dist[i] == 1
+
+    @given(nonempty_traces())
+    def test_reversal_involution(self, trace):
+        """d(reverse(reverse(T))) == d(T) — trivial but exercises slicing."""
+        assert np.array_equal(
+            iaf_distances(trace), iaf_distances(trace[::-1][::-1])
+        )
+
+    @given(nonempty_traces())
+    def test_address_relabeling_invariance(self, trace):
+        """Distances depend only on the reuse structure, not address values."""
+        _, inverse = np.unique(trace, return_inverse=True)
+        relabeled = (inverse * 7 + 3).astype(np.int64)
+        assert np.array_equal(iaf_distances(trace), iaf_distances(relabeled))
+
+    @given(nonempty_traces())
+    def test_prefix_consistency(self, trace):
+        """Forward distances of a prefix equal the full trace's prefix."""
+        cut = trace.size // 2
+        if cut == 0:
+            return
+        full = stack_distances(trace)
+        pre = stack_distances(trace[:cut])
+        assert np.array_equal(full[:cut], pre)
+
+
+class TestBoundedInvariants:
+    @given(nonempty_traces(max_addr=10), st.integers(1, 12))
+    def test_bounded_agrees_with_truncated_full(self, trace, k):
+        full = hit_rate_curve(trace)
+        res = bounded_iaf(trace, k)
+        for kk in range(1, k + 1):
+            assert res.curve.hits(kk) == full.hits(kk)
+
+    @given(nonempty_traces(max_addr=10), st.integers(1, 8),
+           st.integers(1, 8))
+    def test_chunk_multiplier_irrelevant_to_result(self, trace, k, mult):
+        a = bounded_iaf(trace, k, chunk_multiplier=1)
+        b = bounded_iaf(trace, k, chunk_multiplier=mult)
+        assert a.curve.almost_equal(b.curve)
+
+
+class TestComplexityEnvelopes:
+    @settings(max_examples=10)
+    @given(st.integers(6, 12))
+    def test_work_scales_n_log_n(self, log_n):
+        """Doubling n grows engine work by ~2x (plus a log factor), not 4x."""
+        n = 2 ** log_n
+        rng = np.random.default_rng(0)
+        s1, s2 = EngineStats(), EngineStats()
+        iaf_distances(rng.integers(0, n // 4, size=n), stats=s1)
+        iaf_distances(rng.integers(0, n // 2, size=2 * n), stats=s2)
+        assert s2.work <= 3.0 * s1.work
+
+    @settings(max_examples=10)
+    @given(st.integers(6, 12))
+    def test_peak_level_ops_linear(self, log_n):
+        n = 2 ** log_n
+        tr = np.random.default_rng(1).integers(0, n // 4, size=n)
+        stats = EngineStats()
+        iaf_distances(tr, stats=stats)
+        assert stats.peak_level_ops <= 3 * n

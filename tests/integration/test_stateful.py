@@ -1,0 +1,159 @@
+"""Model-based stateful tests (hypothesis RuleBasedStateMachine).
+
+Each mutable structure is driven through arbitrary operation sequences
+against a trivially correct model; invariants are asserted after every
+step.  These catch the bugs example-based tests structurally miss —
+rebalance paths, eviction order corner cases, size-augmentation drift.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.baselines.ost import OrderStatisticTree
+from repro.baselines.splay import SplayTree
+from repro.cache.lru import LRUCache
+
+KEYS = st.integers(0, 500)
+
+
+class _TreeMachine(RuleBasedStateMachine):
+    """Shared driver: any order-statistic tree vs a Python set."""
+
+    tree_factory = None  # overridden by subclasses
+
+    def __init__(self):
+        super().__init__()
+        self.tree = self.tree_factory()
+        self.model = set()
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        if key in self.model:
+            try:
+                self.tree.insert(key)
+                raise AssertionError("duplicate insert must raise")
+            except KeyError:
+                pass
+        else:
+            self.tree.insert(key)
+            self.model.add(key)
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        if key in self.model:
+            self.tree.delete(key)
+            self.model.remove(key)
+        else:
+            try:
+                self.tree.delete(key)
+                raise AssertionError("deleting a missing key must raise")
+            except KeyError:
+                pass
+
+    @rule(key=KEYS)
+    def rank_query(self, key):
+        want = sum(1 for x in self.model if x >= key)
+        assert self.tree.count_ge(key) == want
+
+    @rule(key=KEYS)
+    def membership(self, key):
+        assert (key in self.tree) == (key in self.model)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+
+
+class OSTMachine(_TreeMachine):
+    tree_factory = OrderStatisticTree
+
+
+class SplayMachine(_TreeMachine):
+    tree_factory = SplayTree
+
+
+TestOSTStateful = OSTMachine.TestCase
+TestOSTStateful.settings = settings(max_examples=25, deadline=None,
+                                    stateful_step_count=40)
+TestSplayStateful = SplayMachine.TestCase
+TestSplayStateful.settings = settings(max_examples=25, deadline=None,
+                                      stateful_step_count=40)
+
+
+class LRUMachine(RuleBasedStateMachine):
+    """LRUCache vs an explicit recency-list model."""
+
+    @initialize(capacity=st.integers(1, 6))
+    def setup(self, capacity):
+        self.capacity = capacity
+        self.cache = LRUCache(capacity)
+        self.recency = []  # most recent first
+
+    @rule(addr=st.integers(0, 12))
+    def access(self, addr):
+        want_hit = addr in self.recency
+        got_hit = self.cache.access(addr)
+        assert got_hit == want_hit
+        if addr in self.recency:
+            self.recency.remove(addr)
+        self.recency.insert(0, addr)
+        del self.recency[self.capacity:]
+
+    @invariant()
+    def contents_agree(self):
+        assert self.cache.contents_mru_first() == self.recency
+
+
+TestLRUStateful = LRUMachine.TestCase
+TestLRUStateful.settings = settings(max_examples=25, deadline=None,
+                                    stateful_step_count=50)
+
+
+class StreamingMachine(RuleBasedStateMachine):
+    """OnlineCurveAnalyzer vs recomputation from the full prefix."""
+
+    @initialize(k=st.integers(1, 6), mult=st.integers(1, 3))
+    def setup(self, k, mult):
+        from repro.core.streaming import OnlineCurveAnalyzer
+
+        self.k = k
+        self.analyzer = OnlineCurveAnalyzer(k, chunk_multiplier=mult)
+        self.history = []
+
+    @rule(batch=st.lists(st.integers(0, 6), min_size=1, max_size=7))
+    def push(self, batch):
+        self.analyzer.push(np.asarray(batch, dtype=np.int64))
+        self.history.extend(batch)
+
+    @rule()
+    def flush(self):
+        self.analyzer.flush()
+
+    @invariant()
+    def curve_matches_prefix(self):
+        from repro.baselines.naive import naive_hit_counts
+
+        got = self.analyzer.curve()
+        want = naive_hit_counts(
+            np.asarray(self.history, dtype=np.int64)
+        ) if self.history else np.zeros(0, dtype=np.int64)
+        for kk in range(1, self.k + 1):
+            w = int(want[min(kk, len(want)) - 1]) if len(want) else 0
+            assert got.hits(kk) == w
+
+
+TestStreamingStateful = StreamingMachine.TestCase
+TestStreamingStateful.settings = settings(max_examples=20, deadline=None,
+                                          stateful_step_count=30)

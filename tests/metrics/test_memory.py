@@ -1,0 +1,94 @@
+"""Tests for the memory ledger and tracemalloc wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError
+from repro.metrics.memory import MemoryModel, format_bytes, measure_tracemalloc
+
+
+class TestMemoryModel:
+    def test_allocate_and_peak(self):
+        m = MemoryModel()
+        m.allocate("a", 100)
+        m.allocate("b", 50)
+        m.free("a", 100)
+        assert m.current_bytes == 50
+        assert m.peak_bytes == 150
+
+    def test_free_too_much_rejected(self):
+        m = MemoryModel()
+        m.allocate("a", 10)
+        with pytest.raises(CapacityError):
+            m.free("a", 11)
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(CapacityError):
+            MemoryModel().allocate("a", -1)
+
+    def test_observe_sets_absolute_level(self):
+        m = MemoryModel()
+        m.observe("x", 100)
+        m.observe("x", 40)
+        m.observe("x", 70)
+        assert m.current_by_category["x"] == 70
+        assert m.peak_bytes == 100
+
+    def test_array_helpers(self):
+        m = MemoryModel()
+        arr = np.zeros(10, dtype=np.int64)
+        m.allocate_array("arr", arr)
+        assert m.current_bytes == 80
+        m.free_array("arr", arr)
+        assert m.current_bytes == 0
+
+    def test_snapshot_is_copy(self):
+        m = MemoryModel()
+        m.allocate("a", 5)
+        snap = m.snapshot()
+        snap["a"] = 999
+        assert m.current_by_category["a"] == 5
+
+    def test_reset(self):
+        m = MemoryModel()
+        m.allocate("a", 5)
+        m.reset()
+        assert m.current_bytes == 0 and m.peak_bytes == 0
+
+    def test_free_all(self):
+        m = MemoryModel()
+        m.allocate("a", 5)
+        m.free_all("a")
+        assert m.current_bytes == 0
+
+
+class TestTracemalloc:
+    def test_measures_allocation(self):
+        def work():
+            return np.zeros(1_000_000, dtype=np.int64)
+
+        arr, peak = measure_tracemalloc(work)
+        assert arr.size == 1_000_000
+        assert peak >= 8_000_000
+
+    def test_returns_result(self):
+        result, _ = measure_tracemalloc(lambda: 42)
+        assert result == 42
+
+    def test_nested_use(self):
+        def inner():
+            return measure_tracemalloc(lambda: np.zeros(1000))
+
+        (arr, inner_peak), outer_peak = measure_tracemalloc(inner)
+        assert inner_peak > 0 and outer_peak > 0
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(512) == "0.50 KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.00 MiB"
+        assert format_bytes(2 * 1024**3) == "2.00 GiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(CapacityError):
+            format_bytes(-1)

@@ -1,0 +1,58 @@
+"""Tests for the timing helpers."""
+
+import time
+
+import pytest
+
+from repro.metrics.timing import PhaseTimer, median_time, time_call
+
+
+class TestPhaseTimer:
+    def test_accumulates_phases(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        with t.phase("a"):
+            pass
+        with t.phase("b"):
+            pass
+        assert set(t.seconds_by_phase) == {"a", "b"}
+        assert t.total_seconds >= 0.0
+
+    def test_records_even_on_exception(self):
+        t = PhaseTimer()
+        with pytest.raises(ValueError):
+            with t.phase("x"):
+                raise ValueError()
+        assert "x" in t.seconds_by_phase
+
+    def test_measures_real_time(self):
+        t = PhaseTimer()
+        with t.phase("sleep"):
+            time.sleep(0.02)
+        assert t.seconds_by_phase["sleep"] >= 0.015
+
+    def test_reset(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        t.reset()
+        assert t.total_seconds == 0.0
+
+
+class TestTimeCall:
+    def test_returns_result_and_duration(self):
+        result, elapsed = time_call(lambda: "done")
+        assert result == "done" and elapsed >= 0.0
+
+    def test_median_time_repeats(self):
+        calls = []
+        result, med = median_time(lambda: calls.append(1) or len(calls),
+                                  repeats=5)
+        assert len(calls) == 5
+        assert result == 5
+        assert med >= 0.0
+
+    def test_median_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            median_time(lambda: None, repeats=0)

@@ -1,0 +1,38 @@
+"""Tests for the Brent-bound speedup model."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.pram.model import SpeedupCurve, predicted_time, self_relative_speedup
+from repro.pram.scheduler import Cost
+
+
+class TestPredictedTime:
+    def test_brent_bound(self):
+        c = Cost(work=100, span=10)
+        assert predicted_time(c, 1) == 110
+        assert predicted_time(c, 10) == 20
+        assert predicted_time(c, 10**9) == pytest.approx(10, abs=1e-3)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(SchedulerError):
+            predicted_time(Cost(1, 1), 0)
+
+
+class TestSpeedup:
+    def test_monotone_and_saturating(self):
+        c = Cost(work=1000, span=10)
+        sp = [self_relative_speedup(c, p) for p in (1, 2, 4, 8, 1000)]
+        assert sp == sorted(sp)
+        assert sp[-1] <= c.parallelism  # saturates at work/span
+
+    def test_serial_work_has_no_speedup(self):
+        c = Cost(work=100, span=100)
+        assert self_relative_speedup(c, 64) < 1.0 + 1e-9
+
+    def test_curve_factory(self):
+        curve = SpeedupCurve.from_cost("x", Cost(1000, 10), [1, 2, 4])
+        assert curve.algorithm == "x"
+        assert curve.processors == (1, 2, 4)
+        assert len(curve.speedups) == 3
+        assert curve.saturation() == max(curve.speedups)

@@ -1,0 +1,106 @@
+"""Tests for the PRAM primitives, including Lemma 6.1's cluster sum."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram.primitives import (
+    cluster_op,
+    cluster_sum,
+    cluster_sum_vectorized,
+    prefix_scan,
+    sequence_compression,
+    theoretical_span_prefix_sum,
+)
+from repro.pram.scheduler import WorkSpanTracer
+
+pairs = st.tuples(st.integers(0, 1), st.integers(-10, 10)).map(
+    lambda p: (1, 0) if p[0] == 1 else (0, p[1])
+)
+
+
+class TestPrefixScan:
+    @given(st.lists(st.integers(-100, 100), max_size=60))
+    def test_matches_serial_sum(self, xs):
+        got = prefix_scan(xs, operator.add)
+        want = list(np.cumsum(xs)) if xs else []
+        assert got == [int(w) for w in want]
+
+    @given(st.lists(st.text(max_size=3), max_size=20))
+    def test_non_commutative_operator(self, xs):
+        """Concatenation is associative but not commutative — order matters."""
+        got = prefix_scan(xs, operator.add)
+        want = ["".join(xs[: i + 1]) for i in range(len(xs))]
+        assert got == want
+
+    def test_span_is_logarithmic(self):
+        tracer = WorkSpanTracer()
+        prefix_scan(list(range(1024)), operator.add, tracer=tracer)
+        cost = tracer.cost()
+        assert cost.span <= theoretical_span_prefix_sum(1024) + 2
+        assert cost.work <= 4 * 1024
+
+
+class TestSequenceCompression:
+    def test_basic(self):
+        out = sequence_compression(
+            ["a", "b", "c", "d"], [False, True, False, True]
+        )
+        assert out == ["a", "c"]
+
+    def test_all_null(self):
+        assert sequence_compression([1, 2], [True, True]) == []
+
+    def test_empty(self):
+        assert sequence_compression([], []) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sequence_compression([1], [])
+
+    @given(st.lists(st.tuples(st.integers(), st.booleans()), max_size=50))
+    def test_preserves_order(self, items):
+        values = [v for v, _ in items]
+        nulls = [n for _, n in items]
+        got = sequence_compression(values, nulls)
+        want = [v for v, n in items if not n]
+        assert got == want
+
+
+class TestClusterSum:
+    @given(pairs, pairs, pairs)
+    def test_operator_associative(self, a, b, c):
+        """Lemma 6.1's first claim, checked exhaustively by hypothesis."""
+        assert cluster_op(cluster_op(a, b), c) == cluster_op(a, cluster_op(b, c))
+
+    @given(st.lists(pairs, max_size=50))
+    def test_interpretation(self, ps):
+        """Lemma 6.1's second claim: trailing-run sums."""
+        got = cluster_sum(ps)
+        for i in range(len(ps)):
+            # Serial re-derivation of the trailing run ending at i.
+            total = 0
+            j = i
+            while j >= 0 and ps[j][0] == 0:
+                total += ps[j][1]
+                j -= 1
+            assert got[i] == total, (ps, i)
+
+    @given(st.lists(pairs, max_size=50))
+    def test_vectorized_matches_scan(self, ps):
+        flags = np.array([a for a, _ in ps], dtype=np.int64)
+        values = np.array([b for _, b in ps], dtype=np.int64)
+        got = cluster_sum_vectorized(flags, values)
+        want = cluster_sum(ps)
+        assert got.tolist() == want
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_sum([(1, 5)])
+
+    def test_vectorized_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cluster_sum_vectorized(np.zeros(3), np.zeros(2))

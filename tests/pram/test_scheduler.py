@@ -1,0 +1,90 @@
+"""Tests for the fork-join work/span tracer."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.pram.scheduler import ZERO_COST, Cost, WorkSpanTracer, parallel, serial
+
+
+class TestCost:
+    def test_serial_composition(self):
+        c = Cost(10, 5).then(Cost(4, 4))
+        assert c.work == 14 and c.span == 9
+
+    def test_parallel_composition(self):
+        c = Cost(10, 5).beside(Cost(4, 4))
+        assert c.work == 14 and c.span == 5
+
+    def test_variadic_helpers(self):
+        assert serial(Cost(1, 1), Cost(2, 2), Cost(3, 3)) == Cost(6, 6)
+        assert parallel(Cost(1, 1), Cost(2, 2), Cost(3, 3)) == Cost(6, 3)
+
+    def test_parallelism(self):
+        assert Cost(100, 10).parallelism == 10
+        assert ZERO_COST.parallelism == float("inf")
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(SchedulerError):
+            Cost(-1, 0)
+        with pytest.raises(SchedulerError):
+            Cost(1, 2)  # span > work
+
+
+class TestTracer:
+    def test_serial_only(self):
+        t = WorkSpanTracer()
+        t.add(5)
+        t.add(3)
+        assert t.cost() == Cost(8, 8)
+
+    def test_fork_join(self):
+        t = WorkSpanTracer()
+        t.add(2)
+        with t.fork() as region:
+            with region.spawn():
+                t.add(10)
+            with region.spawn():
+                t.add(4)
+        assert t.cost() == Cost(16, 12)  # span: 2 + max(10, 4)
+
+    def test_nested_forks(self):
+        t = WorkSpanTracer()
+        with t.fork() as outer:
+            with outer.spawn():
+                with t.fork() as inner:
+                    with inner.spawn():
+                        t.add(3)
+                    with inner.spawn():
+                        t.add(5)
+            with outer.spawn():
+                t.add(6)
+        assert t.cost() == Cost(14, 6)  # max(max(3,5), 6)
+
+    def test_explicit_span(self):
+        t = WorkSpanTracer()
+        t.add(100, span=1)  # a perfectly parallel map step
+        assert t.cost() == Cost(100, 1)
+
+    def test_negative_work_rejected(self):
+        t = WorkSpanTracer()
+        with pytest.raises(SchedulerError):
+            t.add(-1)
+
+    def test_span_exceeding_work_rejected(self):
+        t = WorkSpanTracer()
+        with pytest.raises(SchedulerError):
+            t.add(1, span=2)
+
+    def test_spawn_on_closed_region_rejected(self):
+        t = WorkSpanTracer()
+        with t.fork() as region:
+            pass
+        with pytest.raises(SchedulerError):
+            with region.spawn():
+                pass
+
+    def test_reset(self):
+        t = WorkSpanTracer()
+        t.add(5)
+        t.reset()
+        assert t.cost() == ZERO_COST

@@ -1,0 +1,87 @@
+"""Tests for the greedy p-processor scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineStats, iaf_distances
+from repro.errors import SchedulerError
+from repro.pram.simulator import (
+    greedy_makespan,
+    level_span,
+    level_work,
+    lpt_makespan,
+    verify_graham_bound,
+)
+
+levels_strategy = st.lists(
+    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=10),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestSchedulers:
+    def test_single_processor_is_total_work(self):
+        levels = [[3.0, 2.0], [5.0]]
+        assert greedy_makespan(levels, 1) == 10.0
+
+    def test_infinite_processors_is_span(self):
+        levels = [[3.0, 2.0], [5.0, 1.0]]
+        assert greedy_makespan(levels, 100) == 8.0  # 3 + 5
+
+    def test_two_processors_balanced(self):
+        levels = [[2.0, 2.0]]
+        assert greedy_makespan(levels, 2) == 2.0
+
+    def test_lpt_never_worse_than_arbitrary_on_adversarial_order(self):
+        # Small tasks first forces greedy to strand the big one.
+        level = [1.0, 1.0, 1.0, 1.0, 4.0]
+        assert lpt_makespan([level], 2) <= greedy_makespan([level], 2)
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            greedy_makespan([[1.0]], 0)
+        with pytest.raises(SchedulerError):
+            greedy_makespan([[-1.0]], 2)
+
+    def test_empty_levels(self):
+        assert greedy_makespan([[]], 4) == 0.0
+
+
+class TestGrahamBound:
+    @given(levels_strategy, st.integers(1, 8))
+    def test_sandwich_holds(self, levels, p):
+        lower, makespan, upper = verify_graham_bound(levels, p)
+        assert lower - 1e-9 <= makespan <= upper + 1e-9
+
+    @given(levels_strategy)
+    def test_monotone_in_processors(self, levels):
+        times = [greedy_makespan(levels, p) for p in (1, 2, 4, 8)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-9
+
+    def test_work_and_span_helpers(self):
+        levels = [[1.0, 2.0], [3.0]]
+        assert level_work(levels) == 6.0
+        assert level_span(levels) == 5.0
+
+
+class TestOnEngineStructure:
+    def test_engine_levels_schedule_within_brent(self):
+        """Schedule the engine's real measured task structure."""
+        trace = np.random.default_rng(0).integers(0, 500, size=8_000)
+        stats = EngineStats(record_segments=True)
+        iaf_distances(trace, stats=stats)
+        levels = [counts.tolist() for counts in stats.segment_sizes_per_level]
+        assert levels
+        for p in (1, 2, 4, 16):
+            lower, makespan, upper = verify_graham_bound(levels, p)
+            assert lower - 1e-9 <= makespan <= upper + 1e-9
+        # Speedup from the simulated schedule saturates like Figure 2.
+        t1 = greedy_makespan(levels, 1)
+        t16 = greedy_makespan(levels, 16)
+        speedup = t1 / t16
+        assert 1.0 < speedup <= 16.0
+        assert speedup <= level_work(levels) / level_span(levels)

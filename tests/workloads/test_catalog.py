@@ -1,0 +1,77 @@
+"""Tests for the Table-1 workload catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.catalog import (
+    CATALOG,
+    DISTRIBUTIONS,
+    SIZES,
+    catalog_table,
+    get_workload,
+)
+
+
+class TestCatalogStructure:
+    def test_five_sizes_in_table_order(self):
+        assert SIZES == ("tiny", "small", "medium", "large", "huge")
+        assert set(CATALOG) == set(SIZES)
+
+    def test_requests_per_id_match_paper(self):
+        """The n/u ratios are Table 1's: 200, 25, 25, 6.25, 37.25."""
+        # "huge" uses the paper's true ratio 1e10 / 2.68e8 = 37.31 (the
+        # table itself rounds it to 37.25).
+        want = {"tiny": 200.0, "small": 25.0, "medium": 25.0,
+                "large": 6.25, "huge": 1e10 / 2.68e8}
+        for name, ratio in want.items():
+            assert CATALOG[name].requests_per_id == pytest.approx(
+                ratio, rel=1e-3
+            )
+
+    def test_sizes_increase(self):
+        reqs = [CATALOG[s].requests for s in SIZES]
+        assert reqs == sorted(reqs)
+
+    def test_cache_limits_below_ids(self):
+        for spec in CATALOG.values():
+            assert 0 < spec.cache_limit < spec.ids
+
+    def test_catalog_table_rows(self):
+        rows = catalog_table()
+        assert len(rows) == 5
+        assert rows[0][0] == "tiny"
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("TINY").name == "tiny"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_workload("gigantic")
+
+
+class TestGeneration:
+    def test_distribution_suite(self):
+        assert DISTRIBUTIONS[0] == "uniform"
+        assert len(DISTRIBUTIONS) == 6
+
+    def test_generate_respects_spec(self):
+        spec = get_workload("tiny")
+        tr = spec.generate("uniform", seed=0)
+        assert tr.size == spec.requests
+        assert tr.max() < spec.ids
+
+    def test_generate_zipf(self):
+        spec = get_workload("tiny")
+        tr = spec.generate("zipf-0.8", seed=0)
+        counts = np.bincount(tr, minlength=spec.ids)
+        assert counts[0] > counts[spec.ids // 2]
+
+    def test_generate_unknown_distribution(self):
+        with pytest.raises(WorkloadError):
+            get_workload("tiny").generate("pareto")
+
+    def test_generate_all_yields_suite(self):
+        small = get_workload("tiny")
+        names = [name for name, _ in small.generate_all(seed=0)]
+        assert names == list(DISTRIBUTIONS)

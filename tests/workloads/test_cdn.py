@@ -1,0 +1,84 @@
+"""Tests for the CDN workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.cdn import CdnTraceSpec, cdn_trace, simple_cdn_trace
+
+
+class TestSpecValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(WorkloadError):
+            CdnTraceSpec(requests=-1, catalog=10)
+        with pytest.raises(WorkloadError):
+            CdnTraceSpec(requests=10, catalog=0)
+        with pytest.raises(WorkloadError):
+            CdnTraceSpec(requests=10, catalog=10, churn_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            CdnTraceSpec(requests=10, catalog=10, epochs=0)
+
+
+class TestGeneration:
+    def test_shape_and_determinism(self):
+        spec = CdnTraceSpec(requests=5_000, catalog=500)
+        a = cdn_trace(spec, seed=1)
+        b = cdn_trace(spec, seed=1)
+        c = cdn_trace(spec, seed=2)
+        assert a.size == 5_000
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_empty(self):
+        assert cdn_trace(CdnTraceSpec(0, 10)).size == 0
+
+    def test_no_churn_no_growth_is_plain_zipf_support(self):
+        spec = CdnTraceSpec(
+            requests=3_000, catalog=100,
+            churn_fraction=0.0, new_object_fraction=0.0,
+        )
+        tr = cdn_trace(spec, seed=0)
+        assert tr.max() < 100
+
+    def test_churn_introduces_new_addresses(self):
+        spec = CdnTraceSpec(
+            requests=10_000, catalog=200, epochs=5,
+            churn_fraction=0.5, new_object_fraction=0.0,
+        )
+        tr = cdn_trace(spec, seed=0)
+        assert tr.max() >= 200  # replacements live above the base catalog
+
+    def test_popularity_shifts_across_epochs(self):
+        """The hot set of the first epoch cools off by the last one."""
+        spec = CdnTraceSpec(
+            requests=40_000, catalog=400, epochs=8,
+            churn_fraction=0.4, new_object_fraction=0.0,
+        )
+        tr = cdn_trace(spec, seed=3)
+        first, last = tr[:5_000], tr[-5_000:]
+        hot_first = set(
+            np.unique(first[np.isin(first, np.bincount(first).argsort()[-20:])])
+        )
+        # Top-20 of epoch 1 vs accesses they receive at the end.
+        top = np.argsort(np.bincount(first, minlength=int(tr.max()) + 1))[-20:]
+        early_share = np.isin(first, top).mean()
+        late_share = np.isin(last, top).mean()
+        assert late_share < 0.7 * early_share
+
+    def test_new_object_fraction_creates_singletons(self):
+        spec = CdnTraceSpec(
+            requests=20_000, catalog=300, churn_fraction=0.0,
+            new_object_fraction=0.1,
+        )
+        tr = cdn_trace(spec, seed=4)
+        vals, counts = np.unique(tr, return_counts=True)
+        singles = (counts == 1).sum()
+        assert singles > 1_000  # ~10% of 20k, give or take collisions
+
+    def test_simple_wrapper(self):
+        tr = simple_cdn_trace(1_000, 100, seed=0)
+        assert tr.size == 1_000
+
+    def test_int32_dtype(self):
+        tr = simple_cdn_trace(500, 50, seed=0, dtype=np.int32)
+        assert tr.dtype == np.int32

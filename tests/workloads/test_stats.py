@@ -1,0 +1,62 @@
+"""Tests for trace statistics."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.workloads.stats import (
+    frequency_profile,
+    trace_stats,
+    unique_prefix_counts,
+)
+
+from ..conftest import small_traces
+
+
+class TestTraceStats:
+    def test_empty(self):
+        s = trace_stats([])
+        assert s.n == 0 and s.unique_ids == 0
+        assert s.best_possible_hit_rate == 0.0
+
+    def test_basic_counts(self):
+        s = trace_stats([1, 1, 2, 3, 3, 3])
+        assert s.n == 6 and s.unique_ids == 3
+        assert s.max_frequency == 3
+        assert s.compulsory_misses == 3
+        assert s.requests_per_id == 2.0
+
+    def test_best_possible_hit_rate(self):
+        s = trace_stats([1, 2, 1, 2])
+        assert s.best_possible_hit_rate == 0.5
+
+    @given(small_traces())
+    def test_consistency(self, trace):
+        s = trace_stats(trace)
+        assert s.n == trace.size
+        assert s.unique_ids == np.unique(trace).size
+
+
+class TestFrequencyProfile:
+    def test_buckets(self):
+        prof = frequency_profile([1, 2, 2, 3, 3, 3, 3])
+        assert prof["1"] == 1       # address 1 seen once
+        assert prof["2-3"] == 1     # address 2 seen twice
+        assert prof["4-7"] == 1     # address 3 seen four times
+
+    def test_empty(self):
+        assert frequency_profile([]) == {}
+
+
+class TestUniquePrefixCounts:
+    def test_growth_curve(self):
+        out = unique_prefix_counts([5, 5, 6, 5, 7])
+        assert out.tolist() == [1, 1, 2, 2, 3]
+
+    @given(small_traces())
+    def test_monotone_and_ends_at_u(self, trace):
+        out = unique_prefix_counts(trace)
+        if trace.size == 0:
+            assert out.size == 0
+            return
+        assert (np.diff(out) >= 0).all()
+        assert out[-1] == np.unique(trace).size

@@ -1,0 +1,141 @@
+"""Tests for the synthetic trace generators."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import (
+    mixture_trace,
+    sequential_scan_trace,
+    stack_depth_trace,
+    uniform_trace,
+    working_set_trace,
+    zipfian_trace,
+)
+
+
+class TestUniform:
+    def test_shape_dtype_range(self):
+        tr = uniform_trace(1000, 50, seed=1, dtype=np.int32)
+        assert tr.shape == (1000,) and tr.dtype == np.int32
+        assert tr.min() >= 0 and tr.max() < 50
+
+    def test_deterministic_by_seed(self):
+        assert np.array_equal(uniform_trace(100, 10, seed=7),
+                              uniform_trace(100, 10, seed=7))
+        assert not np.array_equal(uniform_trace(100, 10, seed=7),
+                                  uniform_trace(100, 10, seed=8))
+
+    def test_roughly_uniform(self):
+        tr = uniform_trace(50_000, 10, seed=0)
+        counts = np.bincount(tr, minlength=10)
+        _, p = scipy_stats.chisquare(counts)
+        assert p > 1e-4  # not wildly non-uniform
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(WorkloadError):
+            uniform_trace(-1, 10)
+        with pytest.raises(WorkloadError):
+            uniform_trace(10, 0)
+
+
+class TestZipf:
+    def test_alpha_zero_is_uniform_law(self):
+        tr = zipfian_trace(50_000, 8, 0.0, seed=0)
+        counts = np.bincount(tr, minlength=8)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_skew_orders_frequencies(self):
+        tr = zipfian_trace(100_000, 100, 0.8, seed=0)
+        counts = np.bincount(tr, minlength=100)
+        # Rank-0 addresses dominate and the tail is much thinner.
+        assert counts[0] > 4 * counts[50]
+        assert counts[0] > counts[1] > counts[10]
+
+    def test_frequencies_track_power_law(self):
+        alpha = 0.6
+        tr = zipfian_trace(200_000, 50, alpha, seed=1)
+        counts = np.bincount(tr, minlength=50).astype(float)
+        want = (np.arange(1, 51) ** -alpha)
+        want = want / want.sum() * tr.size
+        # Within 15% on the popular half (tail is noisy).
+        ratio = counts[:25] / want[:25]
+        assert np.all((ratio > 0.85) & (ratio < 1.15))
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(WorkloadError):
+            zipfian_trace(10, 5, -0.5)
+
+
+class TestScan:
+    def test_cyclic_pattern(self):
+        tr = sequential_scan_trace(7, 3)
+        assert tr.tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_lru_pathology(self):
+        """Every reuse has stack distance exactly u."""
+        from repro.baselines.naive import naive_stack_distances
+
+        tr = sequential_scan_trace(20, 5)
+        dist = naive_stack_distances(tr)
+        assert set(dist[dist > 0].tolist()) == {5}
+
+
+class TestWorkingSet:
+    def test_phases_use_disjoint_sets(self):
+        tr = working_set_trace(400, 40, phases=4, seed=0)
+        quarters = [set(np.unique(tr[i * 100 : (i + 1) * 100]).tolist())
+                    for i in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (quarters[i] & quarters[j])
+
+    def test_respects_working_set_size(self):
+        tr = working_set_trace(1000, 100, phases=2, working_set_size=5, seed=0)
+        assert np.unique(tr[:500]).size <= 5
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(WorkloadError):
+            working_set_trace(10, 10, phases=0)
+        with pytest.raises(WorkloadError):
+            working_set_trace(10, 10, working_set_size=11)
+
+
+class TestMixture:
+    def test_preserves_multiset(self):
+        a = np.array([1, 1, 2])
+        b = np.array([10, 11])
+        out = mixture_trace([a, b], seed=0)
+        assert sorted(out.tolist()) == [1, 1, 2, 10, 11]
+
+    def test_preserves_per_part_order(self):
+        a = np.array([1, 2, 3, 4])
+        b = np.array([100, 200])
+        out = mixture_trace([a, b], seed=3)
+        from_a = [x for x in out.tolist() if x < 100]
+        from_b = [x for x in out.tolist() if x >= 100]
+        assert from_a == [1, 2, 3, 4] and from_b == [100, 200]
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(WorkloadError):
+            mixture_trace([])
+
+
+class TestStackDepthTrace:
+    def test_depth_one_repeats_forever(self):
+        tr = stack_depth_trace(20, [1], seed=0)
+        assert np.unique(tr).size == 1
+
+    def test_distances_come_from_requested_depths(self):
+        from repro.baselines.naive import naive_stack_distances
+
+        tr = stack_depth_trace(500, [1, 3], seed=0)
+        dist = naive_stack_distances(tr)
+        assert set(dist[dist > 0].tolist()) <= {1, 3}
+
+    def test_rejects_bad_depths(self):
+        with pytest.raises(WorkloadError):
+            stack_depth_trace(10, [])
+        with pytest.raises(WorkloadError):
+            stack_depth_trace(10, [0])

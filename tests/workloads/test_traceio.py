@@ -1,0 +1,95 @@
+"""Tests for the REPROTRC binary trace format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFileError
+from repro.workloads.traceio import (
+    mmap_trace,
+    read_trace,
+    stream_trace,
+    trace_info,
+    write_trace,
+)
+
+
+@pytest.fixture
+def trace():
+    return np.random.default_rng(0).integers(0, 1000, size=537, dtype=np.int64)
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, trace):
+        path = tmp_path / "t.trc"
+        write_trace(path, trace)
+        assert np.array_equal(read_trace(path), trace)
+
+    def test_int32_round_trip(self, tmp_path):
+        tr = np.arange(100, dtype=np.int32)
+        path = tmp_path / "t32.trc"
+        write_trace(path, tr)
+        dt, n = trace_info(path)
+        assert dt == np.int32 and n == 100
+        assert np.array_equal(read_trace(path), tr)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trc"
+        write_trace(path, np.array([], dtype=np.int64))
+        assert read_trace(path).size == 0
+
+    def test_mmap_matches(self, tmp_path, trace):
+        path = tmp_path / "t.trc"
+        write_trace(path, trace)
+        view = mmap_trace(path)
+        assert np.array_equal(np.asarray(view), trace)
+
+
+class TestStreaming:
+    def test_chunks_reassemble(self, tmp_path, trace):
+        path = tmp_path / "t.trc"
+        write_trace(path, trace)
+        chunks = list(stream_trace(path, 100))
+        assert [c.size for c in chunks] == [100] * 5 + [37]
+        assert np.array_equal(np.concatenate(chunks), trace)
+
+    def test_chunk_larger_than_trace(self, tmp_path, trace):
+        path = tmp_path / "t.trc"
+        write_trace(path, trace)
+        chunks = list(stream_trace(path, 10_000))
+        assert len(chunks) == 1
+
+    def test_bad_chunk_len(self, tmp_path, trace):
+        path = tmp_path / "t.trc"
+        write_trace(path, trace)
+        with pytest.raises(TraceFileError):
+            list(stream_trace(path, 0))
+
+
+class TestCorruptFiles:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_bytes(b"NOTATRACE" + b"\0" * 30)
+        with pytest.raises(TraceFileError):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.trc"
+        path.write_bytes(b"REPROTRC")
+        with pytest.raises(TraceFileError):
+            read_trace(path)
+
+    def test_truncated_payload(self, tmp_path, trace):
+        path = tmp_path / "t.trc"
+        write_trace(path, trace)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 16])
+        with pytest.raises(TraceFileError):
+            read_trace(path)
+
+    def test_truncated_payload_streaming(self, tmp_path, trace):
+        path = tmp_path / "t.trc"
+        write_trace(path, trace)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 16])
+        with pytest.raises(TraceFileError):
+            list(stream_trace(path, 100))
