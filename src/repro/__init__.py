@@ -23,6 +23,8 @@ The package layout mirrors DESIGN.md:
 - :mod:`repro.pram` — the CREW PRAM work/span cost model.
 - :mod:`repro.metrics` / :mod:`repro.analysis` — measurement and report
   plumbing for the benchmark harness.
+- :mod:`repro.qa` — randomized differential testing and fuzzing across
+  every implementation (``python -m repro fuzz``; see docs/FUZZING.md).
 """
 
 from ._typing import DEFAULT_DTYPE, SUPPORTED_DTYPES, as_trace

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the operator workflow the paper motivates:
+Five subcommands cover the operator workflow the paper motivates:
 
 * ``generate`` — synthesize a workload into a REPROTRC trace file.
 * ``info``     — print a trace file's statistics (n, u, reuse profile).
@@ -9,6 +9,9 @@ Four subcommands cover the operator workflow the paper motivates:
   table or CSV.
 * ``compare``  — run several algorithms on the same trace, verify they
   agree, and print a runtime comparison.
+* ``fuzz``     — randomized differential testing: run seeded adversarial
+  traces through every implementation (:mod:`repro.qa`) until a time
+  budget expires, minimizing and reporting any divergence found.
 
 The CLI works on trace files rather than in-memory arrays so it composes
 with the streaming story: ``analyze --algorithm bounded-iaf`` keeps O(k)
@@ -85,6 +88,23 @@ def build_parser() -> argparse.ArgumentParser:
                            + ",".join(ALGORITHMS))
     cmp_.add_argument("--workers", type=int, default=1)
     cmp_.add_argument("--max-cache-size", "-k", type=int, default=None)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="randomized differential testing of every implementation",
+    )
+    fuzz.add_argument("--seconds", type=float, default=30.0,
+                      help="time budget (default: 30)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first case seed; case i uses seed+i")
+    fuzz.add_argument("--profile", default="quick",
+                      choices=["quick", "deep"],
+                      help="quick: small traces, cheap matrix; "
+                           "deep: larger traces, process pools more often")
+    fuzz.add_argument("--max-cases", type=int, default=None,
+                      help="stop after this many cases even under budget")
+    fuzz.add_argument("--keep-going", action="store_true",
+                      help="report divergences but continue to the budget")
 
     return parser
 
@@ -216,6 +236,57 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if agree else 2
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .qa import case_from_seed, run_case_detailed, shrink_case, to_pytest
+    from .qa.shrink import divergence_signature
+
+    deadline = time.perf_counter() + args.seconds
+    cases = 0
+    comparisons = 0
+    failures = 0
+    per_strategy: dict = {}
+    while time.perf_counter() < deadline:
+        if args.max_cases is not None and cases >= args.max_cases:
+            break
+        seed = args.seed + cases
+        case = case_from_seed(seed, profile=args.profile)
+        report = run_case_detailed(case)
+        cases += 1
+        comparisons += len(report.comparisons)
+        per_strategy[case.strategy] = per_strategy.get(case.strategy, 0) + 1
+        if report.divergences:
+            failures += 1
+            div = report.divergences[0]
+            print(f"DIVERGENCE on {case.summary()}")
+            for d in report.divergences:
+                print(f"  {d.describe()}")
+            print("minimizing ...")
+            try:
+                small = shrink_case(case, divergence_signature(div))
+            except ValueError:
+                small = case  # flaky failure: report the original case
+            print(f"minimized to {small.trace.size} accesses: "
+                  f"{small.summary()}")
+            print()
+            print("# ---- paste into tests/qa/test_regressions.py ----")
+            print(to_pytest(small, div))
+            if not args.keep_going:
+                return 1
+    elapsed = args.seconds - max(0.0, deadline - time.perf_counter())
+    mix = ", ".join(
+        f"{name}:{count}" for name, count in sorted(per_strategy.items())
+    )
+    print(
+        f"fuzz: {cases} cases, {comparisons} comparisons, "
+        f"{failures} divergences in {seconds(elapsed)} "
+        f"(profile={args.profile}, seeds {args.seed}.."
+        f"{args.seed + max(cases - 1, 0)})"
+    )
+    if mix:
+        print(f"strategy mix: {mix}")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -225,6 +296,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "info": _cmd_info,
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
+        "fuzz": _cmd_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -34,6 +34,8 @@ from .parallel import (
     measure_parallel_cost,
     parallel_iaf_distances,
     parallel_iaf_hit_rate_curve,
+    parallel_weighted_backward_distances,
+    process_parallel_iaf_distances,
 )
 from .partition import (
     partition_prepost,
@@ -84,6 +86,8 @@ __all__ = [
     "measure_parallel_cost",
     "parallel_iaf_distances",
     "parallel_iaf_hit_rate_curve",
+    "parallel_weighted_backward_distances",
+    "process_parallel_iaf_distances",
     "partition_prepost",
     "partition_prepost_simple",
     "prepost_distances",

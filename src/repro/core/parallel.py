@@ -64,6 +64,7 @@ def _split_segments(seg: Segments, groups: int) -> List[Segments]:
                     starts=(seg.starts[s_begin : s + 2] - o_begin).copy(),
                     lo=seg.lo[s_begin : s + 1],
                     hi=seg.hi[s_begin : s + 1],
+                    w=None if seg.w is None else seg.w[o_begin:o_end],
                 )
             )
             s_begin = s + 1
@@ -79,10 +80,98 @@ def _split_segments(seg: Segments, groups: int) -> List[Segments]:
                         starts=(seg.starts[s_begin:] - o_begin).copy(),
                         lo=seg.lo[s_begin:],
                         hi=seg.hi[s_begin:],
+                        w=None if seg.w is None else seg.w[o_begin:],
                     )
                 )
                 break
     return [p for p in parts if p.n_segments]
+
+
+def _warmup_levels(
+    seg: Segments,
+    values: np.ndarray,
+    workers: int,
+    stats: Optional[EngineStats],
+) -> Optional[Segments]:
+    """Serial warm-up: split until there are enough independent subtrees.
+
+    Returns the segment batch ready for splitting, or ``None`` when the
+    recursion bottomed out entirely during warm-up (tiny traces).
+    """
+    while 0 < seg.n_segments < 4 * workers and workers > 1:
+        if stats is not None:
+            stats.levels += 1
+            m = seg.n_ops
+            stats.ops_per_level.append(m)
+            stats.work += m
+            counts = seg.counts()
+            stats.span_basic += float(counts.max()) if counts.size else 0.0
+            stats.span_parallel += float(np.log2(max(m, 2)))
+            stats.peak_level_ops = max(stats.peak_level_ops, m)
+            stats.peak_bytes = max(
+                stats.peak_bytes, seg.nbytes + values.nbytes
+            )
+        leaf_mask = seg.lo == seg.hi
+        if leaf_mask.any():
+            consumed = _solve_leaves(seg, leaf_mask, values)
+            if stats is not None:
+                stats.work += consumed
+        internal = ~leaf_mask
+        if not internal.any():
+            return None
+        seg = _partition_level(seg, internal)
+    return seg
+
+
+def _merge_part_stats(
+    stats: EngineStats, part_stats: List[EngineStats]
+) -> None:
+    """Fold per-part :class:`EngineStats` into the caller's accumulator.
+
+    Work adds up; levels/spans take the critical path (the max over the
+    concurrent parts); ``peak_level_ops``/``peak_bytes`` take the max; and
+    ``ops_per_level`` sums elementwise by level, so the merged profile
+    reads as if the levels had run level-synchronously across all parts.
+    """
+    for ps in part_stats:
+        stats.work += ps.work
+        stats.peak_level_ops = max(stats.peak_level_ops, ps.peak_level_ops)
+        stats.peak_bytes = max(stats.peak_bytes, ps.peak_bytes)
+    stats.levels += max((ps.levels for ps in part_stats), default=0)
+    stats.span_basic += max((ps.span_basic for ps in part_stats), default=0.0)
+    stats.span_parallel += max(
+        (ps.span_parallel for ps in part_stats), default=0.0
+    )
+    depth = max((len(ps.ops_per_level) for ps in part_stats), default=0)
+    for lvl in range(depth):
+        stats.ops_per_level.append(
+            sum(
+                ps.ops_per_level[lvl]
+                for ps in part_stats
+                if lvl < len(ps.ops_per_level)
+            )
+        )
+
+
+def _solve_split_threads(
+    seg: Segments,
+    values: np.ndarray,
+    workers: int,
+    stats: Optional[EngineStats],
+) -> None:
+    """Split ``seg`` and solve the parts on a thread pool."""
+    parts = _split_segments(seg, workers)
+    part_stats = [EngineStats() for _ in parts]
+
+    def run(i: int) -> None:
+        # Disjoint cell intervals per part -> disjoint writes to `values`.
+        solve_prepost_arrays(parts[i], values, stats=part_stats[i])
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        list(pool.map(run, range(len(parts))))
+
+    if stats is not None:
+        _merge_part_stats(stats, part_stats)
 
 
 def parallel_iaf_distances(
@@ -109,50 +198,15 @@ def parallel_iaf_distances(
     values = np.zeros(n + 1, dtype=np.int64)
     seg = Segments.single(kind, t, r, 0, n)
 
-    # Serial warm-up: split until there are enough independent subtrees.
-    while 0 < seg.n_segments < 4 * workers and workers > 1:
-        if stats is not None:
-            stats.levels += 1
-            m = seg.n_ops
-            stats.ops_per_level.append(m)
-            stats.work += m
-            counts = seg.counts()
-            stats.span_basic += float(counts.max()) if counts.size else 0.0
-            stats.span_parallel += float(np.log2(max(m, 2)))
-            stats.peak_level_ops = max(stats.peak_level_ops, m)
-        leaf_mask = seg.lo == seg.hi
-        if leaf_mask.any():
-            consumed = _solve_leaves(seg, leaf_mask, values)
-            if stats is not None:
-                stats.work += consumed
-        internal = ~leaf_mask
-        if not internal.any():
-            return values[1:]
-        seg = _partition_level(seg, internal)
+    seg = _warmup_levels(seg, values, workers, stats)
+    if seg is None:
+        return values[1:]
 
     if workers == 1:
         solve_prepost_arrays(seg, values, stats=stats)
         return values[1:]
 
-    parts = _split_segments(seg, workers)
-    part_stats = [EngineStats() for _ in parts]
-
-    def run(i: int) -> None:
-        # Disjoint cell intervals per part -> disjoint writes to `values`.
-        solve_prepost_arrays(parts[i], values, stats=part_stats[i])
-
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        list(pool.map(run, range(len(parts))))
-
-    if stats is not None:
-        for ps in part_stats:
-            stats.work += ps.work
-            stats.peak_level_ops = max(stats.peak_level_ops, ps.peak_level_ops)
-        stats.levels += max((ps.levels for ps in part_stats), default=0)
-        stats.span_basic += max((ps.span_basic for ps in part_stats), default=0.0)
-        stats.span_parallel += max(
-            (ps.span_parallel for ps in part_stats), default=0.0
-        )
+    _solve_split_threads(seg, values, workers, stats)
     return values[1:]
 
 
@@ -174,10 +228,12 @@ def _solve_part_remote(payload: Tuple) -> Tuple[List[Tuple[int, int]], np.ndarra
     """Process-pool worker: solve one Segments part in a child process.
 
     The part arrives as plain arrays (picklable); all coordinates are
-    rebased to the part's span so the local output array is small.
+    rebased to the part's span so the local output array is small.  The
+    weight array rides along (``None`` for the unit-weight algorithm) so
+    Section-9.1 weighted subproblems survive the process hop.
     Returns the segment intervals (absolute) and the local values.
     """
-    kind, t, r, starts, lo, hi = payload
+    kind, t, r, starts, lo, hi, w = payload
     base = int(lo.min())
     span = int(hi.max()) - base + 1
     local = np.zeros(span, dtype=np.int64)
@@ -188,10 +244,34 @@ def _solve_part_remote(payload: Tuple) -> Tuple[List[Tuple[int, int]], np.ndarra
         starts=starts,
         lo=lo - base,
         hi=hi - base,
+        w=w,
     )
     solve_prepost_arrays(part, local)
     intervals = [(int(a), int(b)) for a, b in zip(lo.tolist(), hi.tolist())]
     return intervals, local
+
+
+def _solve_split_processes(
+    seg: Segments, values: np.ndarray, workers: int
+) -> None:
+    """Split ``seg`` and solve the parts on a process pool."""
+    parts = _split_segments(seg, workers)
+    payloads = [
+        (p.kind, np.ascontiguousarray(p.t), np.ascontiguousarray(p.r),
+         np.ascontiguousarray(p.starts), np.ascontiguousarray(p.lo),
+         np.ascontiguousarray(p.hi),
+         None if p.w is None else np.ascontiguousarray(p.w))
+        for p in parts
+    ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for intervals, local in pool.map(_solve_part_remote, payloads):
+            if not intervals:
+                continue
+            base = min(a for a, _b in intervals)
+            for a, b in intervals:
+                values[a : b + 1] = local[a - base : b - base + 1]
 
 
 def process_parallel_iaf_distances(
@@ -219,34 +299,53 @@ def process_parallel_iaf_distances(
     kind, t, r = prepost_sequence_arrays(arr, dtype=dtype)
     values = np.zeros(n + 1, dtype=np.int64)
     seg = Segments.single(kind, t, r, 0, n)
-    while 0 < seg.n_segments < 4 * workers and workers > 1:
-        leaf_mask = seg.lo == seg.hi
-        if leaf_mask.any():
-            _solve_leaves(seg, leaf_mask, values)
-        internal = ~leaf_mask
-        if not internal.any():
-            return values[1:]
-        seg = _partition_level(seg, internal)
+    seg = _warmup_levels(seg, values, workers, None)
+    if seg is None:
+        return values[1:]
     if workers == 1 or seg.n_segments == 0:
         solve_prepost_arrays(seg, values)
         return values[1:]
+    _solve_split_processes(seg, values, workers)
+    return values[1:]
 
-    parts = _split_segments(seg, workers)
-    payloads = [
-        (p.kind, np.ascontiguousarray(p.t), np.ascontiguousarray(p.r),
-         np.ascontiguousarray(p.starts), np.ascontiguousarray(p.lo),
-         np.ascontiguousarray(p.hi))
-        for p in parts
-    ]
-    from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for intervals, local in pool.map(_solve_part_remote, payloads):
-            if not intervals:
-                continue
-            base = min(a for a, _b in intervals)
-            for a, b in intervals:
-                values[a : b + 1] = local[a - base : b - base + 1]
+def parallel_weighted_backward_distances(
+    trace: TraceLike,
+    sizes: "np.typing.ArrayLike",
+    *,
+    workers: int = 1,
+    use_processes: bool = False,
+    stats: Optional[EngineStats] = None,
+) -> np.ndarray:
+    """Weighted (Section 9.1) backward distances with subtree parallelism.
+
+    Identical output to
+    :func:`repro.core.weighted.weighted_backward_distances`; the engine's
+    ``w`` array is carried through the warm-up levels, the subtree split,
+    and (with ``use_processes``) the pickled process-pool payloads.
+    """
+    from .weighted import _validate_sizes, weighted_prepost_arrays
+
+    if workers < 1:
+        raise CapacityError(f"workers must be >= 1, got {workers}")
+    arr = as_trace(trace)
+    s = _validate_sizes(arr, np.asarray(sizes))
+    n = arr.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    kind, t, r, w = weighted_prepost_arrays(arr, s)
+    values = np.zeros(n + 1, dtype=np.int64)
+    seg = Segments.single(kind, t, r, 0, n, w=w)
+    seg = _warmup_levels(seg, values, workers, stats)
+    if seg is None:
+        return values[1:]
+    if workers == 1 or seg.n_segments == 0:
+        solve_prepost_arrays(seg, values, stats=stats)
+        return values[1:]
+    if use_processes:
+        _solve_split_processes(seg, values, workers)
+    else:
+        _solve_split_threads(seg, values, workers, stats)
     return values[1:]
 
 

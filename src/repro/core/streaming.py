@@ -20,7 +20,7 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from .._typing import DEFAULT_DTYPE, TraceLike, validate_dtype
+from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
 from ..errors import CapacityError
 from .bounded import _process_chunk, recent_distinct_suffix
 from .hitrate import HitRateCurve, merge_curves
@@ -71,11 +71,15 @@ class OnlineCurveAnalyzer:
         return self._accesses
 
     def push(self, accesses: TraceLike) -> int:
-        """Ingest a batch of accesses; returns windows completed by it."""
-        arr = np.atleast_1d(np.asarray(accesses)).astype(self._dtype,
-                                                         copy=False)
-        if arr.ndim != 1:
-            raise CapacityError("push expects a scalar or 1-D batch")
+        """Ingest a batch of accesses; returns windows completed by it.
+
+        Input is validated exactly like the offline entry points (via
+        :func:`repro._typing.as_trace`): floats, negative addresses, and
+        values that do not fit in the analyzer's dtype raise
+        :class:`~repro.errors.TraceError` instead of being silently cast.
+        """
+        arr = np.atleast_1d(np.asarray(accesses))
+        arr = as_trace(arr, dtype=self._dtype)
         self._accesses += int(arr.size)
         completed = 0
         while arr.size:

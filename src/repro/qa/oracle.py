@@ -1,0 +1,352 @@
+"""The pairwise oracle matrix: every implementation against ground truth.
+
+One :func:`run_case` call pushes a single :class:`~repro.qa.strategies.FuzzCase`
+through every registered implementation and demands **exact** agreement:
+
+* backward distance vectors — vectorized engine (the hub), pure-python
+  reference recursion, O(n²) definitional oracle, thread-pool and
+  process-pool parallel variants;
+* hit-rate curves — engine pipeline (the hub), BOUNDED-IAF,
+  PARALLEL-BOUNDED-IAF, the :class:`~repro.core.streaming.OnlineCurveAnalyzer`
+  fed random push batches, and the Mattson/OST/splay/Fenwick/PARDA
+  baselines;
+* weighted (Section 9.1) distances — weighted engine (the hub), the
+  brute-force weighted oracle, the weighted OST, and the weighted
+  parallel paths (threads and processes).
+
+Interpreter-speed oracles only join the matrix below size caps, so a
+``deep``-profile trace of thousands of accesses still completes in
+seconds while a ``quick`` trace is checked against everything.
+
+Disagreement (or an implementation crash) is reported as a
+:class:`Divergence` carrying the first diverging index — never raised, so
+the fuzz loop can shrink and keep going.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..baselines import baseline_hit_rate_curve
+from ..baselines.naive import naive_backward_distances
+from ..core.bounded import bounded_iaf, parallel_bounded_iaf
+from ..core.engine import iaf_distances
+from ..core.hitrate import HitRateCurve, curve_from_backward_distances
+from ..core.parallel import (
+    parallel_iaf_distances,
+    parallel_weighted_backward_distances,
+    process_parallel_iaf_distances,
+)
+from ..core.prevnext import prev_next_arrays
+from ..core.reference import reference_distances
+from ..core.streaming import OnlineCurveAnalyzer
+from ..core.weighted import (
+    naive_weighted_stack_distances,
+    ost_weighted_stack_distances,
+    weighted_backward_distances,
+    weighted_stack_distances,
+)
+from .strategies import FuzzCase, object_sizes_for, push_plan_for
+
+#: Size caps for the interpreter-speed oracles (per implementation).
+REFERENCE_MAX_N = 160       # pure-python Section-4 recursion
+NAIVE_MAX_N = 160           # O(n^2) definitional oracles
+TREE_BASELINE_MAX_N = 900   # OST / splay / Fenwick python loops
+MATTSON_MAX_N = 500         # O(n*u) list-scan Mattson
+WEIGHTED_MAX_ADDR = 1 << 16  # weighted oracles index sizes by address
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Two implementations disagreed on one case (or one crashed).
+
+    ``index`` is the first diverging position: a 0-based trace index for
+    distance vectors, a 1-based cache size for curves, and ``-1`` for
+    shape mismatches or crashes.  ``value_a``/``value_b`` are the values
+    at that index (or a length / error description).
+    """
+
+    impl_a: str
+    impl_b: str
+    quantity: str  # "distances" | "curve" | "weighted-distances" | "crash"
+    index: int
+    value_a: str
+    value_b: str
+
+    def describe(self) -> str:
+        if self.quantity == "crash":
+            return (
+                f"{self.impl_b} crashed ({self.value_b}) "
+                f"while {self.impl_a} succeeded"
+            )
+        where = (
+            f"cache size {self.index}"
+            if self.quantity == "curve"
+            else f"index {self.index}"
+        )
+        return (
+            f"{self.quantity}: {self.impl_a} vs {self.impl_b} first "
+            f"diverge at {where}: {self.value_a} != {self.value_b}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Everything one oracle run checked, and what disagreed."""
+
+    case: FuzzCase
+    divergences: List[Divergence] = field(default_factory=list)
+    comparisons: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _first_diff_vec(a: np.ndarray, b: np.ndarray) -> Optional[Tuple[int, str, str]]:
+    if a.size != b.size:
+        return -1, f"length {a.size}", f"length {b.size}"
+    if np.array_equal(a, b):
+        return None
+    idx = int(np.flatnonzero(a != b)[0])
+    return idx, str(int(a[idx])), str(int(b[idx]))
+
+
+def _hits_upto(curve: HitRateCurve, kmax: int) -> np.ndarray:
+    """Hit counts at cache sizes 1..kmax (clamped flat tail included)."""
+    return np.array([curve.hits(j) for j in range(1, kmax + 1)],
+                    dtype=np.int64)
+
+
+def _compare_curves(
+    name_a: str,
+    name_b: str,
+    curve_a: HitRateCurve,
+    curve_b: HitRateCurve,
+    kmax: int,
+) -> Optional[Divergence]:
+    if curve_a.total_accesses != curve_b.total_accesses:
+        return Divergence(
+            name_a, name_b, "curve", -1,
+            f"total {curve_a.total_accesses}",
+            f"total {curve_b.total_accesses}",
+        )
+    diff = _first_diff_vec(_hits_upto(curve_a, kmax), _hits_upto(curve_b, kmax))
+    if diff is None:
+        return None
+    idx, va, vb = diff
+    return Divergence(name_a, name_b, "curve", idx + 1, va, vb)
+
+
+def run_case(case: FuzzCase) -> List[Divergence]:
+    """Run the full oracle matrix on one case; empty list means agreement."""
+    return run_case_detailed(case).divergences
+
+
+def run_case_detailed(case: FuzzCase) -> OracleReport:
+    """Like :func:`run_case` but also reports which pairs were compared."""
+    report = OracleReport(case)
+    trace, cfg = case.trace, case.config
+    n = trace.size
+
+    # ---------------- backward distance vectors -----------------------------
+    hub_name = "iaf"
+    hub = iaf_distances(trace, dtype=cfg.numpy_dtype())
+
+    def check_distances(name: str, fn: Callable[[], np.ndarray]) -> None:
+        report.comparisons.append(f"{hub_name}~{name}:distances")
+        try:
+            got = np.asarray(fn())
+        except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+            report.divergences.append(
+                Divergence(hub_name, name, "crash", -1, "ok",
+                           f"{type(exc).__name__}: {exc}")
+            )
+            return
+        diff = _first_diff_vec(hub, got)
+        if diff is not None:
+            idx, va, vb = diff
+            report.divergences.append(
+                Divergence(hub_name, name, "distances", idx, va, vb)
+            )
+
+    if cfg.check_reference and n <= REFERENCE_MAX_N:
+        check_distances("reference", lambda: reference_distances(trace))
+    if cfg.check_naive and n <= NAIVE_MAX_N:
+        check_distances("naive", lambda: naive_backward_distances(trace))
+    check_distances(
+        "parallel-threads",
+        lambda: parallel_iaf_distances(
+            trace, workers=cfg.workers, dtype=cfg.numpy_dtype()
+        ),
+    )
+    if cfg.process_workers:
+        check_distances(
+            "parallel-procs",
+            lambda: process_parallel_iaf_distances(
+                trace, workers=cfg.process_workers, dtype=cfg.numpy_dtype()
+            ),
+        )
+
+    # ---------------- hit-rate curves ---------------------------------------
+    _, nxt = prev_next_arrays(trace)
+    exact = curve_from_backward_distances(hub, nxt)
+    full_kmax = max(1, exact.max_size)
+    trunc_kmax = max(1, min(cfg.k, full_kmax))
+
+    def check_curve(
+        name: str, fn: Callable[[], HitRateCurve], kmax: int
+    ) -> None:
+        report.comparisons.append(f"iaf-curve~{name}:curve")
+        try:
+            got = fn()
+        except Exception as exc:  # noqa: BLE001
+            report.divergences.append(
+                Divergence("iaf-curve", name, "crash", -1, "ok",
+                           f"{type(exc).__name__}: {exc}")
+            )
+            return
+        d = _compare_curves("iaf-curve", name, exact, got, kmax)
+        if d is not None:
+            report.divergences.append(d)
+
+    check_curve(
+        "bounded-iaf",
+        lambda: bounded_iaf(
+            trace, cfg.k, chunk_multiplier=cfg.chunk_multiplier,
+            dtype=cfg.numpy_dtype(),
+        ).curve,
+        trunc_kmax,
+    )
+    check_curve(
+        "parallel-bounded-iaf",
+        lambda: parallel_bounded_iaf(
+            trace, cfg.k, workers=cfg.workers,
+            chunk_multiplier=cfg.chunk_multiplier, dtype=cfg.numpy_dtype(),
+        ).curve,
+        trunc_kmax,
+    )
+    check_curve(
+        "online-analyzer", lambda: _streaming_curve(case), trunc_kmax
+    )
+    if n <= TREE_BASELINE_MAX_N:
+        for baseline in ("ost", "splay", "fenwick"):
+            check_curve(
+                baseline,
+                lambda b=baseline: baseline_hit_rate_curve(trace, b),
+                full_kmax,
+            )
+        check_curve(
+            "parda",
+            lambda: baseline_hit_rate_curve(
+                trace, "parda", max_cache_size=cfg.k, workers=cfg.workers
+            ),
+            trunc_kmax,
+        )
+    if n <= MATTSON_MAX_N:
+        check_curve(
+            "mattson", lambda: baseline_hit_rate_curve(trace, "mattson"),
+            full_kmax,
+        )
+
+    # ---------------- weighted (Section 9.1) distances ----------------------
+    max_addr = int(trace.max()) if n else 0
+    if max_addr < WEIGHTED_MAX_ADDR:
+        sizes = object_sizes_for(case)
+        w_hub_name = "weighted-engine"
+        w_hub = weighted_backward_distances(trace, sizes)
+
+        def check_weighted(name: str, fn: Callable[[], np.ndarray]) -> None:
+            report.comparisons.append(
+                f"{w_hub_name}~{name}:weighted-distances"
+            )
+            try:
+                got = np.asarray(fn())
+            except Exception as exc:  # noqa: BLE001
+                report.divergences.append(
+                    Divergence(w_hub_name, name, "crash", -1, "ok",
+                               f"{type(exc).__name__}: {exc}")
+                )
+                return
+            diff = _first_diff_vec(w_hub, got)
+            if diff is not None:
+                idx, va, vb = diff
+                report.divergences.append(
+                    Divergence(w_hub_name, name, "weighted-distances",
+                               idx, va, vb)
+                )
+
+        check_weighted(
+            "weighted-parallel-threads",
+            lambda: parallel_weighted_backward_distances(
+                trace, sizes, workers=cfg.workers
+            ),
+        )
+        if cfg.process_workers:
+            check_weighted(
+                "weighted-parallel-procs",
+                lambda: parallel_weighted_backward_distances(
+                    trace, sizes, workers=cfg.process_workers,
+                    use_processes=True,
+                ),
+            )
+        # Forward (stack-distance) oracles: the engine's stack view is the
+        # hub; the brute-force and weighted-OST loops share nothing with
+        # the engine beyond trace validation.
+        w_stack = weighted_stack_distances(trace, sizes)
+
+        def check_stack(name: str, fn: Callable[[], np.ndarray]) -> None:
+            report.comparisons.append(
+                f"weighted-stack~{name}:weighted-distances"
+            )
+            try:
+                got = np.asarray(fn())
+            except Exception as exc:  # noqa: BLE001
+                report.divergences.append(
+                    Divergence("weighted-stack", name, "crash", -1, "ok",
+                               f"{type(exc).__name__}: {exc}")
+                )
+                return
+            diff = _first_diff_vec(w_stack, got)
+            if diff is not None:
+                idx, va, vb = diff
+                report.divergences.append(
+                    Divergence("weighted-stack", name, "weighted-distances",
+                               idx, va, vb)
+                )
+
+        if cfg.check_naive and n <= NAIVE_MAX_N:
+            check_stack(
+                "weighted-naive",
+                lambda: naive_weighted_stack_distances(trace, sizes),
+            )
+        if n <= TREE_BASELINE_MAX_N:
+            check_stack(
+                "weighted-ost",
+                lambda: ost_weighted_stack_distances(trace, sizes),
+            )
+
+    return report
+
+
+def _streaming_curve(case: FuzzCase) -> HitRateCurve:
+    """Feed the trace through the online analyzer in random batches."""
+    cfg = case.config
+    analyzer = OnlineCurveAnalyzer(
+        cfg.k, chunk_multiplier=cfg.chunk_multiplier, dtype=cfg.numpy_dtype()
+    )
+    pos = 0
+    for step in push_plan_for(case).tolist():
+        analyzer.push(case.trace[pos : pos + step])
+        pos += step
+    analyzer.flush()
+    return analyzer.curve()
+
+
+def iter_impl_names(case: FuzzCase) -> Iterator[str]:
+    """Names the matrix would exercise for ``case`` (for reporting)."""
+    for cmp_ in run_case_detailed(case).comparisons:
+        yield cmp_.split("~")[1].split(":")[0]

@@ -1,0 +1,243 @@
+"""Delta-debugging minimizer: failing fuzz case → tiny committed test.
+
+Given a failing :class:`~repro.qa.strategies.FuzzCase` (one the oracle
+matrix reports divergences for), :func:`shrink_case` searches for the
+smallest case that still fails *with the same signature* — the same
+implementation pair and quantity — by alternating four reduction passes
+to a fixed point:
+
+1. **drop chunks** — classic ddmin over the trace (remove contiguous
+   chunks at doubling granularity);
+2. **halve addresses** — ``a -> a // 2``, then a dense rank remap, so
+   huge or sparse address values shrink to small ones;
+3. **shrink the config** — workers toward 1 (a failure that needs >1
+   worker stops there), ``k`` halved toward 1, ``chunk_multiplier`` to 1,
+   process pools off, object sizes toward unit weights;
+4. repeat until nothing shrinks.
+
+The result is deterministic (no randomness in the search) and
+:func:`to_pytest` renders it as a ready-to-paste regression test that
+reconstructs the minimal case literally and asserts the oracle matrix
+passes — so the committed test keeps guarding all implementations, not
+just the pair that diverged today.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .oracle import Divergence, run_case
+from .strategies import FuzzCase, FuzzConfig
+
+#: Signature a shrunk case must preserve: (impl_a, impl_b, quantity).
+Signature = Tuple[str, str, str]
+
+
+def divergence_signature(d: Divergence) -> Signature:
+    return (d.impl_a, d.impl_b, d.quantity)
+
+
+def _default_failing(signature: Signature) -> Callable[[FuzzCase], bool]:
+    def failing(case: FuzzCase) -> bool:
+        return any(
+            divergence_signature(d) == signature for d in run_case(case)
+        )
+
+    return failing
+
+
+def _with_trace(case: FuzzCase, trace: np.ndarray) -> FuzzCase:
+    return replace(case, trace=np.ascontiguousarray(trace))
+
+
+def _ddmin_trace(
+    case: FuzzCase, failing: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Zeller's ddmin on the trace: drop complement chunks, refine."""
+    trace = case.trace
+    granularity = 2
+    while trace.size >= 2 and granularity <= trace.size:
+        chunk = max(1, int(np.ceil(trace.size / granularity)))
+        shrunk = False
+        start = 0
+        while start < trace.size:
+            candidate = np.concatenate(
+                [trace[:start], trace[start + chunk :]]
+            )
+            if candidate.size < trace.size and failing(
+                _with_trace(case, candidate)
+            ):
+                trace = candidate
+                granularity = max(granularity - 1, 2)
+                shrunk = True
+                # Re-scan from the front at the new length.
+                start = 0
+                continue
+            start += chunk
+        if not shrunk:
+            if granularity >= trace.size:
+                break
+            granularity = min(trace.size, 2 * granularity)
+    return _with_trace(case, trace)
+
+
+def _shrink_addresses(
+    case: FuzzCase, failing: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Make address values small: halving passes, then a dense remap."""
+    trace = case.trace
+    if trace.size == 0:
+        return case
+    while int(trace.max()) > 0:
+        candidate = trace // 2
+        if failing(_with_trace(case, candidate)):
+            trace = candidate
+        else:
+            break
+    if trace.size:
+        _, dense = np.unique(trace, return_inverse=True)
+        dense = dense.astype(trace.dtype)
+        if not np.array_equal(dense, trace) and failing(
+            _with_trace(case, dense)
+        ):
+            trace = dense
+    return _with_trace(case, trace)
+
+
+def _shrink_config(
+    case: FuzzCase, failing: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Lower every configuration knob that keeps the failure alive."""
+    cfg = case.config
+
+    def attempt(**kwargs) -> None:
+        nonlocal cfg, case
+        candidate = replace(case, config=replace(cfg, **kwargs))
+        if failing(candidate):
+            case = candidate
+            cfg = candidate.config
+
+    if cfg.process_workers:
+        attempt(process_workers=0)
+    for w in range(1, cfg.workers):
+        before = cfg.workers
+        attempt(workers=w)
+        if cfg.workers != before:
+            break
+    while cfg.k > 1:
+        before = cfg.k
+        attempt(k=max(1, cfg.k // 2))
+        if cfg.k == before:
+            break
+    if cfg.chunk_multiplier > 1:
+        attempt(chunk_multiplier=1)
+    if cfg.max_object_size > 1:
+        before = cfg.max_object_size
+        attempt(max_object_size=1)
+        if cfg.max_object_size == before and cfg.max_object_size > 2:
+            attempt(max_object_size=2)
+    if cfg.dtype != "int64":
+        candidate = replace(
+            case,
+            trace=case.trace.astype(np.int64),
+            config=replace(cfg, dtype="int64"),
+        )
+        if failing(candidate):
+            case = candidate
+    return case
+
+
+def shrink_case(
+    case: FuzzCase,
+    signature: Optional[Signature] = None,
+    *,
+    failing: Optional[Callable[[FuzzCase], bool]] = None,
+    max_rounds: int = 8,
+) -> FuzzCase:
+    """Minimize ``case`` while it keeps failing with ``signature``.
+
+    ``failing`` overrides the predicate (used by tests); by default a
+    case "fails" when the oracle matrix reproduces a divergence with the
+    given signature (or, when ``signature`` is ``None``, the signature of
+    the first divergence the unshrunken case produces).
+    """
+    if failing is None:
+        if signature is None:
+            divs = run_case(case)
+            if not divs:
+                raise ValueError("case does not fail; nothing to shrink")
+            signature = divergence_signature(divs[0])
+        failing = _default_failing(signature)
+    if not failing(case):
+        raise ValueError("case does not fail under the given predicate")
+    for _ in range(max_rounds):
+        before = (case.trace.size, int(case.trace.sum()) if case.trace.size
+                  else 0, case.config)
+        case = _ddmin_trace(case, failing)
+        case = _shrink_addresses(case, failing)
+        case = _shrink_config(case, failing)
+        after = (case.trace.size, int(case.trace.sum()) if case.trace.size
+                 else 0, case.config)
+        if after == before:
+            break
+    return replace(case, strategy=f"{case.strategy}-minimized")
+
+
+def _format_trace(trace: np.ndarray) -> str:
+    values = ", ".join(str(int(v)) for v in trace.tolist())
+    return f"np.array([{values}], dtype=np.{trace.dtype})"
+
+
+def _format_config(cfg: FuzzConfig) -> str:
+    defaults = FuzzConfig()
+    parts: List[str] = []
+    for name in (
+        "workers", "process_workers", "k", "chunk_multiplier", "dtype",
+        "push_seed", "sizes_seed", "max_object_size",
+    ):
+        value = getattr(cfg, name)
+        if value != getattr(defaults, name):
+            parts.append(f"{name}={value!r}" if isinstance(value, str)
+                         else f"{name}={value}")
+    return f"FuzzConfig({', '.join(parts)})"
+
+
+def to_pytest(
+    case: FuzzCase, divergence: Optional[Divergence] = None
+) -> str:
+    """Render ``case`` as a ready-to-paste pytest regression.
+
+    The generated test reconstructs the exact minimal case and asserts
+    the whole oracle matrix agrees on it — paste it into
+    ``tests/qa/test_regressions.py`` and it guards the fix forever.
+    """
+    what = (
+        f"    # {divergence.describe()}\n" if divergence is not None else ""
+    )
+    name = f"test_fuzz_regression_seed_{case.seed}"
+    return (
+        "def {name}():\n"
+        "    \"\"\"Minimized by repro.qa.shrink from fuzz seed {seed} "
+        "({strategy}).\"\"\"\n"
+        "{what}"
+        "    import numpy as np\n"
+        "    from repro.qa import FuzzCase, FuzzConfig, run_case\n"
+        "\n"
+        "    case = FuzzCase(\n"
+        "        seed={seed},\n"
+        "        strategy={strategy!r},\n"
+        "        trace={trace},\n"
+        "        config={config},\n"
+        "    )\n"
+        "    assert run_case(case) == []\n"
+    ).format(
+        name=name,
+        seed=case.seed,
+        strategy=case.strategy,
+        what=what,
+        trace=_format_trace(case.trace),
+        config=_format_config(case.config),
+    )

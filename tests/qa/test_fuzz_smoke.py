@@ -1,0 +1,24 @@
+"""30-second fuzz smoke: the CLI soak that gates every test run.
+
+Deselect with ``pytest -m "not fuzz_smoke"`` when iterating locally.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.fuzz_smoke
+def test_fuzz_quick_profile_30s_clean(capsys):
+    rc = main(["fuzz", "--seconds", "30", "--seed", "0", "--profile", "quick"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "0 divergences" in out
+
+
+@pytest.mark.fuzz_smoke
+def test_fuzz_max_cases_short_circuit(capsys):
+    rc = main(["fuzz", "--seconds", "30", "--seed", "42", "--max-cases", "5"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "5 cases" in out

@@ -1,0 +1,83 @@
+"""Deterministic oracle-matrix suite: seeded fuzz cases as fixed tests.
+
+Every seed below is a full differential-testing case (trace + config)
+pushed through every registered implementation.  The cases are pure
+functions of ``(seed, profile)``, so this suite is deterministic — it is
+the committed, always-on slice of what ``python -m repro fuzz`` explores
+randomly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qa import (
+    PROFILES,
+    STRATEGIES,
+    case_from_seed,
+    object_sizes_for,
+    push_plan_for,
+    run_case_detailed,
+)
+
+QUICK_SEEDS = list(range(20))
+DEEP_SEEDS = [5000, 5001]
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS)
+def test_quick_matrix_agrees(seed):
+    case = case_from_seed(seed, profile="quick")
+    report = run_case_detailed(case)
+    assert report.comparisons, "matrix ran no comparisons"
+    assert report.divergences == [], "\n".join(
+        d.describe() for d in report.divergences
+    )
+
+
+@pytest.mark.parametrize("seed", DEEP_SEEDS)
+def test_deep_matrix_agrees(seed):
+    case = case_from_seed(seed, profile="deep")
+    report = run_case_detailed(case)
+    assert report.ok, "\n".join(d.describe() for d in report.divergences)
+
+
+@pytest.mark.parametrize("seed", [0, 7, 13])
+def test_cases_are_deterministic(seed):
+    a = case_from_seed(seed, profile="quick")
+    b = case_from_seed(seed, profile="quick")
+    assert a.strategy == b.strategy
+    assert a.config == b.config
+    assert np.array_equal(a.trace, b.trace)
+    assert np.array_equal(object_sizes_for(a), object_sizes_for(b))
+    assert np.array_equal(push_plan_for(a), push_plan_for(b))
+
+
+def test_push_plan_covers_trace():
+    for seed in range(10):
+        case = case_from_seed(seed, profile="quick")
+        assert int(push_plan_for(case).sum()) == case.trace.size
+
+
+def test_object_sizes_cover_every_address():
+    from repro.qa.oracle import WEIGHTED_MAX_ADDR
+
+    for seed in range(10):
+        case = case_from_seed(seed, profile="quick")
+        if case.trace.size and int(case.trace.max()) >= WEIGHTED_MAX_ADDR:
+            continue  # weighted oracles are gated off for these traces
+        sizes = object_sizes_for(case)
+        assert (sizes >= 1).all()
+        if case.trace.size:
+            assert sizes.size > int(case.trace.max())
+
+
+def test_every_strategy_reachable():
+    seen = set()
+    for seed in range(200):
+        seen.add(case_from_seed(seed, profile="quick").strategy)
+        if len(seen) == len(STRATEGIES):
+            break
+    assert seen == set(STRATEGIES)
+
+
+def test_profiles_exported():
+    assert PROFILES == ("quick", "deep")

@@ -1,0 +1,165 @@
+"""Regression tests for the bugs the differential-testing work surfaced.
+
+Three fixes are pinned here:
+
+1. ``_split_segments`` dropped the ``Segments.w`` weight array, so the
+   parallel weighted (Section 9.1) paths silently fell back to unit
+   weights whenever a subtree split happened.
+2. The parallel stats merge dropped ``peak_bytes`` and ``ops_per_level``
+   from the per-part :class:`EngineStats`.
+3. ``OnlineCurveAnalyzer.push`` cast inputs with ``astype``, silently
+   truncating floats and wrapping out-of-range ints instead of raising.
+
+The weight-drop test also proves the qa subsystem catches the bug: it
+re-introduces the drop, watches the oracle matrix fail, and checks the
+shrinker minimizes the reproducer to a handful of accesses.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.parallel as parallel_mod
+from repro.core.engine import EngineStats, Segments, iaf_distances
+from repro.core.parallel import (
+    parallel_iaf_distances,
+    parallel_weighted_backward_distances,
+    process_parallel_iaf_distances,
+)
+from repro.core.streaming import OnlineCurveAnalyzer
+from repro.core.weighted import weighted_backward_distances
+from repro.errors import TraceError
+from repro.qa import (
+    FuzzCase,
+    FuzzConfig,
+    case_from_seed,
+    run_case,
+    shrink_case,
+)
+from repro.qa.shrink import divergence_signature
+
+
+def _weighted_inputs(n=240, universe=40, seed=3):
+    rng = np.random.default_rng(seed)
+    trace = rng.integers(0, universe, size=n).astype(np.int64)
+    sizes = rng.integers(1, 9, size=universe).astype(np.int64)
+    return trace, sizes
+
+
+class TestWeightDropFix:
+    def test_split_preserves_weights_threads(self):
+        trace, sizes = _weighted_inputs()
+        expected = weighted_backward_distances(trace, sizes)
+        for workers in (1, 2, 3, 7):
+            got = parallel_weighted_backward_distances(
+                trace, sizes, workers=workers
+            )
+            assert np.array_equal(got, expected), f"workers={workers}"
+
+    def test_split_preserves_weights_processes(self):
+        trace, sizes = _weighted_inputs()
+        expected = weighted_backward_distances(trace, sizes)
+        got = parallel_weighted_backward_distances(
+            trace, sizes, workers=2, use_processes=True
+        )
+        assert np.array_equal(got, expected)
+
+    def test_oracle_catches_reintroduced_drop(self, monkeypatch):
+        """Re-inject the bug: the matrix must fail and shrink to <= 16."""
+        orig = parallel_mod._split_segments
+
+        def dropping_split(seg, groups):
+            return [
+                Segments(kind=p.kind, t=p.t, r=p.r, starts=p.starts,
+                         lo=p.lo, hi=p.hi, w=None)
+                for p in orig(seg, groups)
+            ]
+
+        monkeypatch.setattr(parallel_mod, "_split_segments", dropping_split)
+
+        failing = None
+        for seed in range(30):
+            case = case_from_seed(seed, profile="quick")
+            divs = [
+                d for d in run_case(case)
+                if d.quantity == "weighted-distances"
+            ]
+            if divs:
+                failing = (case, divs[0])
+                break
+        assert failing is not None, (
+            "oracle matrix did not catch the re-introduced weight drop"
+        )
+        case, div = failing
+        small = shrink_case(case, divergence_signature(div))
+        assert small.trace.size <= 16, small.summary()
+        assert run_case(small), "shrunk case no longer reproduces"
+
+        # With the real (fixed) split restored, the reproducer passes.
+        monkeypatch.setattr(parallel_mod, "_split_segments", orig)
+        assert run_case(small) == []
+
+
+class TestStatsMergeFix:
+    def _trace(self):
+        rng = np.random.default_rng(11)
+        return rng.integers(0, 64, size=512).astype(np.int64)
+
+    def test_merged_stats_keep_peak_bytes_and_levels(self):
+        trace = self._trace()
+        stats = EngineStats()
+        parallel_iaf_distances(trace, workers=4, stats=stats)
+        assert stats.peak_bytes > 0
+        assert stats.levels > 0
+        assert len(stats.ops_per_level) == stats.levels
+
+    def test_merged_ops_per_level_matches_serial(self):
+        trace = self._trace()
+        serial = EngineStats()
+        iaf_distances(trace, stats=serial)
+        par = EngineStats()
+        parallel_iaf_distances(trace, workers=4, stats=par)
+        assert par.ops_per_level == serial.ops_per_level
+        assert par.work == serial.work
+
+    def test_process_pool_still_matches_engine(self):
+        trace = self._trace()
+        assert np.array_equal(
+            process_parallel_iaf_distances(trace, workers=2),
+            iaf_distances(trace),
+        )
+
+
+class TestStreamingPushValidation:
+    def test_push_rejects_floats(self):
+        analyzer = OnlineCurveAnalyzer(4)
+        with pytest.raises(TraceError):
+            analyzer.push(np.array([1.5, 2.5]))
+
+    def test_push_rejects_negative(self):
+        analyzer = OnlineCurveAnalyzer(4)
+        with pytest.raises(TraceError):
+            analyzer.push([1, -2, 3])
+
+    def test_push_rejects_int32_overflow(self):
+        analyzer = OnlineCurveAnalyzer(4, dtype="int32")
+        with pytest.raises(TraceError):
+            analyzer.push(np.array([2**40], dtype=np.int64))
+
+    def test_scalar_and_list_push_still_work(self):
+        analyzer = OnlineCurveAnalyzer(4)
+        analyzer.push(7)
+        analyzer.push([7, 8, 7])
+        analyzer.flush()
+        curve = analyzer.curve()
+        assert curve.total_accesses == 4
+
+
+def test_fuzz_regression_seed_example():
+    """Shape of a committed reproducer: a literal FuzzCase, matrix green."""
+    case = FuzzCase(
+        seed=1,
+        strategy="duplicate_heavy-minimized",
+        trace=np.array([0, 0, 0, 0, 0, 1, 1], dtype=np.int64),
+        config=FuzzConfig(workers=2, k=1, max_object_size=1),
+    )
+    assert run_case(case) == []
