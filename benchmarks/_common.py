@@ -142,3 +142,24 @@ class RowCollector:
     @classmethod
     def rows(cls, experiment: str) -> Dict[Tuple, Dict[str, float]]:
         return cls._store.get(experiment, {})
+
+
+def require_rows(experiment: str) -> Dict[Tuple, Dict[str, float]]:
+    """Collected rows for ``experiment``, or a *loud* pytest skip.
+
+    Report tests must never render an empty table: that writes a
+    headers-only file under ``results/`` that looks like a successful run
+    (the silent-skip failure mode — a broken or deselected measurement
+    test goes unnoticed for months).  Skipping with an explicit reason
+    shows up as ``s`` + reason in the pytest summary instead.
+    """
+    import pytest
+
+    rows = RowCollector.rows(experiment)
+    if not rows:
+        pytest.skip(
+            f"no measurements collected for experiment {experiment!r} — "
+            f"its measurement tests did not run in this session "
+            f"(deselected, failed, or skipped); not writing an empty table"
+        )
+    return rows

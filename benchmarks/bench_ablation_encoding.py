@@ -22,7 +22,7 @@ import time
 from repro.analysis.report import render_table
 from repro.core.ops import increment_freeze_sequence, prepost_sequence
 from repro.core.partition import partition_prepost, partition_prepost_simple
-from _common import RowCollector, load_trace, write_result
+from _common import RowCollector, load_trace, require_rows, write_result
 
 
 def test_encoding_footprint(benchmark):
@@ -115,7 +115,7 @@ def test_report_ablation(benchmark):
 
 
 def _test_report_ablation_impl():
-    data = RowCollector.rows("ablation")
+    data = require_rows("ablation")
     rows = []
     enc = data.get(("encoding",))
     if enc:

@@ -17,7 +17,7 @@ from repro.core.external import external_iaf_distances, external_io_bound_blocks
 from repro.extmem.blockdevice import MemoryConfig
 from repro.extmem.sort import external_sort, sort_bound_blocks
 from repro.extmem.blockdevice import BlockDevice
-from _common import RowCollector, write_result
+from _common import RowCollector, require_rows, write_result
 
 CONFIG = MemoryConfig(memory_items=4096, block_items=64)
 SWEEP = (2_000, 8_000, 32_000, 128_000)
@@ -67,7 +67,7 @@ def test_report_external_io(benchmark):
 
 
 def _test_report_external_io_impl():
-    data = RowCollector.rows("extio")
+    data = require_rows("extio")
     rows = []
     ratios = []
     for n in SWEEP:

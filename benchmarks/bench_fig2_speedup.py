@@ -31,7 +31,7 @@ from repro.core.engine import EngineStats, iaf_distances
 from repro.metrics.memory import format_bytes
 from repro.metrics.timing import PhaseTimer
 from repro.pram.model import self_relative_speedup
-from _common import RowCollector, load_trace, run_system, write_result
+from _common import RowCollector, load_trace, require_rows, run_system, write_result
 
 SIZE = "small"
 THREAD_COUNTS = (1, 2, 4, 8, 16)
@@ -116,7 +116,7 @@ def test_report_fig2_memory(benchmark):
 
 
 def _test_report_fig2_memory_impl():
-    data = RowCollector.rows("fig2mem")
+    data = require_rows("fig2mem")
     rows = []
     for p in THREAD_COUNTS:
         m = data.get((p,), {})

@@ -27,7 +27,7 @@ from repro.analysis.locality import (
     tree_reference_trace,
 )
 from repro.analysis.report import render_table
-from _common import RowCollector, write_result
+from _common import RowCollector, require_rows, write_result
 
 CACHE_WORDS = 4096   # a 32 KiB L1 of 64-byte lines, in 8-byte words
 LINE_WORDS = 8
@@ -73,7 +73,7 @@ def test_report_locality(benchmark):
 
 
 def _report():
-    data = RowCollector.rows("locality")
+    data = require_rows("locality")
     rows = []
     for label, _n, _u in [(c[0], c[1], c[2]) for c in CASES]:
         m = data.get((label,))

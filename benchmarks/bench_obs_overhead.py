@@ -1,0 +1,107 @@
+"""Tracing-overhead budget: the cost of the observability layer.
+
+The span tracer promises a near-free disabled path (call sites check one
+boolean and reuse a shared null span) and a cheap enabled path (spans
+fire per recursion level / chunk / worker, never per access — O(log n)
+events per run).  This bench measures both against the uninstrumented
+cost proxy (the disabled run *is* the production configuration) on a
+million-access zipf trace, producing the numbers quoted in
+docs/OBSERVABILITY.md.
+
+The tier-1 guard for the same property lives in
+``tests/obs/test_overhead.py`` as an analytic per-call-site bound, which
+is robust to machine noise; this bench reports the real A/B ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.engine import iaf_hit_rate_curve
+from repro.metrics.timing import median_time
+from repro.obs import get_tracer, tracing
+from _common import RowCollector, require_rows, write_result
+
+N = 1_000_000
+UNIVERSE = 50_000
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def zipf_trace() -> np.ndarray:
+    rng = np.random.default_rng(42)
+    return (rng.zipf(1.2, size=N) % UNIVERSE).astype(np.int64)
+
+
+def test_overhead_disabled(benchmark, zipf_trace):
+    assert not get_tracer().enabled
+
+    def run():
+        _curve, secs = median_time(
+            lambda: iaf_hit_rate_curve(zipf_trace), repeats=REPEATS
+        )
+        return secs
+
+    secs = benchmark.pedantic(run, rounds=1, iterations=1)
+    RowCollector.record("obs", ("iaf",), disabled=secs)
+
+
+def test_overhead_enabled(benchmark, zipf_trace):
+    def run():
+        spans = 0
+
+        def once():
+            nonlocal spans
+            with tracing() as t:
+                curve = iaf_hit_rate_curve(zipf_trace)
+                spans = len(t)
+            return curve
+
+        _curve, secs = median_time(once, repeats=REPEATS)
+        return secs, spans
+
+    (secs, spans) = benchmark.pedantic(run, rounds=1, iterations=1)
+    RowCollector.record("obs", ("iaf",), enabled=secs, spans=spans)
+
+
+def test_report_obs_overhead(benchmark):
+    # Rendering is the 'benchmarked' op so --benchmark-only
+    # still emits the paper-style table.
+    benchmark.pedantic(_test_report_obs_overhead_impl, rounds=1,
+                       iterations=1)
+
+
+def _test_report_obs_overhead_impl():
+    data = require_rows("obs")
+    rows = []
+    for (system,), m in sorted(data.items()):
+        if "disabled" not in m or "enabled" not in m:
+            continue
+        overhead = (m["enabled"] / m["disabled"] - 1.0) * 100.0
+        rows.append([
+            system,
+            f"{N:,}",
+            f"{m['disabled']:.3f}",
+            f"{m['enabled']:.3f}",
+            int(m.get("spans", 0)),
+            f"{overhead:+.2f}%",
+        ])
+    if not rows:
+        pytest.skip(
+            "obs overhead rows incomplete — need both the disabled and "
+            "enabled measurement tests in the same session"
+        )
+    write_result(
+        "obs_overhead",
+        render_table(
+            "Span-tracing overhead (median of "
+            f"{REPEATS}, {N:,}-access zipf trace)",
+            ["system", "n", "disabled s", "enabled s", "spans",
+             "overhead"],
+            rows,
+            note="disabled tracing is the production default; spans fire "
+                 "per level/chunk/worker, never per access",
+        ),
+    )

@@ -15,7 +15,7 @@ import pytest
 
 from repro.analysis.report import render_table
 from repro.core.engine import EngineStats, iaf_distances
-from _common import RowCollector, write_result
+from _common import RowCollector, require_rows, write_result
 
 SWEEP = (4_096, 16_384, 65_536, 262_144)
 
@@ -46,7 +46,7 @@ def test_report_pram(benchmark):
 
 
 def _test_report_pram_impl():
-    data = RowCollector.rows("pram")
+    data = require_rows("pram")
     rows = []
     work_norms, span_norms = [], []
     for n in SWEEP:

@@ -17,6 +17,7 @@ import pytest
 from repro.analysis.report import render_table
 from repro.workloads.catalog import get_workload
 from _common import (
+    require_rows,
     RowCollector,
     bench_sizes,
     load_trace,
@@ -63,7 +64,7 @@ def test_report_sec93(benchmark):
 
 
 def _test_report_sec93_impl():
-    data = RowCollector.rows("sec93")
+    data = require_rows("sec93")
     rows = []
     for size in bench_sizes():
         for system in SYSTEMS:

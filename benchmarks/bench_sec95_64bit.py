@@ -16,7 +16,7 @@ from repro.analysis.report import render_table
 from repro.core.bounded import bounded_iaf
 from repro.core.engine import iaf_distances
 from repro.metrics.memory import MemoryModel, format_bytes
-from _common import RowCollector, load_trace, write_result
+from _common import RowCollector, load_trace, require_rows, write_result
 
 SIZE = "small"
 
@@ -64,7 +64,7 @@ def test_report_sec95(benchmark):
 
 
 def _test_report_sec95_impl():
-    data = RowCollector.rows("sec95")
+    data = require_rows("sec95")
     rows = []
     for system in ("iaf", "bound-iaf"):
         m = data.get((system,))

@@ -17,7 +17,7 @@ import pytest
 from repro.analysis.report import render_table
 from repro.baselines.ost import ost_stack_distances
 from repro.core.streaming import OnlineCurveAnalyzer
-from _common import RowCollector, load_trace, write_result
+from _common import RowCollector, load_trace, require_rows, write_result
 
 KS = (256, 1_024, 4_096)
 BATCH = 8_192
@@ -64,7 +64,7 @@ def test_report_streaming(benchmark):
 
 
 def _report():
-    data = RowCollector.rows("streaming")
+    data = require_rows("streaming")
     rows = []
     for k in KS:
         m = data.get((k,))

@@ -17,6 +17,7 @@ import pytest
 
 from repro.analysis.report import render_table
 from _common import (
+    require_rows,
     RowCollector,
     bench_dists,
     bench_sizes,
@@ -57,7 +58,7 @@ def test_report_table2a(benchmark):
 
 def _test_report_table2a_impl():
     rows = []
-    data = RowCollector.rows("table2a")
+    data = require_rows("table2a")
     for size in bench_sizes():
         m = data.get((size,), {})
         if not m:

@@ -17,6 +17,7 @@ import pytest
 from repro.analysis.report import render_table
 from repro.metrics.memory import format_bytes
 from _common import (
+    require_rows,
     RowCollector,
     bench_dists,
     bench_sizes,
@@ -54,7 +55,7 @@ def test_report_table2b(benchmark):
 
 def _test_report_table2b_impl():
     rows = []
-    data = RowCollector.rows("table2b")
+    data = require_rows("table2b")
     for size in bench_sizes():
         m = data.get((size,), {})
         if not m:

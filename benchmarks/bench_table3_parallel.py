@@ -18,6 +18,7 @@ import pytest
 from repro.analysis.report import render_table
 from repro.metrics.memory import format_bytes
 from _common import (
+    require_rows,
     RowCollector,
     bench_dists,
     bench_sizes,
@@ -66,7 +67,7 @@ def test_report_table3(benchmark):
 
 
 def _test_report_table3_impl():
-    data = RowCollector.rows("table3")
+    data = require_rows("table3")
     rows_a, rows_b = [], []
     for size in bench_sizes():
         m = data.get((size,), {})

@@ -23,6 +23,8 @@ The package layout mirrors DESIGN.md:
 - :mod:`repro.pram` — the CREW PRAM work/span cost model.
 - :mod:`repro.metrics` / :mod:`repro.analysis` — measurement and report
   plumbing for the benchmark harness.
+- :mod:`repro.obs` — span tracing, unified counters, and exporters
+  behind ``python -m repro profile`` (see docs/OBSERVABILITY.md).
 - :mod:`repro.qa` — randomized differential testing and fuzzing across
   every implementation (``python -m repro fuzz``; see docs/FUZZING.md).
 """
@@ -47,6 +49,7 @@ from .core import (
     weighted_stack_distances,
 )
 from .errors import ReproError
+from .obs import Counters, Tracer, get_tracer, tracing
 
 __version__ = "1.0.0"
 
@@ -62,8 +65,12 @@ __all__ = [
     "SUPPORTED_DTYPES",
     "as_trace",
     "bounded_iaf",
+    "Counters",
     "external_iaf_distances",
+    "get_tracer",
     "hit_rate_curve",
+    "Tracer",
+    "tracing",
     "iaf_distances",
     "iaf_hit_rate_curve",
     "parallel_bounded_iaf",

@@ -14,6 +14,7 @@ from .._typing import TraceLike, as_trace
 from ..core.hitrate import HitRateCurve
 from ..errors import ReproError
 from ..metrics.memory import MemoryModel
+from ..obs import NULL_SPAN, get_tracer
 from .fenwick import FenwickTree, fenwick_stack_distances
 from .mattson import mattson_hit_counts, mattson_stack_distances
 from .naive import (
@@ -43,34 +44,42 @@ def baseline_hit_rate_curve(
     post-processing, exactly as for the full IAF).
     """
     arr = as_trace(trace)
-    if algorithm == "parda":
-        hist, total = parda_stack_distance_histogram(
-            arr, workers=workers, max_cache_size=max_cache_size,
-            memory=memory,
-        )
-        curve = HitRateCurve(
-            hits_cumulative=np.cumsum(hist[1:]),
-            total_accesses=total,
-            truncated_at=max_cache_size,
-        )
-        return curve
-    if algorithm == "ost":
-        dist = ost_stack_distances(arr, memory=memory)
-    elif algorithm == "splay":
-        dist = splay_stack_distances(arr, memory=memory)
-    elif algorithm == "mattson":
-        dist = mattson_stack_distances(arr, memory=memory)
-    elif algorithm == "fenwick":
-        dist = fenwick_stack_distances(arr, memory=memory)
-    else:
-        raise ReproError(f"unknown baseline {algorithm!r}")
-    finite = dist[dist > 0]
-    counts = (
-        np.cumsum(np.bincount(finite)[1:])
-        if finite.size
-        else np.zeros(0, dtype=np.int64)
+    tracer = get_tracer()
+    span = (
+        tracer.span(f"baseline.{algorithm}", n=int(arr.size),
+                    workers=workers)
+        if tracer.enabled
+        else NULL_SPAN
     )
-    return HitRateCurve(hits_cumulative=counts, total_accesses=arr.size)
+    with span:
+        if algorithm == "parda":
+            hist, total = parda_stack_distance_histogram(
+                arr, workers=workers, max_cache_size=max_cache_size,
+                memory=memory,
+            )
+            curve = HitRateCurve(
+                hits_cumulative=np.cumsum(hist[1:]),
+                total_accesses=total,
+                truncated_at=max_cache_size,
+            )
+            return curve
+        if algorithm == "ost":
+            dist = ost_stack_distances(arr, memory=memory)
+        elif algorithm == "splay":
+            dist = splay_stack_distances(arr, memory=memory)
+        elif algorithm == "mattson":
+            dist = mattson_stack_distances(arr, memory=memory)
+        elif algorithm == "fenwick":
+            dist = fenwick_stack_distances(arr, memory=memory)
+        else:
+            raise ReproError(f"unknown baseline {algorithm!r}")
+        finite = dist[dist > 0]
+        counts = (
+            np.cumsum(np.bincount(finite)[1:])
+            if finite.size
+            else np.zeros(0, dtype=np.int64)
+        )
+        return HitRateCurve(hits_cumulative=counts, total_accesses=arr.size)
 
 
 __all__ = [

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the operator workflow the paper motivates:
+Six subcommands cover the operator workflow the paper motivates:
 
 * ``generate`` — synthesize a workload into a REPROTRC trace file.
 * ``info``     — print a trace file's statistics (n, u, reuse profile).
@@ -9,6 +9,9 @@ Five subcommands cover the operator workflow the paper motivates:
   table or CSV.
 * ``compare``  — run several algorithms on the same trace, verify they
   agree, and print a runtime comparison.
+* ``profile``  — run one algorithm under the :mod:`repro.obs` tracer and
+  report where the time went (per-phase table, JSON lines, or a Chrome
+  ``trace_event`` file for ``chrome://tracing`` / Perfetto).
 * ``fuzz``     — randomized differential testing: run seeded adversarial
   traces through every implementation (:mod:`repro.qa`) until a time
   budget expires, minimizing and reporting any divergence found.
@@ -80,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--format", default="table", choices=["table", "csv"])
     ana.add_argument("--save", default=None, metavar="CURVE.npz",
                      help="persist the exact curve for later comparison")
+    ana.add_argument("--profile", action="store_true",
+                     help="also trace the run and print a span summary")
 
     cmp_ = sub.add_parser("compare", help="race algorithms on one trace")
     cmp_.add_argument("trace", help="REPROTRC file")
@@ -88,6 +93,24 @@ def build_parser() -> argparse.ArgumentParser:
                            + ",".join(ALGORITHMS))
     cmp_.add_argument("--workers", type=int, default=1)
     cmp_.add_argument("--max-cache-size", "-k", type=int, default=None)
+
+    prof = sub.add_parser(
+        "profile",
+        help="trace one analysis run and report where the time went",
+    )
+    prof.add_argument("trace", help="REPROTRC file")
+    prof.add_argument("--algorithm", default="iaf", choices=list(ALGORITHMS))
+    prof.add_argument("--max-cache-size", "-k", type=int, default=None)
+    prof.add_argument("--workers", type=int, default=1)
+    prof.add_argument("--format", default="table",
+                      choices=["table", "jsonl", "chrome"],
+                      help="table: per-span summary; jsonl: one event per "
+                           "line; chrome: trace_event JSON")
+    prof.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="write the jsonl/chrome export here instead of "
+                           "stdout (table is still printed)")
+    prof.add_argument("--capacity", type=int, default=None,
+                      help="span ring-buffer capacity (default: 65536)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -161,13 +184,26 @@ def _parse_sizes(raw: Optional[str]) -> Optional[List[int]]:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     trace = read_trace(args.trace)
+    profile_events = None
     t0 = time.perf_counter()
-    curve = hit_rate_curve(
-        trace,
-        algorithm=args.algorithm,
-        max_cache_size=args.max_cache_size,
-        workers=args.workers,
-    )
+    if getattr(args, "profile", False):
+        from .obs.profile import profile_hit_rate_curve
+
+        result = profile_hit_rate_curve(
+            trace,
+            algorithm=args.algorithm,
+            max_cache_size=args.max_cache_size,
+            workers=args.workers,
+        )
+        curve = result.curve
+        profile_events = result.events
+    else:
+        curve = hit_rate_curve(
+            trace,
+            algorithm=args.algorithm,
+            max_cache_size=args.max_cache_size,
+            workers=args.workers,
+        )
     elapsed = time.perf_counter() - t0
     sizes = _parse_sizes(args.sizes)
     if sizes is None:
@@ -198,6 +234,63 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         save_curve(curve, args.save)
         print(f"curve saved to {args.save}")
+    if profile_events is not None and args.format != "csv":
+        # csv output stays machine-readable; the span table would
+        # corrupt downstream parsers.
+        from .obs.export import summary_table
+
+        print()
+        print(summary_table(profile_events,
+                            title=f"span summary ({args.algorithm})"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.export import (
+        chrome_trace_json,
+        counters_table,
+        summary_table,
+        to_jsonl,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from .obs.profile import profile_hit_rate_curve
+    from .obs.span import DEFAULT_CAPACITY
+
+    trace = read_trace(args.trace)
+    result = profile_hit_rate_curve(
+        trace,
+        algorithm=args.algorithm,
+        max_cache_size=args.max_cache_size,
+        workers=args.workers,
+        capacity=args.capacity or DEFAULT_CAPACITY,
+    )
+    if args.trace_out:
+        if args.format == "chrome":
+            write_chrome_trace(result.events, args.trace_out)
+        elif args.format == "jsonl":
+            write_jsonl(result.events, args.trace_out)
+        else:
+            raise ReproError(
+                "--trace-out requires --format jsonl or chrome"
+            )
+        print(f"{len(result.events)} spans ({args.format}) written to "
+              f"{args.trace_out}")
+    elif args.format == "chrome":
+        print(chrome_trace_json(result.events))
+        return 0
+    elif args.format == "jsonl":
+        print(to_jsonl(result.events), end="")
+        return 0
+    print(summary_table(
+        result.events,
+        title=f"profile: {args.algorithm} on {args.trace} "
+              f"(n={result.n:,}, {seconds(result.wall_seconds)})",
+        note=(f"{result.dropped_events} spans dropped (ring buffer full)"
+              if result.dropped_events else None),
+    ))
+    print()
+    print(counters_table(result.counters))
     return 0
 
 
@@ -296,6 +389,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "info": _cmd_info,
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
+        "profile": _cmd_profile,
         "fuzz": _cmd_fuzz,
     }
     try:

@@ -34,7 +34,7 @@ from .._typing import DEFAULT_DTYPE, TraceLike, as_trace
 from ..errors import ReproError
 from ..extmem.blockdevice import MemoryConfig
 from .bounded import bounded_iaf
-from .engine import iaf_distances, iaf_hit_rate_curve
+from .engine import EngineStats, iaf_distances, iaf_hit_rate_curve
 from .external import external_iaf_distances
 from .hitrate import HitRateCurve, curve_from_backward_distances
 from .parallel import parallel_iaf_distances, parallel_iaf_hit_rate_curve
@@ -64,6 +64,7 @@ def hit_rate_curve(
     workers: int = 1,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     memory_config: Optional[MemoryConfig] = None,
+    stats: Optional[EngineStats] = None,
 ) -> HitRateCurve:
     """Exact LRU hit-rate curve of ``trace``.
 
@@ -71,15 +72,21 @@ def hit_rate_curve(
     only for ``bounded-iaf`` and ``parda``, honored by post-filtering for
     the others).  ``workers`` selects thread-count for the parallel
     algorithms.  ``memory_config`` supplies (M, B) for ``external-iaf``.
+    ``stats`` collects engine work counters for the algorithms built on
+    the vectorized engine (iaf, bounded-iaf, parallel-iaf); the other
+    implementations leave it untouched.
     """
     arr = as_trace(trace, dtype=dtype)
     if algorithm == "iaf":
-        curve = iaf_hit_rate_curve(arr, dtype=dtype)
+        curve = iaf_hit_rate_curve(arr, dtype=dtype, stats=stats)
     elif algorithm == "bounded-iaf":
-        curve = bounded_iaf(arr, max_cache_size, dtype=dtype).curve
+        curve = bounded_iaf(arr, max_cache_size, dtype=dtype,
+                            stats=stats).curve
         return curve
     elif algorithm == "parallel-iaf":
-        curve = parallel_iaf_hit_rate_curve(arr, workers=workers, dtype=dtype)
+        curve = parallel_iaf_hit_rate_curve(
+            arr, workers=workers, dtype=dtype, stats=stats
+        )
     elif algorithm == "external-iaf":
         config = memory_config or MemoryConfig(
             memory_items=65536, block_items=1024

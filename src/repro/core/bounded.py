@@ -35,6 +35,7 @@ import numpy as np
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
 from ..errors import CapacityError
 from ..metrics.memory import MemoryModel
+from ..obs import NULL_SPAN, get_tracer
 from .engine import EngineStats, iaf_distances
 from .hitrate import HitRateCurve, curve_from_forward_distances, merge_curves
 from .prevnext import distinct_count, prev_next_arrays
@@ -123,17 +124,27 @@ def bounded_iaf(
         )
     chunk_len = chunk_multiplier * k
 
+    tracer = get_tracer()
+    traced = tracer.enabled
     qbar = np.zeros(0, dtype=dt)
     windows: List[HitRateCurve] = []
     bounds: List[Tuple[int, int]] = []
     for start in range(0, n, chunk_len):
         stop = min(start + chunk_len, n)
         chunk = arr[start:stop]
-        windows.append(
-            _process_chunk(qbar, chunk, k, dt, stats=stats, memory=memory)
+        span = (
+            tracer.span("bounded.chunk", chunk=len(bounds), start=start,
+                        stop=stop, k=k)
+            if traced
+            else NULL_SPAN
         )
-        bounds.append((start, stop))
-        qbar = recent_distinct_suffix(qbar, chunk, k)
+        with span:
+            windows.append(
+                _process_chunk(qbar, chunk, k, dt, stats=stats,
+                               memory=memory)
+            )
+            bounds.append((start, stop))
+            qbar = recent_distinct_suffix(qbar, chunk, k)
         if memory is not None:
             memory.observe("bounded.qbar", int(qbar.nbytes))
     if memory is not None:
@@ -216,8 +227,18 @@ def parallel_bounded_iaf(
     qbars = [np.zeros(0, dtype=dt)] + prefixes[:-1]
 
     # Phase 2: all chunks in parallel.
+    tracer = get_tracer()
+    traced = tracer.enabled
+
     def run(i: int) -> HitRateCurve:
-        return _process_chunk(qbars[i], chunks[i], k, dt)
+        span = (
+            tracer.span("bounded.chunk", chunk=i, start=bounds[i][0],
+                        stop=bounds[i][1], k=k)
+            if traced
+            else NULL_SPAN
+        )
+        with span:
+            return _process_chunk(qbars[i], chunks[i], k, dt)
 
     if workers == 1:
         windows = [run(i) for i in range(len(chunks))]

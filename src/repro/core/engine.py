@@ -43,6 +43,7 @@ import numpy as np
 
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
 from ..metrics.memory import MemoryModel
+from ..obs import NULL_SPAN, get_tracer
 from ..pram.scheduler import Cost
 from .hitrate import HitRateCurve, curve_from_backward_distances
 from .ops import POSTFIX, PREFIX, prepost_sequence_arrays
@@ -397,31 +398,50 @@ def solve_prepost_arrays(
 
     ``out`` must cover all cells referenced by the segments (it is indexed
     by absolute cell positions).  Values of empty segments stay 0.
+
+    When the current :mod:`repro.obs` tracer is enabled, every recursion
+    level emits an ``engine.level`` span (attrs: level index, segment and
+    op counts); disabled tracing costs one shared no-op context manager
+    per level — O(log n) per run, not per access.
     """
+    tracer = get_tracer()
+    traced = tracer.enabled
+    level = 0
     while seg.n_segments:
-        if stats is not None:
-            m = seg.n_ops
-            stats.levels += 1
-            stats.ops_per_level.append(m)
-            stats.work += m
-            counts = seg.counts()
-            stats.span_basic += float(counts.max()) if counts.size else 0.0
-            stats.span_parallel += math.log2(max(m, 2))
-            stats.peak_level_ops = max(stats.peak_level_ops, m)
-            stats.peak_bytes = max(stats.peak_bytes, seg.nbytes + out.nbytes)
-            if stats.record_segments:
-                stats.segment_sizes_per_level.append(counts.copy())
-        if memory is not None:
-            memory.observe("engine.segments", seg.nbytes)
-        leaf_mask = seg.lo == seg.hi
-        if leaf_mask.any():
-            consumed = _solve_leaves(seg, leaf_mask, out)
+        span = (
+            tracer.span("engine.level", level=level,
+                        n_segments=seg.n_segments, n_ops=seg.n_ops)
+            if traced
+            else NULL_SPAN
+        )
+        with span:
             if stats is not None:
-                stats.work += consumed
-        internal = ~leaf_mask
-        if not internal.any():
+                m = seg.n_ops
+                stats.levels += 1
+                stats.ops_per_level.append(m)
+                stats.work += m
+                counts = seg.counts()
+                stats.span_basic += float(counts.max()) if counts.size else 0.0
+                stats.span_parallel += math.log2(max(m, 2))
+                stats.peak_level_ops = max(stats.peak_level_ops, m)
+                stats.peak_bytes = max(stats.peak_bytes,
+                                       seg.nbytes + out.nbytes)
+                if stats.record_segments:
+                    stats.segment_sizes_per_level.append(counts.copy())
+            if memory is not None:
+                memory.observe("engine.segments", seg.nbytes)
+            leaf_mask = seg.lo == seg.hi
+            if leaf_mask.any():
+                consumed = _solve_leaves(seg, leaf_mask, out)
+                if stats is not None:
+                    stats.work += consumed
+            internal = ~leaf_mask
+            done = not internal.any()
+            if not done:
+                seg = _partition_level(seg, internal)
+        if done:
             break
-        seg = _partition_level(seg, internal)
+        level += 1
     if memory is not None:
         memory.observe("engine.segments", 0)
 
@@ -444,13 +464,17 @@ def iaf_distances(
     n = arr.size
     if n == 0:
         return np.zeros(0, dtype=np.int64)
+    tracer = get_tracer()
+    traced = tracer.enabled
     dt = validate_dtype(dtype)
-    kind, t, r = prepost_sequence_arrays(arr, dtype=dt)
+    with tracer.span("iaf.preprocess", n=n) if traced else NULL_SPAN:
+        kind, t, r = prepost_sequence_arrays(arr, dtype=dt)
     if memory is not None:
         memory.allocate("engine.trace", int(arr.nbytes))
     values = np.zeros(n + 1, dtype=np.int64)  # cell 0 is the sentinel
     seg = Segments.single(kind, t, r, 0, n)
-    solve_prepost_arrays(seg, values, stats=stats, memory=memory)
+    with tracer.span("iaf.solve", n=n) if traced else NULL_SPAN:
+        solve_prepost_arrays(seg, values, stats=stats, memory=memory)
     if memory is not None:
         memory.free("engine.trace", int(arr.nbytes))
     return values[1:]
@@ -466,5 +490,9 @@ def iaf_hit_rate_curve(
     """Full pipeline: pre-process, distance computation, post-process."""
     arr = as_trace(trace, dtype=dtype)
     d = iaf_distances(arr, dtype=dtype, stats=stats, memory=memory)
-    _, nxt = prev_next_arrays(arr)
-    return curve_from_backward_distances(d, nxt)
+    tracer = get_tracer()
+    span = (tracer.span("iaf.postprocess", n=arr.size)
+            if tracer.enabled else NULL_SPAN)
+    with span:
+        _, nxt = prev_next_arrays(arr)
+        return curve_from_backward_distances(d, nxt)

@@ -32,6 +32,7 @@ import numpy as np
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace
 from ..errors import ExternalMemoryError
 from ..extmem.blockdevice import BlockDevice, ExternalFile, MemoryConfig
+from ..obs import NULL_SPAN, get_tracer
 from ..extmem.iostats import IOStats
 from .engine import Segments, _shrink_child, solve_prepost_arrays
 from .ops import POSTFIX, PREFIX, prepost_sequence_arrays
@@ -134,31 +135,56 @@ class _ExternalSolver:
             self._base_case(ops_file, lo, hi)
             return
         self.report.internal_nodes += 1
-        kind, t, r = _read_ops(ops_file)
-        self.device.delete(ops_file.name)
-        fanout = self.config.fanout
-        cuts = np.linspace(lo, hi + 1, fanout + 1).astype(np.int64)
-        for ci in range(fanout):
-            a, b = int(cuts[ci]), int(cuts[ci + 1]) - 1
-            if a > b:
-                continue
-            k_c, t_c, r_c = _project_shrink_interval(kind, t, r, a, b)
-            child = _write_ops(self.device, self._fresh_name(), k_c, t_c, r_c)
-            self.solve(child, a, b, depth + 1)
+        # The span's io_blocks attr is inclusive: it also counts IO
+        # charged by the node's recursive children (like wall time).
+        tracer = get_tracer()
+        span = (
+            tracer.span("external.node", depth=depth, lo=lo, hi=hi,
+                        n_ops=len(ops_file) // 3)
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            io_before = self.device.stats.total_blocks
+            kind, t, r = _read_ops(ops_file)
+            self.device.delete(ops_file.name)
+            fanout = self.config.fanout
+            cuts = np.linspace(lo, hi + 1, fanout + 1).astype(np.int64)
+            for ci in range(fanout):
+                a, b = int(cuts[ci]), int(cuts[ci + 1]) - 1
+                if a > b:
+                    continue
+                k_c, t_c, r_c = _project_shrink_interval(kind, t, r, a, b)
+                child = _write_ops(self.device, self._fresh_name(),
+                                   k_c, t_c, r_c)
+                self.solve(child, a, b, depth + 1)
+            span.set(io_blocks=self.device.stats.total_blocks - io_before)
 
     def _base_case(self, ops_file: ExternalFile, lo: int, hi: int) -> None:
         self.report.base_cases += 1
-        kind, t, r = _read_ops(ops_file)
-        self.device.delete(ops_file.name)
-        if kind.size > self.config.memory_items:
-            raise ExternalMemoryError(
-                f"base case on [{lo}, {hi}] has {kind.size} ops, exceeding "
-                f"M={self.config.memory_items} — Lemma 4.2 violated?"
-            )
-        seg = Segments.single(kind, t, r, lo, hi)
-        solve_prepost_arrays(seg, self.values)
-        # Distance entries stream to external memory (charged per block).
-        self.out.append(self.values[lo : hi + 1])
+        tracer = get_tracer()
+        span = (
+            tracer.span("external.base_case", lo=lo, hi=hi,
+                        n_ops=len(ops_file) // 3)
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            io_before = self.device.stats.total_blocks
+            kind, t, r = _read_ops(ops_file)
+            self.device.delete(ops_file.name)
+            if kind.size > self.config.memory_items:
+                raise ExternalMemoryError(
+                    f"base case on [{lo}, {hi}] has {kind.size} ops, "
+                    f"exceeding M={self.config.memory_items} — Lemma 4.2 "
+                    f"violated?"
+                )
+            seg = Segments.single(kind, t, r, lo, hi)
+            solve_prepost_arrays(seg, self.values)
+            # Distance entries stream to external memory (charged per
+            # block).
+            self.out.append(self.values[lo : hi + 1])
+            span.set(io_blocks=self.device.stats.total_blocks - io_before)
 
 
 def external_iaf_distances(

@@ -27,6 +27,7 @@ import numpy as np
 
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace
 from ..errors import CapacityError
+from ..obs import NULL_SPAN, get_tracer
 from ..pram.model import SpeedupCurve
 from ..pram.scheduler import Cost
 from .engine import EngineStats, Segments, _partition_level, _solve_leaves, \
@@ -159,19 +160,38 @@ def _solve_split_threads(
     workers: int,
     stats: Optional[EngineStats],
 ) -> None:
-    """Split ``seg`` and solve the parts on a thread pool."""
+    """Split ``seg`` and solve the parts on a thread pool.
+
+    With tracing enabled each part emits a ``parallel.worker`` span from
+    its worker thread (wall ≫ cpu there means the part was GIL-bound —
+    the Section-6 scaling diagnosis at a glance).
+    """
     parts = _split_segments(seg, workers)
     part_stats = [EngineStats() for _ in parts]
+    tracer = get_tracer()
+    traced = tracer.enabled
 
     def run(i: int) -> None:
-        # Disjoint cell intervals per part -> disjoint writes to `values`.
-        solve_prepost_arrays(parts[i], values, stats=part_stats[i])
+        part = parts[i]
+        span = (
+            tracer.span("parallel.worker", worker=i,
+                        n_segments=part.n_segments, n_ops=part.n_ops)
+            if traced
+            else NULL_SPAN
+        )
+        with span:
+            # Disjoint cell intervals per part -> disjoint writes to
+            # `values`.
+            solve_prepost_arrays(part, values, stats=part_stats[i])
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
         list(pool.map(run, range(len(parts))))
 
     if stats is not None:
-        _merge_part_stats(stats, part_stats)
+        span = (tracer.span("parallel.merge_stats", parts=len(parts))
+                if traced else NULL_SPAN)
+        with span:
+            _merge_part_stats(stats, part_stats)
 
 
 def parallel_iaf_distances(
@@ -198,7 +218,11 @@ def parallel_iaf_distances(
     values = np.zeros(n + 1, dtype=np.int64)
     seg = Segments.single(kind, t, r, 0, n)
 
-    seg = _warmup_levels(seg, values, workers, stats)
+    tracer = get_tracer()
+    warm_span = (tracer.span("parallel.warmup", n=n, workers=workers)
+                 if tracer.enabled else NULL_SPAN)
+    with warm_span:
+        seg = _warmup_levels(seg, values, workers, stats)
     if seg is None:
         return values[1:]
 
@@ -254,24 +278,36 @@ def _solve_part_remote(payload: Tuple) -> Tuple[List[Tuple[int, int]], np.ndarra
 def _solve_split_processes(
     seg: Segments, values: np.ndarray, workers: int
 ) -> None:
-    """Split ``seg`` and solve the parts on a process pool."""
-    parts = _split_segments(seg, workers)
-    payloads = [
-        (p.kind, np.ascontiguousarray(p.t), np.ascontiguousarray(p.r),
-         np.ascontiguousarray(p.starts), np.ascontiguousarray(p.lo),
-         np.ascontiguousarray(p.hi),
-         None if p.w is None else np.ascontiguousarray(p.w))
-        for p in parts
-    ]
-    from concurrent.futures import ProcessPoolExecutor
+    """Split ``seg`` and solve the parts on a process pool.
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for intervals, local in pool.map(_solve_part_remote, payloads):
-            if not intervals:
-                continue
-            base = min(a for a, _b in intervals)
-            for a, b in intervals:
-                values[a : b + 1] = local[a - base : b - base + 1]
+    Child processes have their own (disabled) tracers, so their internal
+    levels are invisible here; the parent-side ``parallel.dispatch`` span
+    covers pickling, the pool round-trip, and the interval merge.
+    """
+    parts = _split_segments(seg, workers)
+    tracer = get_tracer()
+    span = (
+        tracer.span("parallel.dispatch", parts=len(parts), workers=workers)
+        if tracer.enabled
+        else NULL_SPAN
+    )
+    with span:
+        payloads = [
+            (p.kind, np.ascontiguousarray(p.t), np.ascontiguousarray(p.r),
+             np.ascontiguousarray(p.starts), np.ascontiguousarray(p.lo),
+             np.ascontiguousarray(p.hi),
+             None if p.w is None else np.ascontiguousarray(p.w))
+            for p in parts
+        ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for intervals, local in pool.map(_solve_part_remote, payloads):
+                if not intervals:
+                    continue
+                base = min(a for a, _b in intervals)
+                for a, b in intervals:
+                    values[a : b + 1] = local[a - base : b - base + 1]
 
 
 def process_parallel_iaf_distances(

@@ -22,6 +22,7 @@ import numpy as np
 
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
 from ..errors import CapacityError
+from ..obs import NULL_SPAN, get_tracer
 from .bounded import _process_chunk, recent_distinct_suffix
 from .hitrate import HitRateCurve, merge_curves
 
@@ -121,9 +122,17 @@ class OnlineCurveAnalyzer:
         )
         self._pending = []
         self._pending_len = 0
-        window = _process_chunk(self._qbar, chunk, self._k, self._dtype)
-        self._windows.append(window)
-        self._qbar = recent_distinct_suffix(self._qbar, chunk, self._k)
+        tracer = get_tracer()
+        span = (
+            tracer.span("streaming.chunk", window=len(self._windows),
+                        n=int(chunk.size), k=self._k)
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            window = _process_chunk(self._qbar, chunk, self._k, self._dtype)
+            self._windows.append(window)
+            self._qbar = recent_distinct_suffix(self._qbar, chunk, self._k)
 
     # -- queries ------------------------------------------------------------
 

@@ -47,3 +47,7 @@ class WorkloadError(ReproError):
 
 class TraceFileError(ReproError):
     """A trace file is truncated, has a bad magic number, or bad metadata."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the instrumentation layer (spans, counters, timers)."""

@@ -11,7 +11,9 @@ import statistics
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Set, Tuple
+
+from ..errors import ObservabilityError
 
 
 @dataclass
@@ -20,18 +22,32 @@ class PhaseTimer:
 
     Used by algorithms that expose a pre-process / distance / post-process
     breakdown (Section 3 decomposes the problem into exactly those phases).
+
+    Re-entering a phase name while that phase is still open is rejected:
+    the nested region's time would be double-counted (once in the inner
+    accumulation, once in the outer), which silently corrupts every
+    breakdown derived from the timer.  Sequential repeats of a name still
+    accumulate; nesting *different* names is fine.
     """
 
     seconds_by_phase: Dict[str, float] = field(default_factory=dict)
+    _active: Set[str] = field(default_factory=set, init=False, repr=False)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Context manager timing one phase; repeated names accumulate."""
+        if name in self._active:
+            raise ObservabilityError(
+                f"phase {name!r} is already being timed — re-entering it "
+                f"would double-count the nested region"
+            )
+        self._active.add(name)
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
+            self._active.discard(name)
             self.seconds_by_phase[name] = (
                 self.seconds_by_phase.get(name, 0.0) + elapsed
             )
@@ -44,6 +60,7 @@ class PhaseTimer:
     def reset(self) -> None:
         """Forget all recorded phases."""
         self.seconds_by_phase.clear()
+        self._active.clear()
 
 
 def time_call(fn: Callable[[], Any]) -> Tuple[Any, float]:

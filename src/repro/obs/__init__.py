@@ -1,0 +1,54 @@
+"""repro.obs — unified observability: span tracing, counters, exporters.
+
+The layer every perf PR builds on (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.span` — :class:`Tracer`/:class:`Span` structured
+  timing events in a ring buffer, disabled by default with a no-op fast
+  path (the hot paths stay hot).
+* :mod:`repro.obs.counters` — :class:`Counters`, one associative/
+  commutative ``snapshot()``/``merge()`` registry unifying
+  ``EngineStats``, ``IOStats``, and the PRAM ``Cost`` model.
+* :mod:`repro.obs.export` — JSON-lines, Chrome ``trace_event``
+  (flamegraphs), and per-phase summary tables.
+* :mod:`repro.obs.profile` — the ``repro profile`` pipeline (imported
+  lazily; it depends on :mod:`repro.core`, which itself imports this
+  package).
+
+Quick use::
+
+    from repro import hit_rate_curve
+    from repro.obs import tracing
+    from repro.obs.export import summary_table
+
+    with tracing() as tracer:
+        hit_rate_curve(trace, algorithm="parallel-iaf", workers=4)
+    print(summary_table(tracer.events()))
+"""
+
+from .counters import MAX, SUM, Counters
+from .span import (
+    DEFAULT_CAPACITY,
+    NULL_SPAN,
+    Span,
+    SpanEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+    validate_span_tree,
+)
+
+__all__ = [
+    "Counters",
+    "DEFAULT_CAPACITY",
+    "MAX",
+    "NULL_SPAN",
+    "SUM",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "validate_span_tree",
+]

@@ -1,0 +1,190 @@
+"""Exporters: JSON-lines, Chrome ``trace_event``, and summary tables.
+
+Three consumers, three formats:
+
+* **JSONL** — one event per line, for ad-hoc ``jq``/pandas analysis and
+  for log shipping (the SHARDS-style continuous-monitoring story).
+* **Chrome trace_event** — the ``chrome://tracing`` / Perfetto format
+  (``ph: "X"`` complete events, microsecond timestamps), for flamegraph
+  viewing of a run: one row per thread, per-level engine spans nested
+  under the pipeline phases.
+* **Summary table** — the per-phase breakdown printed by
+  ``repro profile`` / ``analyze --profile``, grouped by span name.
+
+All exporters take a list of :class:`~repro.obs.span.SpanEvent` (from
+``tracer.events()``) so they compose with any tracer, including replays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, List, Optional, Sequence, Union
+
+from .span import SpanEvent
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attr values to JSON-safe types (numpy scalars included)."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def _event_dict(event: SpanEvent, epoch: float) -> Dict[str, Any]:
+    return {
+        "name": event.name,
+        "span_id": event.span_id,
+        "parent_id": event.parent_id,
+        "tid": event.thread_id,
+        "depth": event.depth,
+        "start_s": round(event.start - epoch, 9),
+        "wall_s": round(event.wall, 9),
+        "cpu_s": round(event.cpu, 9),
+        "attrs": {k: _jsonable(v) for k, v in event.attrs.items()},
+    }
+
+
+def _epoch(events: Sequence[SpanEvent]) -> float:
+    return min((e.start for e in events), default=0.0)
+
+
+def to_jsonl(events: Sequence[SpanEvent]) -> str:
+    """One JSON object per line; timestamps rebased to the first event."""
+    epoch = _epoch(events)
+    return "\n".join(
+        json.dumps(_event_dict(e, epoch), sort_keys=True) for e in events
+    )
+
+
+def write_jsonl(events: Sequence[SpanEvent], out: Union[PathLike, IO[str]]) -> None:
+    """Write :func:`to_jsonl` output to a path or text stream."""
+    text = to_jsonl(events)
+    if text:
+        text += "\n"
+    if hasattr(out, "write"):
+        out.write(text)  # type: ignore[union-attr]
+    else:
+        with open(out, "w") as fh:  # type: ignore[arg-type]
+            fh.write(text)
+
+
+def to_chrome_trace(events: Sequence[SpanEvent]) -> Dict[str, Any]:
+    """The ``chrome://tracing`` JSON object (``traceEvents`` list).
+
+    Every span becomes a complete event (``ph: "X"``) with microsecond
+    ``ts``/``dur``; thread CPU time rides in ``args.cpu_us`` so Perfetto
+    can show GIL-bound workers (wall ≫ cpu).
+    """
+    epoch = _epoch(events)
+    pid = os.getpid()
+    trace_events: List[Dict[str, Any]] = []
+    for e in events:
+        trace_events.append({
+            "name": e.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (e.start - epoch) * 1e6,
+            "dur": e.wall * 1e6,
+            "pid": pid,
+            "tid": e.thread_id,
+            "args": {
+                **{k: _jsonable(v) for k, v in e.attrs.items()},
+                "cpu_us": e.cpu * 1e6,
+                "span_id": e.span_id,
+                "parent_id": e.parent_id,
+            },
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(events: Sequence[SpanEvent]) -> str:
+    """:func:`to_chrome_trace` serialized to a JSON string."""
+    return json.dumps(to_chrome_trace(events))
+
+
+def write_chrome_trace(events: Sequence[SpanEvent],
+                       out: Union[PathLike, IO[str]]) -> None:
+    """Write the Chrome trace JSON to a path or text stream."""
+    text = chrome_trace_json(events)
+    if hasattr(out, "write"):
+        out.write(text)  # type: ignore[union-attr]
+    else:
+        with open(out, "w") as fh:  # type: ignore[arg-type]
+            fh.write(text)
+
+
+def totals_by_name(events: Sequence[SpanEvent]) -> Dict[str, float]:
+    """Total wall seconds per span name (inclusive of children)."""
+    totals: Dict[str, float] = {}
+    for e in events:
+        totals[e.name] = totals.get(e.name, 0.0) + e.wall
+    return totals
+
+
+def summary_rows(events: Sequence[SpanEvent]) -> List[List[object]]:
+    """Per-name aggregate rows: count, total/mean wall, total cpu.
+
+    Sorted by total wall time, descending — the profile's hot list.
+    Wall times are inclusive (a parent's total contains its children),
+    which is why the table also prints each name's tree depth range.
+    """
+    agg: Dict[str, Dict[str, float]] = {}
+    for e in events:
+        a = agg.setdefault(e.name, {
+            "count": 0, "wall": 0.0, "cpu": 0.0,
+            "min_depth": e.depth, "max_depth": e.depth,
+        })
+        a["count"] += 1
+        a["wall"] += e.wall
+        a["cpu"] += e.cpu
+        a["min_depth"] = min(a["min_depth"], e.depth)
+        a["max_depth"] = max(a["max_depth"], e.depth)
+    rows: List[List[object]] = []
+    for name, a in sorted(agg.items(), key=lambda kv: -kv[1]["wall"]):
+        depth = (str(int(a["min_depth"]))
+                 if a["min_depth"] == a["max_depth"]
+                 else f"{int(a['min_depth'])}-{int(a['max_depth'])}")
+        rows.append([
+            name,
+            int(a["count"]),
+            f"{a['wall'] * 1e3:.2f}",
+            f"{a['wall'] / a['count'] * 1e3:.3f}",
+            f"{a['cpu'] * 1e3:.2f}",
+            depth,
+        ])
+    return rows
+
+
+def summary_table(events: Sequence[SpanEvent], *,
+                  title: str = "span summary",
+                  note: Optional[str] = None) -> str:
+    """Rendered per-phase summary (same table style as the benchmarks)."""
+    # Local import: analysis.report pulls in the analysis package, which
+    # imports core — and core's modules import repro.obs at load time.
+    from ..analysis.report import render_table
+
+    return render_table(
+        title,
+        ["span", "count", "total ms", "mean ms", "cpu ms", "depth"],
+        summary_rows(events),
+        note=note,
+    )
+
+
+def counters_table(counters: Any, *, title: str = "counters") -> str:
+    """Rendered view of a :class:`~repro.obs.counters.Counters` snapshot."""
+    from ..analysis.report import render_table
+
+    rows = [
+        [name, f"{counters.value(name):,.6g}", counters.kind(name)]
+        for name in counters.names()
+    ]
+    return render_table(title, ["counter", "value", "merge"], rows)

@@ -1,0 +1,305 @@
+"""Span tracing: structured timing events from the hot paths.
+
+A :class:`Span` is one timed region (a recursion level, a worker's
+subtree, a streamed chunk, an external-memory node).  Entering a span
+pushes it on a per-thread stack — so spans form a tree per thread — and
+exiting records a :class:`SpanEvent` carrying wall time, thread CPU
+time, and free-form attributes (segment depth, op counts, worker ids,
+IO block counts) into the tracer's ring buffer.
+
+Two properties make this safe to leave compiled into production code:
+
+* **No-op fast path.**  The default tracer is disabled; ``span()`` then
+  returns a shared :data:`NULL_SPAN` whose enter/exit do nothing.  The
+  instrumented call sites fire O(log n) times per run (per level, per
+  chunk, per worker — never per access), so the disabled overhead is a
+  few hundred nanoseconds against seconds of numpy work; the bound is
+  asserted by ``tests/obs/test_overhead.py`` and measured by
+  ``benchmarks/bench_obs_overhead.py``.
+* **Bounded memory.**  Events live in a ``deque(maxlen=capacity)``:
+  long-running monitors (the Section-1 deployment story) keep the most
+  recent ``capacity`` events and count the rest in ``dropped``.
+
+The current tracer is a module global (``get_tracer``/``set_tracer``);
+:func:`tracing` is the scoped way to turn collection on::
+
+    from repro.obs import tracing
+    with tracing() as tracer:
+        hit_rate_curve(trace)
+    print(summary_table(tracer.events()))
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..errors import ObservabilityError
+
+#: Default ring-buffer capacity (events, not bytes).
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span.
+
+    ``start`` is an absolute ``time.perf_counter()`` reading; exporters
+    rebase it against the earliest event.  ``parent_id == -1`` marks a
+    root span of its thread; ``depth`` is the nesting depth within the
+    thread (roots are 0).  ``cpu`` is thread CPU seconds
+    (``time.thread_time()``), so a worker blocked on the GIL shows
+    wall >> cpu.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int
+    thread_id: int
+    depth: int
+    start: float
+    wall: float
+    cpu: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.wall
+
+
+class _NullSpan:
+    """The shared do-nothing span returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: Singleton no-op span; safe to reuse from any thread (it has no state).
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """An open span; use as a context manager (or via :meth:`Tracer.span`).
+
+    ``set(**attrs)`` attaches attributes discovered mid-region (e.g. IO
+    blocks charged while the span was open).
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "depth", "_start", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id = -1
+        self.depth = 0
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.depth = parent.depth + 1
+        self.span_id = next(self._tracer._ids)
+        stack.append(self)
+        self._cpu0 = time.thread_time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        wall = time.perf_counter() - self._start
+        cpu = time.thread_time() - self._cpu0
+        stack = self._tracer._stack()
+        if not stack or stack[-1] is not self:
+            raise ObservabilityError(
+                f"span {self.name!r} exited out of order — spans must "
+                f"nest (use `with tracer.span(...)`)"
+            )
+        stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", getattr(exc_type, "__name__",
+                                                   str(exc_type)))
+        self._tracer._record(SpanEvent(
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            thread_id=threading.get_ident(),
+            depth=self.depth,
+            start=self._start,
+            wall=wall,
+            cpu=cpu,
+            attrs=self.attrs,
+        ))
+        return False
+
+
+class Tracer:
+    """Collects span events into a bounded ring buffer.
+
+    Thread-safe by construction: the span stack is thread-local and
+    ``deque.append`` is atomic under the GIL, so worker threads record
+    concurrently without locks.
+    """
+
+    def __init__(self, *, enabled: bool = False,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ObservabilityError(
+                f"tracer capacity must be >= 1, got {capacity}"
+            )
+        self.enabled = bool(enabled)
+        self._capacity = int(capacity)
+        self._events: "deque[SpanEvent]" = deque(maxlen=self._capacity)
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self.dropped = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span (context manager).  No-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _record(self, event: SpanEvent) -> None:
+        if len(self._events) == self._capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[SpanEvent]:
+        """Snapshot of buffered events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Discard all buffered events (open spans are unaffected)."""
+        self._events.clear()
+        self.dropped = 0
+
+    def drain(self) -> List[SpanEvent]:
+        """Return all buffered events and clear the buffer."""
+        events = self.events()
+        self.clear()
+        return events
+
+
+#: The process-wide current tracer.  Disabled by default: every
+#: instrumented call site stays on the no-op fast path.
+_current = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The current tracer (disabled unless :func:`tracing` is active)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as current; returns the previous one."""
+    global _current
+    if not isinstance(tracer, Tracer):
+        raise ObservabilityError(
+            f"set_tracer needs a Tracer, got {type(tracer).__name__}"
+        )
+    previous = _current
+    _current = tracer
+    return previous
+
+
+@contextmanager
+def tracing(*, capacity: int = DEFAULT_CAPACITY,
+            tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Scoped collection: install an enabled tracer, restore on exit.
+
+    Yields the tracer so callers can read ``tracer.events()`` afterwards
+    (the buffer survives the context exit — only the *installation* is
+    scoped).
+    """
+    t = tracer if tracer is not None else Tracer(enabled=True,
+                                                 capacity=capacity)
+    previous = set_tracer(t)
+    try:
+        yield t
+    finally:
+        set_tracer(previous)
+
+
+def validate_span_tree(events: List[SpanEvent], *,
+                       allow_missing_parents: bool = False) -> None:
+    """Check that ``events`` form a valid span forest; raise otherwise.
+
+    Per thread: span ids are unique, every non-root's parent exists (and
+    lives on the same thread), depth is parent depth + 1, and a child's
+    ``[start, end]`` interval lies within its parent's (up to float
+    jitter).  ``allow_missing_parents`` relaxes the existence check for
+    buffers that overflowed (the ring drops oldest events first).
+    """
+    by_id: Dict[int, SpanEvent] = {}
+    for e in events:
+        if e.span_id in by_id:
+            raise ObservabilityError(f"duplicate span id {e.span_id}")
+        by_id[e.span_id] = e
+    eps = 1e-6
+    for e in events:
+        if e.parent_id == -1:
+            if e.depth != 0:
+                raise ObservabilityError(
+                    f"root span {e.name!r} has depth {e.depth}"
+                )
+            continue
+        parent = by_id.get(e.parent_id)
+        if parent is None:
+            if allow_missing_parents:
+                continue
+            raise ObservabilityError(
+                f"span {e.name!r} references missing parent {e.parent_id}"
+            )
+        if parent.thread_id != e.thread_id:
+            raise ObservabilityError(
+                f"span {e.name!r} crosses threads to its parent"
+            )
+        if e.depth != parent.depth + 1:
+            raise ObservabilityError(
+                f"span {e.name!r} depth {e.depth} != parent depth "
+                f"{parent.depth} + 1"
+            )
+        if e.start < parent.start - eps or e.end > parent.end + eps:
+            raise ObservabilityError(
+                f"span {e.name!r} [{e.start}, {e.end}] escapes parent "
+                f"{parent.name!r} [{parent.start}, {parent.end}]"
+            )

@@ -42,6 +42,18 @@ def write_trace(path: PathLike, trace: np.ndarray) -> None:
         fh.write(arr.astype(dt.newbyteorder("<"), copy=False).tobytes())
 
 
+def _open_for_read(path: PathLike):
+    """Open a trace file, folding OS errors into :class:`TraceFileError`.
+
+    A missing or unreadable path is a user-input problem the CLI must
+    report as an error message (exit code 2), not a traceback.
+    """
+    try:
+        return open(path, "rb")
+    except OSError as exc:
+        raise TraceFileError(f"cannot open trace file: {exc}") from exc
+
+
 def _read_header(fh) -> tuple[np.dtype, int]:
     raw = fh.read(_HEADER.size)
     if len(raw) != _HEADER.size:
@@ -58,13 +70,13 @@ def _read_header(fh) -> tuple[np.dtype, int]:
 
 def trace_info(path: PathLike) -> tuple[np.dtype, int]:
     """Return ``(dtype, length)`` from a trace file header."""
-    with open(path, "rb") as fh:
+    with _open_for_read(path) as fh:
         return _read_header(fh)
 
 
 def read_trace(path: PathLike) -> np.ndarray:
     """Load an entire trace file into memory."""
-    with open(path, "rb") as fh:
+    with _open_for_read(path) as fh:
         dt, n = _read_header(fh)
         payload = fh.read(n * dt.itemsize)
         if len(payload) != n * dt.itemsize:
@@ -82,7 +94,7 @@ def stream_trace(path: PathLike, chunk_len: int) -> Iterator[np.ndarray]:
     """
     if chunk_len < 1:
         raise TraceFileError(f"chunk_len must be >= 1, got {chunk_len}")
-    with open(path, "rb") as fh:
+    with _open_for_read(path) as fh:
         dt, n = _read_header(fh)
         remaining = n
         while remaining > 0:

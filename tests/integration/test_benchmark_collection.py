@@ -1,0 +1,102 @@
+"""The benchmark suite must stay collectable — and skip loudly.
+
+Two bit-rot modes this guards against:
+
+* an import error or bad parametrization in a bench module silently
+  removes whole experiments from ``pytest benchmarks`` runs;
+* a report test whose measurement tests didn't run used to render an
+  empty table into ``benchmarks/results/`` that looked like a
+  successful run.  ``_common.require_rows`` now skips with an explicit
+  reason, which the second test pins.
+
+Collection runs in a subprocess because the benchmark suite has its own
+conftest (path manipulation) that must not leak into this session.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+BENCHMARKS = REPO / "benchmarks"
+
+#: Every experiment module the suite ships; a typo'd rename or an
+#: import crash in any of them must fail this list check.
+EXPECTED_MODULES = [
+    "bench_ablation_encoding.py",
+    "bench_external_io.py",
+    "bench_fig2_speedup.py",
+    "bench_locality.py",
+    "bench_obs_overhead.py",
+    "bench_pram_span.py",
+    "bench_sec93_cache_limit.py",
+    "bench_sec95_64bit.py",
+    "bench_shards_tradeoff.py",
+    "bench_streaming.py",
+    "bench_table1_workloads.py",
+    "bench_table2a_serial_runtime.py",
+    "bench_table2b_serial_memory.py",
+    "bench_table3_parallel.py",
+    "bench_windowed_curves.py",
+]
+
+
+def _run_pytest(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", *args],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def collection() -> subprocess.CompletedProcess:
+    return _run_pytest(str(BENCHMARKS), "--collect-only", "-q")
+
+
+class TestCollection:
+    def test_collects_cleanly(self, collection):
+        assert collection.returncode == 0, collection.stdout[-3000:]
+        assert "error" not in collection.stdout.lower()
+
+    def test_every_experiment_module_present(self, collection):
+        for module in EXPECTED_MODULES:
+            assert module in collection.stdout, (
+                f"{module} missing from benchmark collection — renamed, "
+                f"deleted, or failing to import?"
+            )
+
+    def test_no_stray_modules_outside_the_list(self, collection):
+        found = {
+            line.split("::")[0].rsplit("/", 1)[-1].split(":")[0]
+            for line in collection.stdout.splitlines()
+            if line.startswith("benchmarks/bench_")
+        }
+        assert found <= set(EXPECTED_MODULES), (
+            f"new bench module(s) {sorted(found - set(EXPECTED_MODULES))} — "
+            f"add them to EXPECTED_MODULES so collection stays guarded"
+        )
+
+
+class TestReportSkipIsLoud:
+    def test_report_without_measurements_skips_with_reason(self):
+        # Run a single report test in isolation: its measurement tests
+        # never ran, so it must SKIP (with the explicit reason), never
+        # write an empty table, and never PASS.
+        # (pyproject addopts already passes -q; a second one would
+        # suppress the "1 skipped" count line.)
+        proc = _run_pytest(
+            str(BENCHMARKS / "bench_table2a_serial_runtime.py"
+                ) + "::test_report_table2a",
+            "-rs", "--benchmark-disable",
+        )
+        assert proc.returncode == 0, proc.stdout[-3000:]
+        assert "1 skipped" in proc.stdout
+        assert "no measurements collected for experiment 'table2a'" \
+            in proc.stdout

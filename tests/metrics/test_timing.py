@@ -4,6 +4,7 @@ import time
 
 import pytest
 
+from repro.errors import ObservabilityError
 from repro.metrics.timing import PhaseTimer, median_time, time_call
 
 
@@ -38,6 +39,44 @@ class TestPhaseTimer:
             pass
         t.reset()
         assert t.total_seconds == 0.0
+
+    def test_same_name_reentry_raises(self):
+        # The double-count footgun: `with t.phase("x"): with t.phase("x")`
+        # silently charged the inner region twice.  Now it refuses.
+        t = PhaseTimer()
+        with pytest.raises(ObservabilityError, match="already being timed"):
+            with t.phase("x"):
+                with t.phase("x"):
+                    pass
+
+    def test_reentry_failure_keeps_outer_phase_usable(self):
+        t = PhaseTimer()
+        try:
+            with t.phase("x"):
+                with t.phase("x"):
+                    pass
+        except ObservabilityError:
+            pass
+        # The outer phase closed (exception unwound it) and recorded.
+        assert "x" in t.seconds_by_phase
+        with t.phase("x"):  # and the name is reusable sequentially
+            pass
+
+    def test_nested_distinct_names_allowed(self):
+        t = PhaseTimer()
+        with t.phase("outer"):
+            with t.phase("inner"):
+                pass
+        assert set(t.seconds_by_phase) == {"outer", "inner"}
+
+    def test_reset_clears_active_set(self):
+        t = PhaseTimer()
+        ctx = t.phase("x")
+        ctx.__enter__()
+        t.reset()
+        with t.phase("x"):  # no longer considered active after reset
+            pass
+        assert "x" in t.seconds_by_phase
 
 
 class TestTimeCall:

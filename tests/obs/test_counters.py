@@ -1,0 +1,173 @@
+"""Unit tests for the merging counter registry (repro.obs.counters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import EngineStats
+from repro.errors import ObservabilityError
+from repro.extmem.iostats import IOStats
+from repro.obs import MAX, SUM, Counters
+from repro.pram.scheduler import Cost
+
+
+class TestRecording:
+    def test_add_accumulates(self):
+        c = Counters()
+        c.add("work", 3)
+        c.add("work", 4)
+        assert c.value("work") == 7
+        assert c.kind("work") == SUM
+
+    def test_add_defaults_to_one(self):
+        c = Counters()
+        c.add("events")
+        c.add("events")
+        assert c.value("events") == 2
+
+    def test_peak_keeps_max(self):
+        c = Counters()
+        c.peak("bytes", 100)
+        c.peak("bytes", 40)
+        c.peak("bytes", 250)
+        assert c.value("bytes") == 250
+        assert c.kind("bytes") == MAX
+
+    def test_kind_conflict_raises(self):
+        c = Counters()
+        c.add("work", 1)
+        with pytest.raises(ObservabilityError, match="cannot record"):
+            c.peak("work", 5)
+
+    def test_unknown_name_raises(self):
+        c = Counters()
+        with pytest.raises(ObservabilityError, match="unknown"):
+            c.value("nope")
+        with pytest.raises(ObservabilityError, match="unknown"):
+            c.kind("nope")
+
+    def test_snapshot_is_a_copy(self):
+        c = Counters()
+        c.add("work", 1)
+        snap = c.snapshot()
+        snap["work"] = 999
+        assert c.value("work") == 1
+
+    def test_names_len_repr_eq(self):
+        c = Counters()
+        c.add("b", 1)
+        c.peak("a", 2)
+        assert c.names() == ["a", "b"]
+        assert len(c) == 2
+        assert "a=2[max]" in repr(c)
+        d = Counters()
+        d.peak("a", 2)
+        d.add("b", 1)
+        assert c == d
+        d.add("b", 1)
+        assert c != d
+        assert c.__eq__(object()) is NotImplemented
+
+
+class TestMerge:
+    def test_merge_sums_and_maxes(self):
+        a = Counters()
+        a.add("work", 10)
+        a.peak("peak", 5)
+        b = Counters()
+        b.add("work", 3)
+        b.peak("peak", 8)
+        m = a.merge(b)
+        assert m.value("work") == 13
+        assert m.value("peak") == 8
+
+    def test_merge_is_union(self):
+        a = Counters()
+        a.add("only_a", 1)
+        b = Counters()
+        b.peak("only_b", 2)
+        m = a.merge(b)
+        assert m.names() == ["only_a", "only_b"]
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = Counters()
+        a.add("work", 1)
+        b = Counters()
+        b.add("work", 2)
+        a.merge(b)
+        assert a.value("work") == 1 and b.value("work") == 2
+
+    def test_merge_kind_mismatch_raises(self):
+        a = Counters()
+        a.add("x", 1)
+        b = Counters()
+        b.peak("x", 1)
+        with pytest.raises(ObservabilityError):
+            a.merge(b)
+
+    def test_merge_all(self):
+        parts = []
+        for v in (1, 2, 3):
+            c = Counters()
+            c.add("work", v)
+            c.peak("peak", v)
+            parts.append(c)
+        m = Counters.merge_all(parts)
+        assert m.value("work") == 6
+        assert m.value("peak") == 3
+        assert Counters.merge_all([]) == Counters()
+
+
+class TestAdapters:
+    def test_from_engine_stats(self):
+        stats = EngineStats(levels=5, work=100.0, span_basic=40.0,
+                            span_parallel=12.0, peak_level_ops=60,
+                            peak_bytes=4096)
+        c = Counters.from_engine_stats(stats)
+        assert c.value("engine.work") == 100.0
+        assert c.kind("engine.work") == SUM
+        assert c.value("engine.levels") == 5
+        assert c.kind("engine.levels") == MAX
+        assert c.value("engine.peak_bytes") == 4096
+        assert c.kind("engine.span_parallel") == MAX
+
+    def test_engine_merge_models_parallel_workers(self):
+        # Two workers: works add, peaks/spans take the concurrent max —
+        # the same law _merge_part_stats applies.
+        w1 = Counters.from_engine_stats(
+            EngineStats(levels=4, work=50.0, span_basic=20.0,
+                        span_parallel=8.0, peak_level_ops=30,
+                        peak_bytes=1024))
+        w2 = Counters.from_engine_stats(
+            EngineStats(levels=5, work=70.0, span_basic=25.0,
+                        span_parallel=9.0, peak_level_ops=45,
+                        peak_bytes=2048))
+        m = w1.merge(w2)
+        assert m.value("engine.work") == 120.0
+        assert m.value("engine.levels") == 5
+        assert m.value("engine.peak_bytes") == 2048
+
+    def test_from_io_stats(self):
+        stats = IOStats()
+        stats.record_read(3, tag="ops")
+        stats.record_write(2, tag="ops")
+        stats.record_read(1, tag="trace")
+        c = Counters.from_io_stats(stats)
+        assert c.value("io.read_blocks") == 4
+        assert c.value("io.write_blocks") == 2
+        assert c.value("io.tag.ops") == 5
+        assert c.value("io.tag.trace") == 1
+        assert c.kind("io.read_blocks") == SUM
+
+    def test_from_cost_and_back(self):
+        c = Counters.from_cost(Cost(work=100.0, span=10.0))
+        assert c.as_cost() == (100.0, 10.0)
+        # merge realizes Cost.beside: works add, spans max.
+        d = Counters.from_cost(Cost(work=60.0, span=25.0))
+        beside = Cost(100.0, 10.0).beside(Cost(60.0, 25.0))
+        assert c.merge(d).as_cost() == (beside.work, beside.span)
+
+    def test_custom_prefix(self):
+        c = Counters.from_cost(Cost(work=1.0, span=1.0), prefix="left")
+        assert c.names() == ["left.span", "left.work"]
+        assert c.as_cost("left") == (1.0, 1.0)

@@ -1,0 +1,142 @@
+"""Exporter tests: JSONL, Chrome trace_event, summary tables."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs import Counters, Tracer
+from repro.obs.export import (
+    chrome_trace_json,
+    counters_table,
+    summary_rows,
+    summary_table,
+    to_chrome_trace,
+    to_jsonl,
+    totals_by_name,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def events():
+    t = Tracer(enabled=True)
+    with t.span("outer", n=np.int64(100)):  # numpy attr on purpose
+        with t.span("inner", level=0):
+            pass
+        with t.span("inner", level=1):
+            pass
+    return t.events()
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self, events):
+        lines = to_jsonl(events).splitlines()
+        assert len(lines) == 3
+        objs = [json.loads(line) for line in lines]
+        assert {o["name"] for o in objs} == {"outer", "inner"}
+
+    def test_timestamps_rebased_to_first_event(self, events):
+        objs = [json.loads(line) for line in to_jsonl(events).splitlines()]
+        assert min(o["start_s"] for o in objs) == 0.0
+        assert all(o["start_s"] >= 0 for o in objs)
+
+    def test_numpy_attrs_coerced(self, events):
+        objs = [json.loads(line) for line in to_jsonl(events).splitlines()]
+        outer = next(o for o in objs if o["name"] == "outer")
+        assert outer["attrs"]["n"] == 100
+        assert isinstance(outer["attrs"]["n"], int)
+
+    def test_unserializable_attr_falls_back_to_str(self):
+        t = Tracer(enabled=True)
+        with t.span("s", obj=object()):
+            pass
+        (obj,) = [json.loads(line)
+                  for line in to_jsonl(t.events()).splitlines()]
+        assert obj["attrs"]["obj"].startswith("<object object")
+
+    def test_empty_events(self):
+        assert to_jsonl([]) == ""
+
+    def test_write_to_path_and_stream(self, events, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(events, path)
+        assert len(path.read_text().splitlines()) == 3
+        buf = io.StringIO()
+        write_jsonl(events, buf)
+        assert buf.getvalue() == path.read_text()
+
+
+class TestChromeTrace:
+    def test_structure(self, events):
+        doc = to_chrome_trace(events)
+        assert doc["displayTimeUnit"] == "ms"
+        evs = doc["traceEvents"]
+        assert len(evs) == 3
+        for e in evs:
+            assert e["ph"] == "X"
+            assert e["cat"] == "repro"
+            assert e["pid"] == os.getpid()
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert "cpu_us" in e["args"]
+            assert "span_id" in e["args"] and "parent_id" in e["args"]
+
+    def test_microsecond_scale(self, events):
+        doc = to_chrome_trace(events)
+        outer_src = next(e for e in events if e.name == "outer")
+        outer = next(e for e in doc["traceEvents"] if e["name"] == "outer")
+        assert outer["dur"] == pytest.approx(outer_src.wall * 1e6)
+
+    def test_json_roundtrip(self, events):
+        doc = json.loads(chrome_trace_json(events))
+        assert len(doc["traceEvents"]) == 3
+
+    def test_write_to_path_and_stream(self, events, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(events, path)
+        assert json.loads(path.read_text())["traceEvents"]
+        buf = io.StringIO()
+        write_chrome_trace(events, buf)
+        assert buf.getvalue() == path.read_text()
+
+
+class TestSummaries:
+    def test_totals_by_name(self, events):
+        totals = totals_by_name(events)
+        assert set(totals) == {"outer", "inner"}
+        inners = [e.wall for e in events if e.name == "inner"]
+        assert totals["inner"] == pytest.approx(sum(inners))
+
+    def test_summary_rows_sorted_by_total_wall(self, events):
+        rows = summary_rows(events)
+        assert [r[0] for r in rows][0] == "outer"  # inclusive of children
+        inner = next(r for r in rows if r[0] == "inner")
+        assert inner[1] == 2  # count
+        assert inner[5] == "1"  # constant depth renders bare
+
+    def test_summary_rows_depth_range(self):
+        t = Tracer(enabled=True)
+        with t.span("x"):
+            with t.span("x"):
+                pass
+        rows = summary_rows(t.events())
+        assert rows[0][5] == "0-1"
+
+    def test_summary_table_renders(self, events):
+        text = summary_table(events, title="my title", note="my note")
+        assert "my title" in text
+        assert "outer" in text and "inner" in text
+        assert "my note" in text
+
+    def test_counters_table_renders(self):
+        c = Counters()
+        c.add("engine.work", 12345)
+        c.peak("engine.peak_bytes", 99)
+        text = counters_table(c, title="counted")
+        assert "counted" in text
+        assert "engine.work" in text and "sum" in text and "max" in text

@@ -1,0 +1,248 @@
+"""Unit tests for the span tracer (repro.obs.span)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+    validate_span_tree,
+)
+from repro.obs.span import SpanEvent, _NullSpan
+
+
+class TestDisabledPath:
+    def test_default_tracer_is_disabled(self):
+        assert not get_tracer().enabled
+
+    def test_disabled_span_is_the_null_singleton(self):
+        t = Tracer(enabled=False)
+        assert t.span("anything", x=1) is NULL_SPAN
+
+    def test_null_span_noops(self):
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
+            assert s.set(anything=42) is NULL_SPAN
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(ValueError):
+            with NULL_SPAN:
+                raise ValueError("boom")
+
+    def test_null_span_is_stateless(self):
+        assert not hasattr(_NullSpan(), "__dict__")
+
+
+class TestEnabledPath:
+    def test_single_span_event(self):
+        t = Tracer(enabled=True)
+        with t.span("root", n=10):
+            pass
+        (e,) = t.events()
+        assert e.name == "root"
+        assert e.parent_id == -1
+        assert e.depth == 0
+        assert e.attrs == {"n": 10}
+        assert e.wall >= 0 and e.cpu >= 0
+        assert e.end == pytest.approx(e.start + e.wall)
+        assert e.thread_id == threading.get_ident()
+
+    def test_nesting_assigns_parent_and_depth(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, outer = t.events()
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1 and outer.depth == 0
+        validate_span_tree(t.events())
+
+    def test_sibling_spans_share_parent(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        a, b, outer = t.events()
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+        validate_span_tree(t.events())
+
+    def test_set_attaches_midstream_attrs(self):
+        t = Tracer(enabled=True)
+        with t.span("io") as s:
+            s.set(io_blocks=7)
+        (e,) = t.events()
+        assert e.attrs["io_blocks"] == 7
+
+    def test_exception_recorded_and_propagated(self):
+        t = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with t.span("failing"):
+                raise ValueError("boom")
+        (e,) = t.events()
+        assert e.attrs["error"] == "ValueError"
+
+    def test_out_of_order_exit_raises(self):
+        t = Tracer(enabled=True)
+        outer = t.span("outer")
+        inner = t.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_span_ids_unique_and_increasing(self):
+        t = Tracer(enabled=True)
+        for _ in range(5):
+            with t.span("s"):
+                pass
+        ids = [e.span_id for e in t.events()]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_threads_get_independent_stacks(self):
+        t = Tracer(enabled=True)
+        barrier = threading.Barrier(2)
+
+        def work():
+            with t.span("thread-root"):
+                barrier.wait()  # both spans open simultaneously
+
+        threads = [threading.Thread(target=work) for _ in range(2)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        events = t.events()
+        assert len(events) == 2
+        assert all(e.parent_id == -1 and e.depth == 0 for e in events)
+        assert len({e.thread_id for e in events}) == 2
+        validate_span_tree(events)
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_events_and_counts_drops(self):
+        t = Tracer(enabled=True, capacity=3)
+        for i in range(5):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t) == 3
+        assert t.dropped == 2
+        # Oldest events are evicted first.
+        assert [e.name for e in t.events()] == ["s2", "s3", "s4"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_clear_and_drain(self):
+        t = Tracer(enabled=True, capacity=2)
+        for i in range(3):
+            with t.span(f"s{i}"):
+                pass
+        assert t.dropped == 1
+        drained = t.drain()
+        assert len(drained) == 2
+        assert len(t) == 0 and t.dropped == 0
+        assert t.events() == []
+        assert t.capacity == 2
+
+
+class TestGlobalInstallation:
+    def test_set_tracer_returns_previous(self):
+        t = Tracer(enabled=True)
+        prev = set_tracer(t)
+        try:
+            assert get_tracer() is t
+        finally:
+            assert set_tracer(prev) is t
+        assert get_tracer() is prev
+
+    def test_set_tracer_rejects_non_tracer(self):
+        with pytest.raises(ObservabilityError):
+            set_tracer("not a tracer")  # type: ignore[arg-type]
+
+    def test_tracing_installs_and_restores(self):
+        before = get_tracer()
+        with tracing() as t:
+            assert get_tracer() is t
+            assert t.enabled
+        assert get_tracer() is before
+
+    def test_tracing_restores_on_exception(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert get_tracer() is before
+
+    def test_tracing_accepts_custom_tracer(self):
+        mine = Tracer(enabled=True, capacity=8)
+        with tracing(tracer=mine) as t:
+            assert t is mine
+            with t.span("x"):
+                pass
+        assert len(mine) == 1  # buffer survives the context
+
+    def test_tracing_capacity_passthrough(self):
+        with tracing(capacity=5) as t:
+            assert t.capacity == 5
+
+
+def _event(span_id, parent_id, depth, start, wall, *, name="s", tid=1):
+    return SpanEvent(name=name, span_id=span_id, parent_id=parent_id,
+                     thread_id=tid, depth=depth, start=start, wall=wall,
+                     cpu=0.0)
+
+
+class TestValidateSpanTree:
+    def test_empty_is_valid(self):
+        validate_span_tree([])
+
+    def test_duplicate_id_rejected(self):
+        events = [_event(1, -1, 0, 0.0, 1.0), _event(1, -1, 0, 0.0, 1.0)]
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            validate_span_tree(events)
+
+    def test_root_with_nonzero_depth_rejected(self):
+        with pytest.raises(ObservabilityError, match="depth"):
+            validate_span_tree([_event(1, -1, 3, 0.0, 1.0)])
+
+    def test_missing_parent_rejected_unless_allowed(self):
+        events = [_event(2, 99, 1, 0.0, 1.0)]
+        with pytest.raises(ObservabilityError, match="missing parent"):
+            validate_span_tree(events)
+        validate_span_tree(events, allow_missing_parents=True)
+
+    def test_cross_thread_parent_rejected(self):
+        events = [
+            _event(1, -1, 0, 0.0, 1.0, tid=1),
+            _event(2, 1, 1, 0.1, 0.5, tid=2),
+        ]
+        with pytest.raises(ObservabilityError, match="crosses threads"):
+            validate_span_tree(events)
+
+    def test_depth_mismatch_rejected(self):
+        events = [
+            _event(1, -1, 0, 0.0, 1.0),
+            _event(2, 1, 2, 0.1, 0.5),
+        ]
+        with pytest.raises(ObservabilityError, match="depth"):
+            validate_span_tree(events)
+
+    def test_escaping_interval_rejected(self):
+        events = [
+            _event(1, -1, 0, 0.0, 1.0),
+            _event(2, 1, 1, 0.5, 1.0),  # ends at 1.5 > parent end 1.0
+        ]
+        with pytest.raises(ObservabilityError, match="escapes"):
+            validate_span_tree(events)
