@@ -32,16 +32,21 @@ The package layout mirrors DESIGN.md:
 from ._typing import DEFAULT_DTYPE, SUPPORTED_DTYPES, as_trace
 from .core import (
     ALGORITHMS,
+    ENGINE_BACKENDS,
     BoundedResult,
     EngineStats,
     HitRateCurve,
     OnlineCurveAnalyzer,
+    Workspace,
     analyze_stream,
     bounded_iaf,
     external_iaf_distances,
     hit_rate_curve,
+    hit_rate_curves_batch,
     iaf_distances,
+    iaf_distances_batch,
     iaf_hit_rate_curve,
+    iaf_hit_rate_curves_batch,
     parallel_bounded_iaf,
     parallel_iaf_distances,
     stack_distances,
@@ -55,11 +60,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "ENGINE_BACKENDS",
     "BoundedResult",
     "DEFAULT_DTYPE",
     "EngineStats",
     "HitRateCurve",
     "OnlineCurveAnalyzer",
+    "Workspace",
     "analyze_stream",
     "ReproError",
     "SUPPORTED_DTYPES",
@@ -69,10 +76,13 @@ __all__ = [
     "external_iaf_distances",
     "get_tracer",
     "hit_rate_curve",
+    "hit_rate_curves_batch",
     "Tracer",
     "tracing",
     "iaf_distances",
+    "iaf_distances_batch",
     "iaf_hit_rate_curve",
+    "iaf_hit_rate_curves_batch",
     "parallel_bounded_iaf",
     "parallel_iaf_distances",
     "stack_distances",

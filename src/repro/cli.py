@@ -30,7 +30,8 @@ from typing import List, Optional, Sequence
 
 from .analysis.curves import knee_points, smallest_cache_for_hit_rate
 from .analysis.report import render_table, seconds
-from .core.api import ALGORITHMS, hit_rate_curve
+from .core.api import ALGORITHMS, hit_rate_curve, hit_rate_curves_batch
+from .core.engine import ENGINE_BACKENDS
 from .errors import ReproError
 from .workloads.stats import frequency_profile, trace_stats
 from .workloads.synthetic import (
@@ -70,10 +71,18 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("trace", help="REPROTRC file")
 
     ana = sub.add_parser("analyze", help="compute the hit-rate curve")
-    ana.add_argument("trace", help="REPROTRC file")
+    ana.add_argument("trace", nargs="+",
+                     help="REPROTRC file (several with --batch)")
+    ana.add_argument("--batch", action="store_true",
+                     help="analyze several trace files in one batched "
+                          "engine solve (one curve per file)")
     ana.add_argument("--algorithm", default="iaf", choices=list(ALGORITHMS))
     ana.add_argument("--max-cache-size", "-k", type=int, default=None)
     ana.add_argument("--workers", type=int, default=1)
+    ana.add_argument("--engine-backend", default="fused",
+                     choices=list(ENGINE_BACKENDS),
+                     help="engine level kernel (naive = differential "
+                          "oracle)")
     ana.add_argument("--sizes", default=None,
                      help="comma-separated cache sizes to report "
                           "(default: knees of the curve)")
@@ -182,8 +191,75 @@ def _parse_sizes(raw: Optional[str]) -> Optional[List[int]]:
     return sizes
 
 
+def _report_curve(curve, args: argparse.Namespace, title: str,
+                  csv_label: Optional[str] = None) -> None:
+    """Print one curve in the requested format plus any --target lines."""
+    sizes = _parse_sizes(args.sizes)
+    if sizes is None:
+        knees = knee_points(curve, min_gain=0.02)
+        sizes = [int(k) for k in knees[:8]]
+        if curve.max_size and curve.max_size not in sizes:
+            sizes.append(curve.max_size)
+        sizes = sizes or [max(1, curve.max_size)]
+    rows = [[k, curve.hits(k), f"{curve.hit_rate(k):.4f}"] for k in sizes]
+    if args.format == "csv":
+        if csv_label is None:
+            print("cache_size,hits,hit_rate")
+            for k, hits, rate in rows:
+                print(f"{k},{hits},{rate}")
+        else:
+            for k, hits, rate in rows:
+                print(f"{csv_label},{k},{hits},{rate}")
+    else:
+        print(render_table(
+            title, ["cache size", "hits", "hit rate"], rows,
+        ))
+    for target in args.target:
+        k = smallest_cache_for_hit_rate(curve, target)
+        if k is None:
+            print(f"hit rate {target:.0%}: unreachable on this trace")
+        else:
+            print(f"hit rate {target:.0%}: first reached at cache size {k:,}")
+
+
+def _cmd_analyze_batch(args: argparse.Namespace) -> int:
+    if getattr(args, "profile", False):
+        raise ReproError("--profile is not supported with --batch")
+    if args.save:
+        raise ReproError("--save is not supported with --batch")
+    traces = [read_trace(path) for path in args.trace]
+    t0 = time.perf_counter()
+    curves = hit_rate_curves_batch(
+        traces,
+        algorithm=args.algorithm,
+        max_cache_size=args.max_cache_size,
+        workers=args.workers,
+        engine_backend=args.engine_backend,
+    )
+    elapsed = time.perf_counter() - t0
+    total = sum(t.size for t in traces)
+    if args.format == "csv":
+        print("trace,cache_size,hits,hit_rate")
+    else:
+        print(f"batched {len(traces)} traces ({total:,} accesses) "
+              f"in {seconds(elapsed)} [{args.algorithm}]")
+    for path, curve in zip(args.trace, curves):
+        _report_curve(
+            curve, args,
+            title=f"LRU hit-rate curve of {path} ({args.algorithm})",
+            csv_label=path if args.format == "csv" else None,
+        )
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = read_trace(args.trace)
+    if args.batch:
+        return _cmd_analyze_batch(args)
+    if len(args.trace) != 1:
+        raise ReproError(
+            "analyze takes one trace file unless --batch is given"
+        )
+    trace = read_trace(args.trace[0])
     profile_events = None
     t0 = time.perf_counter()
     if getattr(args, "profile", False):
@@ -203,32 +279,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             max_cache_size=args.max_cache_size,
             workers=args.workers,
+            engine_backend=args.engine_backend,
         )
     elapsed = time.perf_counter() - t0
-    sizes = _parse_sizes(args.sizes)
-    if sizes is None:
-        knees = knee_points(curve, min_gain=0.02)
-        sizes = [int(k) for k in knees[:8]]
-        if curve.max_size and curve.max_size not in sizes:
-            sizes.append(curve.max_size)
-        sizes = sizes or [max(1, curve.max_size)]
-    rows = [[k, curve.hits(k), f"{curve.hit_rate(k):.4f}"] for k in sizes]
-    if args.format == "csv":
-        print("cache_size,hits,hit_rate")
-        for k, hits, rate in rows:
-            print(f"{k},{hits},{rate}")
-    else:
-        print(render_table(
-            f"LRU hit-rate curve ({args.algorithm}, {seconds(elapsed)})",
-            ["cache size", "hits", "hit rate"],
-            rows,
-        ))
-    for target in args.target:
-        k = smallest_cache_for_hit_rate(curve, target)
-        if k is None:
-            print(f"hit rate {target:.0%}: unreachable on this trace")
-        else:
-            print(f"hit rate {target:.0%}: first reached at cache size {k:,}")
+    _report_curve(
+        curve, args,
+        title=f"LRU hit-rate curve ({args.algorithm}, {seconds(elapsed)})",
+    )
     if args.save:
         from .core.hitrate import save_curve
 

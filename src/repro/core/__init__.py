@@ -1,6 +1,7 @@
 """Core contribution: INCREMENT-AND-FREEZE and its variants."""
 
-from .api import ALGORITHMS, hit_rate_curve, stack_distances
+from .api import ALGORITHMS, hit_rate_curve, hit_rate_curves_batch, \
+    stack_distances
 from .bounded import (
     BoundedResult,
     bounded_iaf,
@@ -9,10 +10,15 @@ from .bounded import (
     recent_distinct_suffix,
 )
 from .engine import (
+    ENGINE_BACKENDS,
     EngineStats,
     Segments,
+    Workspace,
+    batch_segments,
     iaf_distances,
+    iaf_distances_batch,
     iaf_hit_rate_curve,
+    iaf_hit_rate_curves_batch,
     solve_prepost_arrays,
 )
 from .external import (
@@ -33,7 +39,9 @@ from .parallel import (
     ParallelCostReport,
     measure_parallel_cost,
     parallel_iaf_distances,
+    parallel_iaf_distances_batch,
     parallel_iaf_hit_rate_curve,
+    parallel_iaf_hit_rate_curves_batch,
     parallel_weighted_backward_distances,
     process_parallel_iaf_distances,
 )
@@ -61,16 +69,22 @@ from .weighted import (
 __all__ = [
     "ALGORITHMS",
     "hit_rate_curve",
+    "hit_rate_curves_batch",
     "stack_distances",
     "BoundedResult",
     "bounded_iaf",
     "forward_distances_via_reversal",
     "parallel_bounded_iaf",
     "recent_distinct_suffix",
+    "ENGINE_BACKENDS",
     "EngineStats",
     "Segments",
+    "Workspace",
+    "batch_segments",
     "iaf_distances",
+    "iaf_distances_batch",
     "iaf_hit_rate_curve",
+    "iaf_hit_rate_curves_batch",
     "solve_prepost_arrays",
     "ExternalRunReport",
     "external_iaf_distances",
@@ -85,7 +99,9 @@ __all__ = [
     "ParallelCostReport",
     "measure_parallel_cost",
     "parallel_iaf_distances",
+    "parallel_iaf_distances_batch",
     "parallel_iaf_hit_rate_curve",
+    "parallel_iaf_hit_rate_curves_batch",
     "parallel_weighted_backward_distances",
     "process_parallel_iaf_distances",
     "partition_prepost",

@@ -34,10 +34,12 @@ from .._typing import DEFAULT_DTYPE, TraceLike, as_trace
 from ..errors import ReproError
 from ..extmem.blockdevice import MemoryConfig
 from .bounded import bounded_iaf
-from .engine import EngineStats, iaf_distances, iaf_hit_rate_curve
+from .engine import EngineStats, iaf_distances, iaf_hit_rate_curve, \
+    iaf_hit_rate_curves_batch
 from .external import external_iaf_distances
 from .hitrate import HitRateCurve, curve_from_backward_distances
-from .parallel import parallel_iaf_distances, parallel_iaf_hit_rate_curve
+from .parallel import parallel_iaf_distances, parallel_iaf_hit_rate_curve, \
+    parallel_iaf_hit_rate_curves_batch
 from .prevnext import prev_next_arrays
 from .reference import reference_distances
 
@@ -65,6 +67,7 @@ def hit_rate_curve(
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     memory_config: Optional[MemoryConfig] = None,
     stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
 ) -> HitRateCurve:
     """Exact LRU hit-rate curve of ``trace``.
 
@@ -74,24 +77,29 @@ def hit_rate_curve(
     algorithms.  ``memory_config`` supplies (M, B) for ``external-iaf``.
     ``stats`` collects engine work counters for the algorithms built on
     the vectorized engine (iaf, bounded-iaf, parallel-iaf); the other
-    implementations leave it untouched.
+    implementations leave it untouched.  ``engine_backend`` selects the
+    level kernel (``"fused"``/``"naive"``) for the engine-based
+    algorithms — see :data:`repro.core.engine.ENGINE_BACKENDS`.
     """
     arr = as_trace(trace, dtype=dtype)
     if algorithm == "iaf":
-        curve = iaf_hit_rate_curve(arr, dtype=dtype, stats=stats)
+        curve = iaf_hit_rate_curve(arr, dtype=dtype, stats=stats,
+                                   engine_backend=engine_backend)
     elif algorithm == "bounded-iaf":
-        curve = bounded_iaf(arr, max_cache_size, dtype=dtype,
-                            stats=stats).curve
+        curve = bounded_iaf(arr, max_cache_size, dtype=dtype, stats=stats,
+                            engine_backend=engine_backend).curve
         return curve
     elif algorithm == "parallel-iaf":
         curve = parallel_iaf_hit_rate_curve(
-            arr, workers=workers, dtype=dtype, stats=stats
+            arr, workers=workers, dtype=dtype, stats=stats,
+            engine_backend=engine_backend,
         )
     elif algorithm == "external-iaf":
         config = memory_config or MemoryConfig(
             memory_items=65536, block_items=1024
         )
-        d, _report = external_iaf_distances(arr, config, dtype=dtype)
+        d, _report = external_iaf_distances(arr, config, dtype=dtype,
+                                            engine_backend=engine_backend)
         _, nxt = prev_next_arrays(arr)
         curve = curve_from_backward_distances(d, nxt)
     elif algorithm == "reference":
@@ -121,6 +129,7 @@ def stack_distances(
     algorithm: str = "iaf",
     workers: int = 1,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    engine_backend: str = "fused",
 ) -> np.ndarray:
     """Forward LRU stack distance of every access (0 = first occurrence).
 
@@ -129,9 +138,10 @@ def stack_distances(
     """
     arr = as_trace(trace, dtype=dtype)
     if algorithm == "iaf":
-        d = iaf_distances(arr, dtype=dtype)
+        d = iaf_distances(arr, dtype=dtype, engine_backend=engine_backend)
     elif algorithm == "parallel-iaf":
-        d = parallel_iaf_distances(arr, workers=workers, dtype=dtype)
+        d = parallel_iaf_distances(arr, workers=workers, dtype=dtype,
+                                   engine_backend=engine_backend)
     elif algorithm == "reference":
         d = reference_distances(arr)
     else:
@@ -144,6 +154,47 @@ def stack_distances(
     has_prev = prev != -1
     out[has_prev] = d[prev[has_prev]]
     return out
+
+
+def hit_rate_curves_batch(
+    traces: "list[TraceLike]",
+    *,
+    algorithm: str = "iaf",
+    max_cache_size: Optional[int] = None,
+    workers: int = 1,
+    dtype: "Optional[np.typing.DTypeLike]" = None,
+    stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
+) -> "list[HitRateCurve]":
+    """Exact LRU hit-rate curves of many traces at once.
+
+    For the engine algorithms (``"iaf"``, ``"parallel-iaf"``) all traces
+    are seeded into one batched solve — identical curves to a per-trace
+    loop, but every level's vectorized pass is shared across the batch
+    (see :func:`repro.core.engine.iaf_hit_rate_curves_batch`).  Other
+    algorithms fall back to a per-trace loop for interface parity.
+    """
+    if algorithm == "iaf":
+        curves = iaf_hit_rate_curves_batch(
+            traces, dtype=dtype, stats=stats, engine_backend=engine_backend
+        )
+    elif algorithm == "parallel-iaf":
+        curves = parallel_iaf_hit_rate_curves_batch(
+            traces, workers=workers, dtype=dtype, stats=stats,
+            engine_backend=engine_backend,
+        )
+    else:
+        curves = [
+            hit_rate_curve(
+                t, algorithm=algorithm, workers=workers,
+                dtype=DEFAULT_DTYPE if dtype is None else dtype,
+                engine_backend=engine_backend,
+            )
+            for t in traces
+        ]
+    if max_cache_size is not None:
+        curves = [_truncate(c, max_cache_size) for c in curves]
+    return curves
 
 
 def _truncate(curve: HitRateCurve, k: int) -> HitRateCurve:

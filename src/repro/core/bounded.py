@@ -70,9 +70,11 @@ def forward_distances_via_reversal(
     *,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
 ) -> np.ndarray:
     """Forward distance vector through the reversal duality."""
-    d_rev = iaf_distances(trace[::-1], dtype=dtype, stats=stats)
+    d_rev = iaf_distances(trace[::-1], dtype=dtype, stats=stats,
+                          engine_backend=engine_backend)
     return d_rev[::-1]
 
 
@@ -94,6 +96,7 @@ def bounded_iaf(
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
+    engine_backend: str = "fused",
 ) -> BoundedResult:
     """Run BOUNDED-INCREMENT-AND-FREEZE over ``trace``.
 
@@ -141,7 +144,8 @@ def bounded_iaf(
         with span:
             windows.append(
                 _process_chunk(qbar, chunk, k, dt, stats=stats,
-                               memory=memory)
+                               memory=memory,
+                               engine_backend=engine_backend)
             )
             bounds.append((start, stop))
             qbar = recent_distinct_suffix(qbar, chunk, k)
@@ -162,13 +166,15 @@ def _process_chunk(
     *,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
+    engine_backend: str = "fused",
 ) -> HitRateCurve:
     """Lemma 7.1: distances for ``chunk`` from the trace ``Q̄ · chunk``."""
     r_trace = np.concatenate([qbar, chunk]).astype(dt, copy=False)
     if memory is not None:
         memory.observe("bounded.chunk", int(r_trace.nbytes) * 2)
     prev_r, _ = prev_next_arrays(r_trace)
-    f = forward_distances_via_reversal(r_trace, dtype=dt, stats=stats)
+    f = forward_distances_via_reversal(r_trace, dtype=dt, stats=stats,
+                                       engine_backend=engine_backend)
     m = qbar.size
     # Only the chunk part of R contributes; clip to the k+1 sentinel (the
     # paper's min(k+1, ·) — values past k are indistinguishable misses).
@@ -188,6 +194,7 @@ def parallel_bounded_iaf(
     workers: int = 1,
     chunk_multiplier: int = 1,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    engine_backend: str = "fused",
 ) -> BoundedResult:
     """PARALLEL-BOUNDED-INCREMENT-AND-FREEZE (Theorem 7.4).
 
@@ -238,7 +245,8 @@ def parallel_bounded_iaf(
             else NULL_SPAN
         )
         with span:
-            return _process_chunk(qbars[i], chunks[i], k, dt)
+            return _process_chunk(qbars[i], chunks[i], k, dt,
+                                  engine_backend=engine_backend)
 
     if workers == 1:
         windows = [run(i) for i in range(len(chunks))]

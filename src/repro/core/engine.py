@@ -24,30 +24,62 @@ Size-1 segments ("leaves") are solved in closed form: a leaf's cell value
 is the summed effect of its operations up to and including the leading
 ``+1`` of the first Postfix, which freezes the cell.
 
-The module exposes two layers:
+Two interchangeable level kernels implement the partition step:
+
+* ``"fused"`` (default) — one pass per level computes both children's
+  merge masks and cluster-sums directly from the *parent* arrays (the
+  projection rules are folded into the merge-effect formula, so the
+  projected child arrays are never materialized) and writes the children
+  into a reusable double-buffered :class:`Workspace`.  Steady-state
+  levels allocate no fresh op arrays.
+* ``"naive"`` — the original three-function pipeline
+  (:func:`_partition_level` + two :func:`_shrink_child` calls), kept
+  bit-identical as a differential-testing oracle for the fused kernel
+  (see :mod:`repro.qa`).
+
+The module exposes three layers:
 
 * :func:`solve_prepost_arrays` — run the level loop on an arbitrary
   initial segment list (used by the external-memory and parallel
   variants, whose recursions bottom out in these in-memory segments).
 * :func:`iaf_distances` / :func:`iaf_hit_rate_curve` — the whole pipeline
   for a trace: pre-process, solve, post-process.
+* :func:`iaf_distances_batch` / :func:`iaf_hit_rate_curves_batch` — k
+  independent traces seeded as k root segments on disjoint cell
+  intervals, so one level loop carries all of them (the serving-
+  throughput form: many small curve requests amortize every vectorized
+  pass).
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
+from ..errors import CapacityError, ReproError
 from ..metrics.memory import MemoryModel
 from ..obs import NULL_SPAN, get_tracer
 from ..pram.scheduler import Cost
 from .hitrate import HitRateCurve, curve_from_backward_distances
 from .ops import POSTFIX, PREFIX, prepost_sequence_arrays
 from .prevnext import prev_next_arrays
+
+#: Selectable level-kernel implementations (``engine_backend=``).
+ENGINE_BACKENDS = ("fused", "naive")
+
+
+def _validate_backend(backend: str) -> str:
+    if backend not in ENGINE_BACKENDS:
+        raise ReproError(
+            f"unknown engine backend {backend!r}; "
+            f"choose from {ENGINE_BACKENDS}"
+        )
+    return backend
 
 
 @dataclass
@@ -73,6 +105,25 @@ class EngineStats:
     #: task structure consumed by :mod:`repro.pram.simulator`).
     record_segments: bool = False
     segment_sizes_per_level: List[np.ndarray] = field(default_factory=list)
+
+    def record_level(self, seg: "Segments", out_nbytes: int) -> None:
+        """Fold one recursion level into the counters.
+
+        The single bookkeeping point shared by the serial level loop, the
+        parallel warm-up levels, and both level kernels — keeping the
+        accounting identical everywhere it is measured.
+        """
+        m = seg.n_ops
+        self.levels += 1
+        self.ops_per_level.append(m)
+        self.work += m
+        counts = seg.counts()
+        self.span_basic += float(counts.max()) if counts.size else 0.0
+        self.span_parallel += math.log2(max(m, 2))
+        self.peak_level_ops = max(self.peak_level_ops, m)
+        self.peak_bytes = max(self.peak_bytes, seg.nbytes + out_nbytes)
+        if self.record_segments:
+            self.segment_sizes_per_level.append(counts.copy())
 
     def basic_cost(self) -> Cost:
         """Work/span of basic INCREMENT-AND-FREEZE (Theorem 4.3)."""
@@ -116,10 +167,23 @@ class Segments:
 
     @property
     def nbytes(self) -> int:
+        """Logical footprint: bytes of the entries this batch *owns*.
+
+        Computed from ``n_ops``/``n_segments`` and the element widths —
+        never from the backing arrays' ``nbytes`` — so view-backed parts
+        (from :func:`repro.core.parallel._split_segments`) and
+        workspace-backed levels report their own size rather than the
+        (possibly much larger) base buffer's.
+        """
+        per_op = (
+            self.kind.itemsize + self.t.itemsize + self.r.itemsize
+            + (self.w.itemsize if self.w is not None else 0)
+        )
+        per_seg = self.lo.itemsize + self.hi.itemsize
         return int(
-            self.kind.nbytes + self.t.nbytes + self.r.nbytes
-            + self.starts.nbytes + self.lo.nbytes + self.hi.nbytes
-            + (self.w.nbytes if self.w is not None else 0)
+            self.n_ops * per_op
+            + self.n_segments * per_seg
+            + (self.n_segments + 1) * self.starts.itemsize
         )
 
     def counts(self) -> np.ndarray:
@@ -142,13 +206,198 @@ class Segments:
         )
 
 
-def _solve_leaves(seg: Segments, leaf_mask: np.ndarray, out: np.ndarray) -> int:
+class Workspace:
+    """Reusable, geometrically-grown buffer pool for the fused kernel.
+
+    One instance double-buffers the per-level operation arrays: level
+    ``L`` reads its input from side ``L % 2 ^ 1`` and writes its children
+    into side ``L % 2``, so steady-state levels perform **zero** fresh
+    array allocations.  A workspace can be reused across solves (the
+    serving pattern: one long-lived workspace per worker absorbs every
+    request's level churn after warm-up).
+
+    ``grow_events`` records every (re)allocation as ``(level, name,
+    nbytes)`` — the workspace-reuse tests assert it goes quiet after the
+    first levels, and benchmarks report it as the steady-state allocation
+    count.
+    """
+
+    __slots__ = ("_buffers", "grow_events", "_arange_filled", "acc_dtype")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.grow_events: List[Tuple[int, str, int]] = []
+        self._arange_filled = 0
+        self.acc_dtype = np.dtype(np.int64)
+
+    def array(self, name: str, size: int, dtype: "np.typing.DTypeLike",
+              level: int = -1) -> np.ndarray:
+        """A length-``size`` view of the named buffer, growing if needed.
+
+        Growth doubles capacity (with a small floor) so a monotone ramp
+        of requests triggers O(log) reallocations total; a dtype change
+        reallocates at the requested size.
+        """
+        dt = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.dtype != dt or buf.size < size:
+            if buf is not None and buf.dtype == dt:
+                cap = max(size, 2 * buf.size)
+            else:
+                cap = size
+            cap = max(cap, 64)
+            buf = np.empty(cap, dtype=dt)
+            self._buffers[name] = buf
+            self.grow_events.append((level, name, buf.nbytes))
+        return buf[:size]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def grow_levels(self) -> List[int]:
+        """Level indices at which any buffer (re)allocation happened."""
+        return [level for level, _name, _nbytes in self.grow_events]
+
+    def arange(self, size: int, level: int = -1) -> np.ndarray:
+        """``np.arange(size)`` served from a pooled buffer.
+
+        The backing buffer is filled in place (a prefix of an arange is
+        an arange, so refills only happen after growth) — steady-state
+        calls are a slice plus one comparison.
+        """
+        buf = self.array("arange", size, np.int64, level)
+        if size > self._arange_filled:
+            full = self._buffers["arange"]
+            full.fill(1)
+            full[0] = 0
+            np.cumsum(full, out=full)
+            self._arange_filled = full.size
+        return buf
+
+    def prime(self, seg: "Segments") -> None:
+        """Preallocate every level buffer from the root batch's shape.
+
+        Op-indexed buffers are sized to the root's op count (plus 1/8
+        slack — levels only shrink in practice, since every emitted head
+        replaces a merged run) and segment-indexed buffers to the total
+        cell count (an upper bound on live segments at *any* level, as
+        each owns at least one cell).  After priming, a solve's level
+        loop performs no allocations; pathological growth still falls
+        back to doubling.  ``np.empty`` capacity is lazily backed by the
+        OS, so the overshoot costs address space, not resident memory.
+        """
+        ops_cap = seg.n_ops + seg.n_ops // 8 + 64
+        cells = (
+            int((seg.hi - seg.lo + 1).sum()) if seg.n_segments else 0
+        )
+        seg_cap = cells + 2
+        t_dt, r_dt = seg.t.dtype, seg.r.dtype
+        weighted = seg.w is not None
+        # The batch's total merge effect bounds every cluster-sum the
+        # kernel can form (c0 prefix sums, kept-run sums, head values):
+        # a child segment's effect total never exceeds its parent's, and
+        # c0 scans one chunk of one level.  When that bound fits a
+        # narrow ``r`` dtype the whole solve accumulates natively in it
+        # — no per-chunk upcast, half the memory traffic per pass.
+        acc = np.dtype(np.int64)
+        if r_dt.itemsize < 8 and seg.n_ops:
+            bound = int(seg.r.sum(dtype=np.int64))
+            nonneg = int(seg.r.min()) >= 0
+            if weighted:
+                bound += int(seg.w.sum(dtype=np.int64))
+                nonneg = nonneg and int(seg.w.min()) >= 0
+            else:
+                bound += seg.n_ops
+            if nonneg and bound <= np.iinfo(r_dt).max:
+                acc = r_dt
+        self.acc_dtype = acc
+        self.array("c0", ops_cap + 1, acc)
+        self.array("g_kind", ops_cap, np.uint8)
+        self.array("g_t", ops_cap, t_dt)
+        self.array("g_r", ops_cap, r_dt)
+        if weighted:
+            self.array("g_w", ops_cap, seg.w.dtype)
+        # Per-level op-indexed scratch (masks, effects, casts, scatters).
+        for name in ("isp", "insl", "tmpb", "mrg", "kept"):
+            self.array(name, ops_cap, np.bool_)
+        self.array("eff", ops_cap, acc)
+        self.array("seg_of_op", ops_cap, np.int64)
+        self.array("mid_op", ops_cap, t_dt)
+        self.array("hi_op", ops_cap, t_dt)
+        if r_dt != acc:
+            self.array("r64", ops_cap, acc)
+        if weighted and seg.w.dtype != acc:
+            self.array("w64", ops_cap, acc)
+        self.array("sc_kind", ops_cap, np.uint8)
+        self.array("sc_t", ops_cap, t_dt)
+        if weighted:
+            self.array("sc_w", ops_cap, seg.w.dtype)
+        self.arange(ops_cap)
+        # Per-child cluster-sum scratch (k- and segment-indexed).
+        for tag in ("l", "r"):
+            for name in ("sok", "pos"):
+                self.array(f"{tag}_{name}", ops_cap, np.int64)
+            for name in ("nk", "ktmp", "rk"):
+                self.array(f"{tag}_{name}", ops_cap, acc)
+            for name in ("kcx", "fk", "stmp", "oc", "os", "hc", "hpos"):
+                self.array(f"{tag}_{name}", seg_cap, np.int64)
+            for name in ("hs", "cs", "hval"):
+                self.array(f"{tag}_{name}", seg_cap, acc)
+            self.array(f"{tag}_ht", seg_cap, t_dt)
+            for name in ("hk", "eh"):
+                self.array(f"{tag}_{name}", seg_cap, np.bool_)
+        if weighted:
+            self.array("l_wf", seg_cap, seg.w.dtype)
+        # Per-level segment-indexed scratch and the double-buffered sides.
+        # Side op arrays carry the capacity bound of a level's children
+        # (every kept op plus up to two heads per segment).
+        for name in ("p_starts", "p_starts_c", "mid"):
+            self.array(name, seg_cap, np.int64)
+        for name in ("mid_t", "hi_t"):
+            self.array(name, seg_cap, t_dt)
+        side_cap = ops_cap + seg_cap
+        for side in (0, 1):
+            self.array(f"kind{side}", side_cap, np.uint8)
+            self.array(f"t{side}", side_cap, t_dt)
+            self.array(f"r{side}", side_cap, r_dt)
+            if weighted:
+                self.array(f"w{side}", side_cap, seg.w.dtype)
+            self.array(f"starts{side}", seg_cap, np.int64)
+            self.array(f"lo{side}", seg_cap, np.int64)
+            self.array(f"hi{side}", seg_cap, np.int64)
+
+
+def _solve_leaves(
+    seg: Segments,
+    leaf_mask: np.ndarray,
+    out: np.ndarray,
+    ws: Optional[Workspace] = None,
+    level: int = -1,
+) -> int:
     """Evaluate all size-1 segments in one vectorized pass.
 
     Writes each leaf's value at ``out[lo]``; returns the number of ops
     consumed (for work accounting).  Empty leaves keep value 0 (only the
     sentinel cell can be empty; its value is never read).
+
+    With a workspace, leaf-dominated levels (the deep tail, where most
+    ops belong to solved segments) take a dense path that evaluates the
+    leaf formula over the level's op arrays in place instead of
+    compacting the leaf ops first — fewer passes and no allocations on
+    the levels where leaves are the bulk of the work.
     """
+    m_all = seg.n_ops
+    if ws is not None and m_all:
+        n_segs = seg.n_segments
+        cnt = ws.array("l_stmp", n_segs, np.int64, level)
+        np.subtract(seg.starts[1:], seg.starts[:-1], out=cnt)
+        leaf_ops = int(np.add.reduce(cnt, where=leaf_mask))
+        if leaf_ops == 0:
+            return 0
+        if 2 * leaf_ops >= m_all:
+            return _solve_leaves_dense(seg, leaf_mask, cnt, out, ws, level)
     counts = seg.counts()[leaf_mask]
     starts = seg.starts[:-1][leaf_mask]
     lo = seg.lo[leaf_mask]
@@ -189,6 +438,74 @@ def _solve_leaves(seg: Segments, leaf_mask: np.ndarray, out: np.ndarray) -> int:
     return m
 
 
+def _solve_leaves_dense(
+    seg: Segments,
+    leaf_mask: np.ndarray,
+    cnt: np.ndarray,
+    out: np.ndarray,
+    ws: Workspace,
+    level: int,
+) -> int:
+    """Leaf-dominated levels: evaluate every segment, write leaf rows.
+
+    A leaf's value is the sum of its ops' effects up to and including
+    the ``w`` part of its first Postfix (or of all ops when it has
+    none).  Evaluating that over the level's arrays as-is — one effect
+    cumsum plus a segmented first-Postfix ``reduceat`` — skips the
+    per-op compaction gather entirely; values computed for the few
+    internal segments are simply not written.
+    """
+    m = seg.n_ops
+    n_segs = seg.n_segments
+    starts = seg.starts
+    acc = ws.acc_dtype
+    eff = ws.array("eff", m, acc, level)
+    if seg.w is None:
+        np.add(seg.r, 1, out=eff)
+    else:
+        np.add(seg.r, seg.w, out=eff)
+    c0 = ws.array("c0", m + 1, acc, level)
+    c0[0] = 0
+    np.cumsum(eff, out=c0[1:])
+    # First in-segment Postfix position, m-padded so trailing empty
+    # segments (whose start index equals m) reduce over the sentinel.
+    isp = ws.array("isp", m, np.bool_, level)
+    np.equal(seg.kind, POSTFIX, out=isp)
+    pf = ws.array("seg_of_op", m + 1, np.int64, level)
+    pf.fill(m)
+    np.copyto(pf[:m], ws.arange(m, level), where=isp)
+    fp = ws.array("mid", n_segs, np.int64, level)
+    np.minimum.reduceat(pf, starts[:-1], out=fp)
+    has_pf = ws.array("l_hk", n_segs, np.bool_, level)
+    np.less(fp, starts[1:], out=has_pf)
+    sel = ws.array("l_fk", n_segs, np.int64, level)
+    np.copyto(sel, starts[1:])
+    np.copyto(sel, fp, where=has_pf)
+    value = ws.array("l_hs", n_segs, acc, level)
+    np.take(c0, sel, out=value, mode="wrap")
+    c_start = ws.array("l_cs", n_segs, acc, level)
+    np.take(c0, starts[:-1], out=c_start, mode="wrap")
+    np.subtract(value, c_start, out=value)
+    if seg.w is None:
+        np.add(value, has_pf, out=value)
+    else:
+        np.minimum(fp, m - 1, out=fp)
+        w_at = ws.array("l_wf", n_segs, seg.w.dtype, level)
+        np.take(seg.w, fp, out=w_at, mode="wrap")
+        np.multiply(w_at, has_pf, out=w_at)
+        np.add(value, w_at, out=value)
+    write = ws.array("r_hk", n_segs, np.bool_, level)
+    np.greater(cnt, 0, out=write)
+    np.logical_and(write, leaf_mask, out=write)
+    idx = np.flatnonzero(write)
+    lo_w = ws.array("l_hpos", idx.size, np.int64, level)
+    np.take(seg.lo, idx, out=lo_w, mode="wrap")
+    v_w = ws.array("l_hval", idx.size, acc, level)
+    np.take(value, idx, out=v_w, mode="wrap")
+    out[lo_w] = v_w
+    return int(np.add.reduce(cnt, where=write))
+
+
 def _gather_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Flat indices selecting ``counts[s]`` items from each ``starts[s]``.
 
@@ -205,6 +522,27 @@ def _gather_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     idx = np.arange(total, dtype=np.int64)
     seg_of = np.repeat(np.arange(starts.size, dtype=np.int64), counts)
     return starts[seg_of] + (idx - out_starts[:-1][seg_of])
+
+
+def _check_head_overflow(encoded: np.ndarray, dtype: np.dtype) -> None:
+    """Refuse to write shrink-head effects a narrow ``r`` cannot hold.
+
+    With 32-bit counters (the Section 9.5 fast path) an adversarial
+    weighted input can accumulate a merged-run effect past the dtype's
+    range; the silent wrap would corrupt every distance downstream of the
+    head.  Raising keeps the failure at the first unrepresentable write.
+    """
+    if encoded.size == 0 or np.dtype(dtype).itemsize >= 8:
+        return
+    info = np.iinfo(dtype)
+    mx = int(encoded.max())
+    mn = int(encoded.min())
+    if mx > info.max or mn < info.min:
+        bad = mx if mx > info.max else mn
+        raise CapacityError(
+            f"shrink head effect {bad} does not fit in {np.dtype(dtype)}; "
+            f"rerun with dtype=int64 (Section 9.5)"
+        )
 
 
 def _shrink_child(
@@ -291,10 +629,14 @@ def _shrink_child(
     if w_c is None:
         # Unit-weight encoding: a full-interval Prefix(hi, r) has effect
         # 1 + r, so a head of net effect e is written as r = e - 1.
-        r_out[head_pos] = (head_sum[emit_head] - 1).astype(r_c.dtype)
+        head_vals = head_sum[emit_head] - 1
+        _check_head_overflow(head_vals, r_c.dtype)
+        r_out[head_pos] = head_vals.astype(r_c.dtype)
     else:
         # Weighted encoding: heads carry w = 0 and the whole effect in r.
-        r_out[head_pos] = head_sum[emit_head].astype(r_c.dtype)
+        head_vals = head_sum[emit_head]
+        _check_head_overflow(head_vals, r_c.dtype)
+        r_out[head_pos] = head_vals.astype(r_c.dtype)
         w_out[head_pos] = 0
 
     if k:
@@ -387,23 +729,423 @@ def _partition_level(seg: Segments, internal_mask: np.ndarray) -> Segments:
     )
 
 
+class _ChildPlan:
+    """Cluster-sum results for one child, pending the output write."""
+
+    __slots__ = ("kept_idx", "seg_of_kept", "r_kept", "head_sum",
+                 "emit_head", "out_counts", "total")
+
+    def __init__(self, kept_idx, seg_of_kept, r_kept, head_sum, emit_head,
+                 out_counts):
+        self.kept_idx = kept_idx
+        self.seg_of_kept = seg_of_kept
+        self.r_kept = r_kept
+        self.head_sum = head_sum
+        self.emit_head = emit_head
+        self.out_counts = out_counts
+        self.total = int(out_counts.sum())
+
+
+def _fused_plan_child(
+    tag: str,
+    kept: np.ndarray,
+    eff: np.ndarray,
+    r64: np.ndarray,
+    starts: np.ndarray,
+    seg_of_op: np.ndarray,
+    n_segs: int,
+    c0: np.ndarray,
+    ws: Workspace,
+    level: int,
+) -> _ChildPlan:
+    """Lemma 6.1's cluster-sum over one child, without materializing it.
+
+    ``eff`` already folds the projection rules into the merge effects
+    (and is zero on kept ops), so this works directly on the parent's
+    arrays; every intermediate lives in a ``tag``-prefixed workspace
+    buffer, so the only fresh allocations are the two whose size is the
+    data (``flatnonzero`` and ``bincount``).
+    """
+    m = eff.size
+    acc = c0.dtype
+    c0[0] = 0
+    np.cumsum(eff, out=c0[1:])
+    kept_idx = np.flatnonzero(kept)
+    k = kept_idx.size
+    if k:
+        seg_of_kept = np.take(
+            seg_of_op, kept_idx, out=ws.array(f"{tag}_sok", k, np.int64,
+                                              level)
+        , mode="wrap")
+        kept_counts = np.bincount(seg_of_kept, minlength=n_segs)
+        kcum_excl = ws.array(f"{tag}_kcx", n_segs, np.int64, level)
+        kcum_excl[0] = 0
+        np.cumsum(kept_counts[:-1], out=kcum_excl[1:])
+        has_kept = np.greater(
+            kept_counts, 0, out=ws.array(f"{tag}_hk", n_segs, np.bool_,
+                                         level)
+        )
+        # A kept op's merge run ends at the next kept op in its segment,
+        # and c0 is flat across kept ops (their effect is zero), so the
+        # run-sum is the shifted difference of c0 sampled at the kept
+        # positions; only each segment's *last* kept op — whose run
+        # extends to the segment end instead — needs a patch below.
+        c0k = ws.array(f"{tag}_nk", k, acc, level)
+        np.take(c0, kept_idx, out=c0k, mode="wrap")
+        r_kept = ws.array(f"{tag}_rk", k, acc, level)
+        r_kept[:-1] = c0k[1:]
+        r_kept[-1] = 0
+        np.subtract(r_kept, c0k, out=r_kept)
+        r64k = ws.array(f"{tag}_ktmp", k, acc, level)
+        np.take(r64, kept_idx, out=r64k, mode="wrap")
+        np.add(r_kept, r64k, out=r_kept)
+        last_rank = ws.array(f"{tag}_stmp", n_segs, np.int64, level)
+        np.add(kcum_excl, kept_counts, out=last_rank)
+        np.subtract(last_rank, 1, out=last_rank)
+        lr = last_rank[has_kept]
+        r_kept[lr] = c0[starts[1:]][has_kept] - c0k[lr] + r64k[lr]
+    else:
+        seg_of_kept = np.zeros(0, dtype=np.int64)
+        kept_counts = np.zeros(n_segs, dtype=np.int64)
+        r_kept = np.zeros(0, dtype=acc)
+    first_kept = ws.array(f"{tag}_fk", n_segs, np.int64, level)
+    np.copyto(first_kept, starts[1:])
+    if k:
+        stmp = ws.array(f"{tag}_stmp", n_segs, np.int64, level)
+        np.minimum(kcum_excl, k - 1, out=stmp)
+        np.take(kept_idx, stmp, out=stmp, mode="wrap")
+        np.copyto(first_kept, stmp, where=has_kept)
+    head_sum = ws.array(f"{tag}_hs", n_segs, acc, level)
+    np.take(c0, first_kept, out=head_sum, mode="wrap")
+    c_start = ws.array(f"{tag}_cs", n_segs, acc, level)
+    np.take(c0, starts[:-1], out=c_start, mode="wrap")
+    np.subtract(head_sum, c_start, out=head_sum)
+    emit_head = np.not_equal(
+        head_sum, 0, out=ws.array(f"{tag}_eh", n_segs, np.bool_, level)
+    )
+    out_counts = ws.array(f"{tag}_oc", n_segs, np.int64, level)
+    np.add(kept_counts, emit_head, out=out_counts)
+    return _ChildPlan(kept_idx, seg_of_kept, r_kept, head_sum, emit_head,
+                      out_counts)
+
+
+def _fused_write_child(
+    plan: _ChildPlan,
+    tag: str,
+    kind: np.ndarray,
+    t: np.ndarray,
+    w: Optional[np.ndarray],
+    head_t: np.ndarray,
+    base: int,
+    kind_out: np.ndarray,
+    t_out: np.ndarray,
+    r_out: np.ndarray,
+    w_out: Optional[np.ndarray],
+    ws: Workspace,
+    level: int,
+) -> None:
+    """Scatter one planned child into the level's output arrays.
+
+    Heads and kept ops land at ``base + local position``; kept ops gather
+    their ``kind``/``t``/``w`` straight from the *parent* arrays (a kept
+    op's projection is the identity — only its ``r`` absorbed a run).
+    """
+    emit_head = plan.emit_head
+    n_segs = emit_head.size
+    out_starts = ws.array(f"{tag}_os", n_segs, np.int64, level)
+    out_starts[0] = 0
+    np.cumsum(plan.out_counts[:-1], out=out_starts[1:])
+    eh_idx = np.flatnonzero(emit_head)
+    h = eh_idx.size
+    if h:
+        head_pos = ws.array(f"{tag}_hpos", h, np.int64, level)
+        np.take(out_starts, eh_idx, out=head_pos, mode="wrap")
+        if base:
+            np.add(head_pos, base, out=head_pos)
+        kind_out[head_pos] = PREFIX
+        ht = ws.array(f"{tag}_ht", h, head_t.dtype, level)
+        np.take(head_t, eh_idx, out=ht, mode="wrap")
+        t_out[head_pos] = ht
+        head_vals = ws.array(f"{tag}_hval", h, plan.head_sum.dtype, level)
+        np.take(plan.head_sum, eh_idx, out=head_vals, mode="wrap")
+        if w_out is None:
+            # Unit-weight encoding: a full-interval Prefix(hi, r) has
+            # effect 1 + r, so a head of net effect e is written r = e-1.
+            np.subtract(head_vals, 1, out=head_vals)
+        _check_head_overflow(head_vals, r_out.dtype)
+        r_out[head_pos] = head_vals
+        if w_out is not None:
+            w_out[head_pos] = 0
+    k = plan.kept_idx.size
+    if k:
+        # Position of kept op j is its global kept-rank plus the number of
+        # heads emitted in segments up to and including its own.
+        hcum = ws.array(f"{tag}_hc", n_segs, np.int64, level)
+        np.cumsum(emit_head, out=hcum)
+        pos = ws.array(f"{tag}_pos", k, np.int64, level)
+        np.take(hcum, plan.seg_of_kept, out=pos, mode="wrap")
+        np.add(pos, ws.arange(k, level), out=pos)
+        if base:
+            np.add(pos, base, out=pos)
+        sc_kind = ws.array("sc_kind", k, np.uint8, level)
+        np.take(kind, plan.kept_idx, out=sc_kind, mode="wrap")
+        kind_out[pos] = sc_kind
+        sc_t = ws.array("sc_t", k, t.dtype, level)
+        np.take(t, plan.kept_idx, out=sc_t, mode="wrap")
+        t_out[pos] = sc_t
+        r_out[pos] = plan.r_kept
+        if w_out is not None:
+            sc_w = ws.array("sc_w", k, w.dtype, level)
+            np.take(w, plan.kept_idx, out=sc_w, mode="wrap")
+            w_out[pos] = sc_w
+
+
+#: Target operations per cache block of the fused level kernel.  The
+#: pass pipeline touches roughly a dozen live scratch arrays; blocks of
+#: ~64k ops keep that working set inside a per-core L2 even on batched
+#: multi-million-op levels, where unblocked passes would stream every
+#: array through the last-level cache ~45 times per level.
+_LEVEL_CHUNK_OPS = int(os.environ.get("REPRO_ENGINE_CHUNK_OPS", 1 << 16))
+
+
+def _level_chunks(
+    starts: np.ndarray, n_segs: int, m: int, chunk_ops: int
+) -> Tuple[Tuple[int, int], ...]:
+    """Consecutive segment ranges holding roughly ``chunk_ops`` ops each.
+
+    Chunk boundaries always align with segment boundaries (a segment is
+    the kernel's planning unit), so a single segment larger than
+    ``chunk_ops`` forms its own chunk.
+    """
+    if n_segs <= 1 or m <= chunk_ops:
+        return ((0, n_segs),)
+    cuts = [0]
+    while cuts[-1] < n_segs:
+        target = int(starts[cuts[-1]]) + chunk_ops
+        nxt = int(np.searchsorted(starts, target, side="right")) - 1
+        cuts.append(min(max(nxt, cuts[-1] + 1), n_segs))
+    return tuple(zip(cuts[:-1], cuts[1:]))
+
+
+def _partition_level_fused(
+    seg: Segments, internal_mask: np.ndarray, ws: Workspace, level: int
+) -> Segments:
+    """One recursion level as a fused, cache-blocked pass over the parent.
+
+    Merge masks and cluster-sum effects for *both* children are derived
+    directly from the parent's ``kind``/``t``/``r`` over one shared
+    ``seg_of_op``/``starts`` set — the per-child projected arrays of the
+    naive pipeline are folded into the effect formula and never built.
+    The level runs in segment-aligned chunks of ~``_LEVEL_CHUNK_OPS``
+    ops (segments are mutually independent), so the scratch arrays of
+    the pass pipeline stay cache-resident however large the level is;
+    children land chunk-contiguously (``[left, right]`` per chunk) in
+    the workspace side ``level % 2``, double-buffered against the
+    parent's side.  Every intermediate runs through ``out=`` into
+    workspace buffers: in steady state a level allocates nothing whose
+    size is O(ops).
+    """
+    side = level & 1
+    acc = ws.acc_dtype
+    all_internal = bool(internal_mask.all())
+    if all_internal:
+        n_segs = seg.n_segments
+        lo, hi = seg.lo, seg.hi
+        kind, t, r, w = seg.kind, seg.t, seg.r, seg.w
+        starts = seg.starts
+    else:
+        counts = seg.counts()[internal_mask]
+        n_segs = counts.size
+        lo = seg.lo[internal_mask]
+        hi = seg.hi[internal_mask]
+        src_starts = seg.starts[:-1][internal_mask]
+        take = _gather_indices(src_starts, counts)
+        m_in = take.size
+        kind = np.take(seg.kind, take,
+                       out=ws.array("g_kind", m_in, np.uint8, level), mode="wrap")
+        t = np.take(seg.t, take,
+                    out=ws.array("g_t", m_in, seg.t.dtype, level), mode="wrap")
+        r = np.take(seg.r, take,
+                    out=ws.array("g_r", m_in, seg.r.dtype, level), mode="wrap")
+        w = (None if seg.w is None else
+             np.take(seg.w, take,
+                     out=ws.array("g_w", m_in, seg.w.dtype, level), mode="wrap"))
+        starts = ws.array("p_starts", n_segs + 1, np.int64, level)
+        starts[0] = 0
+        np.cumsum(counts, out=starts[1:])
+    m = kind.size
+
+    mid = ws.array("mid", n_segs, np.int64, level)
+    np.add(lo, hi, out=mid)
+    np.floor_divide(mid, 2, out=mid)
+    if t.dtype == np.int64:
+        mid_t, hi_t = mid, hi
+    else:
+        mid_t = ws.array("mid_t", n_segs, t.dtype, level)
+        np.copyto(mid_t, mid, casting="unsafe")
+        hi_t = ws.array("hi_t", n_segs, t.dtype, level)
+        np.copyto(hi_t, hi, casting="unsafe")
+
+    # Output capacity: each kept op lands in exactly one child (the kept
+    # sets are disjoint), plus at most one head per child per segment.
+    cap = m + 2 * n_segs
+    kind_out = ws.array(f"kind{side}", cap, np.uint8, level)
+    t_out = ws.array(f"t{side}", cap, t.dtype, level)
+    r_out = ws.array(f"r{side}", cap, r.dtype, level)
+    w_out = (None if w is None
+             else ws.array(f"w{side}", cap, w.dtype, level))
+    starts_out = ws.array(f"starts{side}", 2 * n_segs + 1, np.int64, level)
+    lo_out = ws.array(f"lo{side}", 2 * n_segs, np.int64, level)
+    hi_out = ws.array(f"hi{side}", 2 * n_segs, np.int64, level)
+    starts_out[0] = 0
+
+    # Narrowed batches halve every op-array's footprint, so twice the
+    # ops fit the same cache block.
+    chunk_ops = _LEVEL_CHUNK_OPS * (2 if acc.itemsize < 8 else 1)
+    out_op = 0
+    out_seg = 0
+    for s0, s1 in _level_chunks(starts, n_segs, m, chunk_ops):
+        o0, o1 = int(starts[s0]), int(starts[s1])
+        mc, nsc = o1 - o0, s1 - s0
+        kind_c, t_c, r_c = kind[o0:o1], t[o0:o1], r[o0:o1]
+        w_c = None if w is None else w[o0:o1]
+        mid_c = mid[s0:s1]
+        mid_t_c, hi_t_c = mid_t[s0:s1], hi_t[s0:s1]
+        if o0:
+            starts_c = ws.array("p_starts_c", nsc + 1, np.int64, level)
+            np.subtract(starts[s0:s1 + 1], o0, out=starts_c)
+        else:
+            starts_c = starts[s0:s1 + 1]
+
+        seg_of_op = ws.array("seg_of_op", mc, np.int64, level)
+        seg_of_op.fill(0)
+        if nsc > 1 and mc:
+            # Ones at each later segment's first op, then an inclusive
+            # scan.  Empty mid segments yield duplicate boundaries
+            # (add.at accumulates); empty *trailing* segments yield
+            # boundaries == mc, clipped via searchsorted.
+            bounds = starts_c[1:-1]
+            nb = int(np.searchsorted(bounds, mc, side="left"))
+            np.add.at(seg_of_op, bounds[:nb], 1)
+            np.cumsum(seg_of_op, out=seg_of_op)
+        mid_op = np.take(mid_t_c, seg_of_op,
+                         out=ws.array("mid_op", mc, t.dtype, level), mode="wrap")
+        hi_op = np.take(hi_t_c, seg_of_op,
+                        out=ws.array("hi_op", mc, t.dtype, level), mode="wrap")
+        is_prefix = np.equal(kind_c, PREFIX,
+                             out=ws.array("isp", mc, np.bool_, level))
+        inside_l = np.less_equal(t_c, mid_op,
+                                 out=ws.array("insl", mc, np.bool_, level))
+        if r.dtype == acc:
+            r64 = r_c
+        else:
+            r64 = ws.array("r64", mc, acc, level)
+            np.copyto(r64, r_c, casting="unsafe")
+        if w is None:
+            w64 = None
+        elif w.dtype == acc:
+            w64 = w_c
+        else:
+            w64 = ws.array("w64", mc, acc, level)
+            np.copyto(w64, w_c, casting="unsafe")
+        c0 = ws.array("c0", mc + 1, acc, level)
+        eff = ws.array("eff", mc, acc, level)
+        mrg = ws.array("mrg", mc, np.bool_, level)
+        tmpb = ws.array("tmpb", mc, np.bool_, level)
+        kept = ws.array("kept", mc, np.bool_, level)
+
+        # Left child [lo, mid].  Ops projected out of the child (t > mid)
+        # and in-child full-interval Prefixes (t == mid) are exactly the
+        # mergeable set; a mergeable op's effect is r plus its "+w part"
+        # when that part covers the child — for the left child, iff the
+        # op is a Prefix.
+        np.equal(t_c, mid_op, out=tmpb)
+        np.logical_and(tmpb, is_prefix, out=tmpb)
+        np.logical_not(inside_l, out=mrg)
+        np.logical_or(mrg, tmpb, out=mrg)
+        np.logical_not(mrg, out=kept)
+        if w64 is None:
+            np.add(r64, is_prefix, out=eff)
+        else:
+            np.multiply(w64, is_prefix, out=eff)
+            np.add(eff, r64, out=eff)
+        np.multiply(eff, mrg, out=eff)
+        plan_l = _fused_plan_child("l", kept, eff, r64, starts_c,
+                                   seg_of_op, nsc, c0, ws, level)
+
+        # Right child [mid+1, hi]: the "+w part" covers the child iff the
+        # op is a Postfix or lives inside the child (a Prefix at t == hi).
+        np.equal(t_c, hi_op, out=tmpb)
+        np.logical_and(tmpb, is_prefix, out=tmpb)
+        np.logical_or(inside_l, tmpb, out=mrg)
+        np.logical_not(mrg, out=kept)
+        covers_r = tmpb  # reuse: covers_r = ~(is_prefix & inside_l)
+        np.logical_and(is_prefix, inside_l, out=covers_r)
+        np.logical_not(covers_r, out=covers_r)
+        if w64 is None:
+            np.add(r64, covers_r, out=eff)
+        else:
+            np.multiply(w64, covers_r, out=eff)
+            np.add(eff, r64, out=eff)
+        np.multiply(eff, mrg, out=eff)
+        plan_r = _fused_plan_child("r", kept, eff, r64, starts_c,
+                                   seg_of_op, nsc, c0, ws, level)
+
+        _fused_write_child(plan_l, "l", kind_c, t_c, w_c, mid_t_c, out_op,
+                           kind_out, t_out, r_out, w_out, ws, level)
+        _fused_write_child(plan_r, "r", kind_c, t_c, w_c, hi_t_c,
+                           out_op + plan_l.total,
+                           kind_out, t_out, r_out, w_out, ws, level)
+
+        so = starts_out[out_seg:out_seg + 2 * nsc + 1]
+        np.cumsum(plan_l.out_counts, out=so[1:nsc + 1])
+        np.cumsum(plan_r.out_counts, out=so[nsc + 1:])
+        if out_op:
+            np.add(so[1:nsc + 1], out_op, out=so[1:nsc + 1])
+        np.add(so[nsc + 1:], out_op + plan_l.total, out=so[nsc + 1:])
+        np.copyto(lo_out[out_seg:out_seg + nsc], lo[s0:s1])
+        np.add(mid_c, 1, out=lo_out[out_seg + nsc:out_seg + 2 * nsc])
+        np.copyto(hi_out[out_seg:out_seg + nsc], mid_c)
+        np.copyto(hi_out[out_seg + nsc:out_seg + 2 * nsc], hi[s0:s1])
+        out_op += plan_l.total + plan_r.total
+        out_seg += 2 * nsc
+
+    return Segments(kind=kind_out[:out_op], t=t_out[:out_op],
+                    r=r_out[:out_op], starts=starts_out, lo=lo_out,
+                    hi=hi_out,
+                    w=None if w_out is None else w_out[:out_op])
+
+
 def solve_prepost_arrays(
     seg: Segments,
     out: np.ndarray,
     *,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
+    engine_backend: str = "fused",
+    workspace: Optional[Workspace] = None,
 ) -> None:
     """Run the level-synchronous recursion until every segment is solved.
 
     ``out`` must cover all cells referenced by the segments (it is indexed
     by absolute cell positions).  Values of empty segments stay 0.
 
+    ``engine_backend`` selects the level kernel (``"fused"`` or
+    ``"naive"``, bit-identical — see the module docstring); ``workspace``
+    supplies a reusable :class:`Workspace` for the fused kernel (one is
+    created per call when omitted; passing a long-lived one amortizes
+    level buffers across many solves).
+
     When the current :mod:`repro.obs` tracer is enabled, every recursion
     level emits an ``engine.level`` span (attrs: level index, segment and
     op counts); disabled tracing costs one shared no-op context manager
     per level — O(log n) per run, not per access.
     """
+    fused = _validate_backend(engine_backend) == "fused"
+    if fused:
+        if workspace is None:
+            workspace = Workspace()
+        workspace.prime(seg)
     tracer = get_tracer()
     traced = tracer.enabled
     level = 0
@@ -416,29 +1158,25 @@ def solve_prepost_arrays(
         )
         with span:
             if stats is not None:
-                m = seg.n_ops
-                stats.levels += 1
-                stats.ops_per_level.append(m)
-                stats.work += m
-                counts = seg.counts()
-                stats.span_basic += float(counts.max()) if counts.size else 0.0
-                stats.span_parallel += math.log2(max(m, 2))
-                stats.peak_level_ops = max(stats.peak_level_ops, m)
-                stats.peak_bytes = max(stats.peak_bytes,
-                                       seg.nbytes + out.nbytes)
-                if stats.record_segments:
-                    stats.segment_sizes_per_level.append(counts.copy())
+                stats.record_level(seg, out.nbytes)
             if memory is not None:
                 memory.observe("engine.segments", seg.nbytes)
             leaf_mask = seg.lo == seg.hi
             if leaf_mask.any():
-                consumed = _solve_leaves(seg, leaf_mask, out)
+                consumed = _solve_leaves(
+                    seg, leaf_mask, out,
+                    ws=workspace if fused else None, level=level,
+                )
                 if stats is not None:
                     stats.work += consumed
             internal = ~leaf_mask
             done = not internal.any()
             if not done:
-                seg = _partition_level(seg, internal)
+                seg = (
+                    _partition_level_fused(seg, internal, workspace, level)
+                    if fused
+                    else _partition_level(seg, internal)
+                )
         if done:
             break
         level += 1
@@ -452,6 +1190,8 @@ def iaf_distances(
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
+    engine_backend: str = "fused",
+    workspace: Optional[Workspace] = None,
 ) -> np.ndarray:
     """Backward distance vector of ``trace`` via the vectorized engine.
 
@@ -473,8 +1213,12 @@ def iaf_distances(
         memory.allocate("engine.trace", int(arr.nbytes))
     values = np.zeros(n + 1, dtype=np.int64)  # cell 0 is the sentinel
     seg = Segments.single(kind, t, r, 0, n)
-    with tracer.span("iaf.solve", n=n) if traced else NULL_SPAN:
-        solve_prepost_arrays(seg, values, stats=stats, memory=memory)
+    span = (tracer.span("iaf.solve", n=n, backend=engine_backend)
+            if traced else NULL_SPAN)
+    with span:
+        solve_prepost_arrays(seg, values, stats=stats, memory=memory,
+                             engine_backend=engine_backend,
+                             workspace=workspace)
     if memory is not None:
         memory.free("engine.trace", int(arr.nbytes))
     return values[1:]
@@ -486,13 +1230,162 @@ def iaf_hit_rate_curve(
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
+    engine_backend: str = "fused",
 ) -> HitRateCurve:
     """Full pipeline: pre-process, distance computation, post-process."""
     arr = as_trace(trace, dtype=dtype)
-    d = iaf_distances(arr, dtype=dtype, stats=stats, memory=memory)
+    d = iaf_distances(arr, dtype=dtype, stats=stats, memory=memory,
+                      engine_backend=engine_backend)
     tracer = get_tracer()
     span = (tracer.span("iaf.postprocess", n=arr.size)
             if tracer.enabled else NULL_SPAN)
     with span:
         _, nxt = prev_next_arrays(arr)
         return curve_from_backward_distances(d, nxt)
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-trace solving (the serving-throughput form)
+# ---------------------------------------------------------------------------
+
+
+def batch_segments(
+    traces: Sequence[TraceLike],
+    *,
+    dtype: Optional["np.typing.DTypeLike"] = None,
+) -> Tuple[List[np.ndarray], Segments, np.ndarray, int]:
+    """Seed one :class:`Segments` batch with one root segment per trace.
+
+    Trace ``i`` owns the disjoint cell interval ``[bases[i], bases[i] +
+    n_i]`` (its own sentinel plus ``n_i`` distance cells) in one shared
+    output array, and its operations' ``t`` coordinates are rebased
+    accordingly — so a single level loop carries all ``k`` traces and
+    every vectorized pass is amortized across them.
+
+    When ``dtype`` is omitted, the batch compiler narrows the op arrays
+    to ``int32`` whenever it can *certify* the solve exact there: every
+    ``t`` fits (``total_cells - 1``) and the batch's total merge effect
+    — an upper bound on every cluster-sum any level can form — fits, so
+    narrow accumulation cannot wrap.  Half the per-pass memory traffic,
+    bit-identical distances.  An explicit ``dtype`` is always honored.
+
+    Returns ``(validated traces, segments, bases, total_cells)``.
+    """
+    auto = dtype is None
+    dt = validate_dtype(DEFAULT_DTYPE if auto else dtype)
+    arrs = [as_trace(t, dtype=dt) for t in traces]
+    sizes = np.array([a.size for a in arrs], dtype=np.int64)
+    bases = np.zeros(len(arrs) + 1, dtype=np.int64)
+    if len(arrs):
+        np.cumsum(sizes + 1, out=bases[1:])
+    total_cells = int(bases[-1])
+    if total_cells and total_cells - 1 > np.iinfo(dt).max:
+        raise CapacityError(
+            f"batch of {len(arrs)} traces spans {total_cells} cells, "
+            f"which does not fit in {dt}; use dtype=int64"
+        )
+    kinds: List[np.ndarray] = []
+    ts: List[np.ndarray] = []
+    rs: List[np.ndarray] = []
+    for arr, base in zip(arrs, bases[:-1].tolist()):
+        kind, t, r = prepost_sequence_arrays(arr, dtype=dt)
+        if base:
+            t = t + dt.type(base)
+        kinds.append(kind)
+        ts.append(t)
+        rs.append(r)
+    op_counts = np.array([k.size for k in kinds], dtype=np.int64)
+    starts = np.zeros(len(arrs) + 1, dtype=np.int64)
+    if len(arrs):
+        np.cumsum(op_counts, out=starts[1:])
+    t_all = np.concatenate(ts) if ts else np.zeros(0, dtype=dt)
+    r_all = np.concatenate(rs) if rs else np.zeros(0, dtype=dt)
+    if auto and r_all.size:
+        i32 = np.iinfo(np.int32)
+        bound = int(r_all.sum(dtype=np.int64)) + r_all.size
+        if total_cells - 1 <= i32.max and bound <= i32.max:
+            t_all = t_all.astype(np.int32)
+            r_all = r_all.astype(np.int32)
+    seg = Segments(
+        kind=np.concatenate(kinds) if kinds else np.zeros(0, dtype=np.uint8),
+        t=t_all,
+        r=r_all,
+        starts=starts,
+        lo=bases[:-1].copy(),
+        hi=bases[:-1] + sizes,
+    )
+    return arrs, seg, bases, total_cells
+
+
+def iaf_distances_batch(
+    traces: Sequence[TraceLike],
+    *,
+    dtype: Optional["np.typing.DTypeLike"] = None,
+    stats: Optional[EngineStats] = None,
+    memory: Optional[MemoryModel] = None,
+    engine_backend: str = "fused",
+    workspace: Optional[Workspace] = None,
+) -> List[np.ndarray]:
+    """Backward distance vectors of ``k`` independent traces in one solve.
+
+    Identical output to ``[iaf_distances(t) for t in traces]`` — each
+    trace's segments never interact with another's (the cluster-sums are
+    segmented and the cell intervals disjoint) — but all traces share
+    every level's vectorized passes, so the per-level numpy dispatch cost
+    is paid once per *batch* instead of once per trace.
+    """
+    _validate_backend(engine_backend)
+    arrs, seg, bases, total_cells = batch_segments(traces, dtype=dtype)
+    if not arrs:
+        return []
+    tracer = get_tracer()
+    values = np.zeros(total_cells, dtype=np.int64)
+    if memory is not None:
+        memory.allocate("engine.trace",
+                        int(sum(a.nbytes for a in arrs)))
+    span = (
+        tracer.span("iaf.solve_batch", k=len(arrs),
+                    n=int(sum(a.size for a in arrs)),
+                    backend=engine_backend)
+        if tracer.enabled
+        else NULL_SPAN
+    )
+    with span:
+        solve_prepost_arrays(seg, values, stats=stats, memory=memory,
+                             engine_backend=engine_backend,
+                             workspace=workspace)
+    if memory is not None:
+        memory.free("engine.trace", int(sum(a.nbytes for a in arrs)))
+    return [
+        values[base + 1 : base + 1 + arr.size]
+        for arr, base in zip(arrs, bases[:-1].tolist())
+    ]
+
+
+def iaf_hit_rate_curves_batch(
+    traces: Sequence[TraceLike],
+    *,
+    dtype: Optional["np.typing.DTypeLike"] = None,
+    stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
+    workspace: Optional[Workspace] = None,
+) -> List[HitRateCurve]:
+    """Exact LRU hit-rate curves of ``k`` traces in one batched solve.
+
+    The serving primitive: many concurrent curve requests (the SHARDS-
+    style workload of many small/medium traces) ride one level loop.
+    Curves are identical to ``[iaf_hit_rate_curve(t) for t in traces]``.
+    """
+    arrs = [as_trace(t, dtype=DEFAULT_DTYPE if dtype is None else dtype)
+            for t in traces]
+    distances = iaf_distances_batch(arrs, dtype=dtype, stats=stats,
+                                    engine_backend=engine_backend,
+                                    workspace=workspace)
+    curves: List[HitRateCurve] = []
+    for arr, d in zip(arrs, distances):
+        if arr.size == 0:
+            curves.append(HitRateCurve(np.zeros(0, dtype=np.int64), 0))
+            continue
+        _, nxt = prev_next_arrays(arr)
+        curves.append(curve_from_backward_distances(d, nxt))
+    return curves

@@ -34,7 +34,8 @@ from ..errors import ExternalMemoryError
 from ..extmem.blockdevice import BlockDevice, ExternalFile, MemoryConfig
 from ..obs import NULL_SPAN, get_tracer
 from ..extmem.iostats import IOStats
-from .engine import Segments, _shrink_child, solve_prepost_arrays
+from .engine import Segments, Workspace, _shrink_child, \
+    solve_prepost_arrays
 from .ops import POSTFIX, PREFIX, prepost_sequence_arrays
 
 #: The base-case constant ``c`` from Section 5: subproblems on intervals
@@ -116,12 +117,18 @@ class _ExternalSolver:
     """Recursive driver holding the device, config, and output file."""
 
     def __init__(self, device: BlockDevice, out: ExternalFile,
-                 values: np.ndarray, report: ExternalRunReport) -> None:
+                 values: np.ndarray, report: ExternalRunReport,
+                 engine_backend: str = "fused") -> None:
         self.device = device
         self.config = device.config
         self.out = out
         self.values = values
         self.report = report
+        self.engine_backend = engine_backend
+        # One workspace serves every base case: the in-memory solves all
+        # fit the same M-bounded shape, so after the first their level
+        # buffers are reused.
+        self.workspace = Workspace() if engine_backend == "fused" else None
         self._name_counter = 0
 
     def _fresh_name(self) -> str:
@@ -180,7 +187,9 @@ class _ExternalSolver:
                     f"violated?"
                 )
             seg = Segments.single(kind, t, r, lo, hi)
-            solve_prepost_arrays(seg, self.values)
+            solve_prepost_arrays(seg, self.values,
+                                 engine_backend=self.engine_backend,
+                                 workspace=self.workspace)
             # Distance entries stream to external memory (charged per
             # block).
             self.out.append(self.values[lo : hi + 1])
@@ -193,6 +202,7 @@ def external_iaf_distances(
     *,
     device: Optional[BlockDevice] = None,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    engine_backend: str = "fused",
 ) -> Tuple[np.ndarray, ExternalRunReport]:
     """Backward distance vector via EXTERNAL-INCREMENT-AND-FREEZE.
 
@@ -219,7 +229,8 @@ def external_iaf_distances(
 
     values = np.zeros(n + 1, dtype=np.int64)
     out_file = dev.create("iaf.distances", np.int64)
-    solver = _ExternalSolver(dev, out_file, values, report)
+    solver = _ExternalSolver(dev, out_file, values, report,
+                             engine_backend=engine_backend)
     solver.solve(ops_file, 0, n, depth=0)
     out_file.flush()
     return values[1:], report

@@ -30,7 +30,8 @@ from ..errors import CapacityError
 from ..obs import NULL_SPAN, get_tracer
 from ..pram.model import SpeedupCurve
 from ..pram.scheduler import Cost
-from .engine import EngineStats, Segments, _partition_level, _solve_leaves, \
+from .engine import EngineStats, Segments, Workspace, _partition_level, \
+    _partition_level_fused, _solve_leaves, batch_segments, \
     solve_prepost_arrays
 from .hitrate import HitRateCurve, curve_from_backward_distances
 from .ops import prepost_sequence_arrays
@@ -93,25 +94,22 @@ def _warmup_levels(
     values: np.ndarray,
     workers: int,
     stats: Optional[EngineStats],
+    engine_backend: str = "fused",
 ) -> Optional[Segments]:
     """Serial warm-up: split until there are enough independent subtrees.
 
     Returns the segment batch ready for splitting, or ``None`` when the
-    recursion bottomed out entirely during warm-up (tiny traces).
+    recursion bottomed out entirely during warm-up (tiny traces).  With
+    the fused backend the warm-up levels get their own workspace; its
+    buffers stay alive as the split parts' backing storage while the
+    worker solves (each with a per-part workspace) read from them.
     """
+    fused = engine_backend == "fused"
+    workspace: Optional[Workspace] = None
+    level = 0
     while 0 < seg.n_segments < 4 * workers and workers > 1:
         if stats is not None:
-            stats.levels += 1
-            m = seg.n_ops
-            stats.ops_per_level.append(m)
-            stats.work += m
-            counts = seg.counts()
-            stats.span_basic += float(counts.max()) if counts.size else 0.0
-            stats.span_parallel += float(np.log2(max(m, 2)))
-            stats.peak_level_ops = max(stats.peak_level_ops, m)
-            stats.peak_bytes = max(
-                stats.peak_bytes, seg.nbytes + values.nbytes
-            )
+            stats.record_level(seg, values.nbytes)
         leaf_mask = seg.lo == seg.hi
         if leaf_mask.any():
             consumed = _solve_leaves(seg, leaf_mask, values)
@@ -120,7 +118,14 @@ def _warmup_levels(
         internal = ~leaf_mask
         if not internal.any():
             return None
-        seg = _partition_level(seg, internal)
+        if fused:
+            if workspace is None:
+                workspace = Workspace()
+                workspace.prime(seg)
+            seg = _partition_level_fused(seg, internal, workspace, level)
+        else:
+            seg = _partition_level(seg, internal)
+        level += 1
     return seg
 
 
@@ -159,6 +164,7 @@ def _solve_split_threads(
     values: np.ndarray,
     workers: int,
     stats: Optional[EngineStats],
+    engine_backend: str = "fused",
 ) -> None:
     """Split ``seg`` and solve the parts on a thread pool.
 
@@ -182,7 +188,8 @@ def _solve_split_threads(
         with span:
             # Disjoint cell intervals per part -> disjoint writes to
             # `values`.
-            solve_prepost_arrays(part, values, stats=part_stats[i])
+            solve_prepost_arrays(part, values, stats=part_stats[i],
+                                 engine_backend=engine_backend)
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
         list(pool.map(run, range(len(parts))))
@@ -200,6 +207,7 @@ def parallel_iaf_distances(
     workers: int = 1,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
 ) -> np.ndarray:
     """Backward distance vector with subtree parallelism over ``workers``.
 
@@ -217,21 +225,33 @@ def parallel_iaf_distances(
     kind, t, r = prepost_sequence_arrays(arr, dtype=dtype)
     values = np.zeros(n + 1, dtype=np.int64)
     seg = Segments.single(kind, t, r, 0, n)
-
-    tracer = get_tracer()
-    warm_span = (tracer.span("parallel.warmup", n=n, workers=workers)
-                 if tracer.enabled else NULL_SPAN)
-    with warm_span:
-        seg = _warmup_levels(seg, values, workers, stats)
-    if seg is None:
-        return values[1:]
-
-    if workers == 1:
-        solve_prepost_arrays(seg, values, stats=stats)
-        return values[1:]
-
-    _solve_split_threads(seg, values, workers, stats)
+    _solve_seg_parallel(seg, values, workers, stats, engine_backend)
     return values[1:]
+
+
+def _solve_seg_parallel(
+    seg: Segments,
+    values: np.ndarray,
+    workers: int,
+    stats: Optional[EngineStats],
+    engine_backend: str,
+) -> None:
+    """Warm up, then split across threads (common tail of the variants)."""
+    tracer = get_tracer()
+    warm_span = (
+        tracer.span("parallel.warmup", n_ops=seg.n_ops, workers=workers)
+        if tracer.enabled
+        else NULL_SPAN
+    )
+    with warm_span:
+        seg = _warmup_levels(seg, values, workers, stats, engine_backend)
+    if seg is None:
+        return
+    if workers == 1:
+        solve_prepost_arrays(seg, values, stats=stats,
+                             engine_backend=engine_backend)
+        return
+    _solve_split_threads(seg, values, workers, stats, engine_backend)
 
 
 def parallel_iaf_hit_rate_curve(
@@ -240,24 +260,82 @@ def parallel_iaf_hit_rate_curve(
     workers: int = 1,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
 ) -> HitRateCurve:
     """Full pipeline with parallel distance computation."""
     arr = as_trace(trace, dtype=dtype)
-    d = parallel_iaf_distances(arr, workers=workers, dtype=dtype, stats=stats)
+    d = parallel_iaf_distances(arr, workers=workers, dtype=dtype,
+                               stats=stats, engine_backend=engine_backend)
     _, nxt = prev_next_arrays(arr)
     return curve_from_backward_distances(d, nxt)
 
 
-def _solve_part_remote(payload: Tuple) -> Tuple[List[Tuple[int, int]], np.ndarray]:
+def parallel_iaf_distances_batch(
+    traces: "List[TraceLike]",
+    *,
+    workers: int = 1,
+    dtype: "Optional[np.typing.DTypeLike]" = None,
+    stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
+) -> List[np.ndarray]:
+    """Batched multi-trace solve with subtree parallelism.
+
+    The batch roots are already ``k`` independent segments, so the
+    subtree split applies from level 0 — with ``k >= 4 * workers`` there
+    is no serial warm-up at all, each thread immediately owning a
+    contiguous group of traces.  Output matches
+    :func:`repro.core.engine.iaf_distances_batch` exactly.
+    """
+    if workers < 1:
+        raise CapacityError(f"workers must be >= 1, got {workers}")
+    arrs, seg, bases, total_cells = batch_segments(traces, dtype=dtype)
+    if not arrs:
+        return []
+    values = np.zeros(total_cells, dtype=np.int64)
+    _solve_seg_parallel(seg, values, workers, stats, engine_backend)
+    return [
+        values[base + 1 : base + 1 + arr.size]
+        for arr, base in zip(arrs, bases[:-1].tolist())
+    ]
+
+
+def parallel_iaf_hit_rate_curves_batch(
+    traces: "List[TraceLike]",
+    *,
+    workers: int = 1,
+    dtype: "Optional[np.typing.DTypeLike]" = None,
+    stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
+) -> List[HitRateCurve]:
+    """Batched curve requests with subtree parallelism (serving form)."""
+    arrs = [as_trace(t, dtype=DEFAULT_DTYPE if dtype is None else dtype)
+            for t in traces]
+    distances = parallel_iaf_distances_batch(
+        arrs, workers=workers, dtype=dtype, stats=stats,
+        engine_backend=engine_backend,
+    )
+    curves: List[HitRateCurve] = []
+    for arr, d in zip(arrs, distances):
+        if arr.size == 0:
+            curves.append(HitRateCurve(np.zeros(0, dtype=np.int64), 0))
+            continue
+        _, nxt = prev_next_arrays(arr)
+        curves.append(curve_from_backward_distances(d, nxt))
+    return curves
+
+
+def _solve_part_remote(
+    payload: Tuple,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Process-pool worker: solve one Segments part in a child process.
 
     The part arrives as plain arrays (picklable); all coordinates are
     rebased to the part's span so the local output array is small.  The
     weight array rides along (``None`` for the unit-weight algorithm) so
     Section-9.1 weighted subproblems survive the process hop.
-    Returns the segment intervals (absolute) and the local values.
+    Returns the segment bounds (absolute ``lo``/``hi``) and local values.
     """
-    kind, t, r, starts, lo, hi, w = payload
+    kind, t, r, starts, lo, hi, w, engine_backend = payload
     base = int(lo.min())
     span = int(hi.max()) - base + 1
     local = np.zeros(span, dtype=np.int64)
@@ -270,13 +348,15 @@ def _solve_part_remote(payload: Tuple) -> Tuple[List[Tuple[int, int]], np.ndarra
         hi=hi - base,
         w=w,
     )
-    solve_prepost_arrays(part, local)
-    intervals = [(int(a), int(b)) for a, b in zip(lo.tolist(), hi.tolist())]
-    return intervals, local
+    solve_prepost_arrays(part, local, engine_backend=engine_backend)
+    return lo, hi, local
 
 
 def _solve_split_processes(
-    seg: Segments, values: np.ndarray, workers: int
+    seg: Segments,
+    values: np.ndarray,
+    workers: int,
+    engine_backend: str = "fused",
 ) -> None:
     """Split ``seg`` and solve the parts on a process pool.
 
@@ -296,18 +376,39 @@ def _solve_split_processes(
             (p.kind, np.ascontiguousarray(p.t), np.ascontiguousarray(p.r),
              np.ascontiguousarray(p.starts), np.ascontiguousarray(p.lo),
              np.ascontiguousarray(p.hi),
-             None if p.w is None else np.ascontiguousarray(p.w))
+             None if p.w is None else np.ascontiguousarray(p.w),
+             engine_backend)
             for p in parts
         ]
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for intervals, local in pool.map(_solve_part_remote, payloads):
-                if not intervals:
-                    continue
-                base = min(a for a, _b in intervals)
-                for a, b in intervals:
-                    values[a : b + 1] = local[a - base : b - base + 1]
+            for lo, hi, local in pool.map(_solve_part_remote, payloads):
+                _merge_part_values(values, lo, hi, local)
+
+
+def _merge_part_values(
+    values: np.ndarray, lo: np.ndarray, hi: np.ndarray, local: np.ndarray
+) -> None:
+    """Copy a remote part's cells back, one slice per contiguous run.
+
+    Sorting the part's segment intervals by ``lo`` and splitting at
+    coverage breaks turns the old per-segment Python loop into a handful
+    of bulk copies, while never touching cells the part does not own —
+    gaps (other parts' subtrees interleaved by the level ordering, or
+    leaves solved and dropped during warm-up) keep their values.
+    """
+    if lo.size == 0:
+        return
+    base = int(lo.min())
+    order = np.argsort(lo)
+    lo_s = lo[order]
+    hi_s = hi[order]
+    breaks = np.flatnonzero(lo_s[1:] != hi_s[:-1] + 1) + 1
+    run_lo = lo_s[np.concatenate([np.zeros(1, dtype=np.int64), breaks])]
+    run_hi = hi_s[np.concatenate([breaks - 1, [lo_s.size - 1]])]
+    for a, b in zip(run_lo.tolist(), run_hi.tolist()):
+        values[a : b + 1] = local[a - base : b - base + 1]
 
 
 def process_parallel_iaf_distances(
@@ -315,6 +416,7 @@ def process_parallel_iaf_distances(
     *,
     workers: int = 2,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    engine_backend: str = "fused",
 ) -> np.ndarray:
     """Backward distances with *process*-based parallelism.
 
@@ -335,13 +437,13 @@ def process_parallel_iaf_distances(
     kind, t, r = prepost_sequence_arrays(arr, dtype=dtype)
     values = np.zeros(n + 1, dtype=np.int64)
     seg = Segments.single(kind, t, r, 0, n)
-    seg = _warmup_levels(seg, values, workers, None)
+    seg = _warmup_levels(seg, values, workers, None, engine_backend)
     if seg is None:
         return values[1:]
     if workers == 1 or seg.n_segments == 0:
-        solve_prepost_arrays(seg, values)
+        solve_prepost_arrays(seg, values, engine_backend=engine_backend)
         return values[1:]
-    _solve_split_processes(seg, values, workers)
+    _solve_split_processes(seg, values, workers, engine_backend)
     return values[1:]
 
 
@@ -352,6 +454,7 @@ def parallel_weighted_backward_distances(
     workers: int = 1,
     use_processes: bool = False,
     stats: Optional[EngineStats] = None,
+    engine_backend: str = "fused",
 ) -> np.ndarray:
     """Weighted (Section 9.1) backward distances with subtree parallelism.
 
@@ -372,16 +475,17 @@ def parallel_weighted_backward_distances(
     kind, t, r, w = weighted_prepost_arrays(arr, s)
     values = np.zeros(n + 1, dtype=np.int64)
     seg = Segments.single(kind, t, r, 0, n, w=w)
-    seg = _warmup_levels(seg, values, workers, stats)
+    seg = _warmup_levels(seg, values, workers, stats, engine_backend)
     if seg is None:
         return values[1:]
     if workers == 1 or seg.n_segments == 0:
-        solve_prepost_arrays(seg, values, stats=stats)
+        solve_prepost_arrays(seg, values, stats=stats,
+                             engine_backend=engine_backend)
         return values[1:]
     if use_processes:
-        _solve_split_processes(seg, values, workers)
+        _solve_split_processes(seg, values, workers, engine_backend)
     else:
-        _solve_split_threads(seg, values, workers, stats)
+        _solve_split_threads(seg, values, workers, stats, engine_backend)
     return values[1:]
 
 

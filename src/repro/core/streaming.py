@@ -42,6 +42,7 @@ class OnlineCurveAnalyzer:
         *,
         chunk_multiplier: int = 4,
         dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+        engine_backend: str = "fused",
     ) -> None:
         if max_cache_size < 1:
             raise CapacityError(
@@ -52,6 +53,7 @@ class OnlineCurveAnalyzer:
                 f"chunk_multiplier must be >= 1, got {chunk_multiplier}"
             )
         self._k = int(max_cache_size)
+        self._backend = engine_backend
         self._chunk_len = chunk_multiplier * self._k
         self._dtype = validate_dtype(dtype)
         self._qbar = np.zeros(0, dtype=self._dtype)
@@ -130,7 +132,9 @@ class OnlineCurveAnalyzer:
             else NULL_SPAN
         )
         with span:
-            window = _process_chunk(self._qbar, chunk, self._k, self._dtype)
+            window = _process_chunk(self._qbar, chunk, self._k,
+                                    self._dtype,
+                                    engine_backend=self._backend)
             self._windows.append(window)
             self._qbar = recent_distinct_suffix(self._qbar, chunk, self._k)
 
@@ -152,7 +156,8 @@ class OnlineCurveAnalyzer:
         if include_pending and self._pending_len:
             chunk = np.concatenate(self._pending)
             parts.append(
-                _process_chunk(self._qbar, chunk, self._k, self._dtype)
+                _process_chunk(self._qbar, chunk, self._k, self._dtype,
+                               engine_backend=self._backend)
             )
         if not parts:
             return HitRateCurve(
@@ -187,6 +192,7 @@ def analyze_stream(
     *,
     chunk_multiplier: int = 4,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    engine_backend: str = "fused",
 ) -> Tuple[HitRateCurve, List[HitRateCurve]]:
     """One-shot helper: run the analyzer over an iterable of batches.
 
@@ -195,7 +201,8 @@ def analyze_stream(
         curve, windows = analyze_stream(stream_trace(path, 1 << 16), k)
     """
     analyzer = OnlineCurveAnalyzer(
-        max_cache_size, chunk_multiplier=chunk_multiplier, dtype=dtype
+        max_cache_size, chunk_multiplier=chunk_multiplier, dtype=dtype,
+        engine_backend=engine_backend,
     )
     for batch in batches:
         analyzer.push(batch)

@@ -82,7 +82,7 @@ def weighted_prepost_arrays(
 
 
 def weighted_backward_distances(
-    trace: TraceLike, sizes: Sequence[int]
+    trace: TraceLike, sizes: Sequence[int], *, engine_backend: str = "fused"
 ) -> np.ndarray:
     """Weighted analogue of the distance vector, via the engine.
 
@@ -97,16 +97,18 @@ def weighted_backward_distances(
         return np.zeros(0, dtype=np.int64)
     kind, t, r, w = weighted_prepost_arrays(arr, s)
     values = np.zeros(n + 1, dtype=np.int64)
-    solve_prepost_arrays(Segments.single(kind, t, r, 0, n, w=w), values)
+    solve_prepost_arrays(Segments.single(kind, t, r, 0, n, w=w), values,
+                         engine_backend=engine_backend)
     return values[1:]
 
 
 def weighted_stack_distances(
-    trace: TraceLike, sizes: Sequence[int]
+    trace: TraceLike, sizes: Sequence[int], *, engine_backend: str = "fused"
 ) -> np.ndarray:
     """Per-access weighted stack distance (0 = first occurrence)."""
     arr = as_trace(trace)
-    d = weighted_backward_distances(arr, sizes)
+    d = weighted_backward_distances(arr, sizes,
+                                    engine_backend=engine_backend)
     prev, _ = prev_next_arrays(arr)
     out = np.zeros(arr.size, dtype=np.int64)
     has_prev = prev != -1

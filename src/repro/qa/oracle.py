@@ -33,7 +33,7 @@ import numpy as np
 from ..baselines import baseline_hit_rate_curve
 from ..baselines.naive import naive_backward_distances
 from ..core.bounded import bounded_iaf, parallel_bounded_iaf
-from ..core.engine import iaf_distances
+from ..core.engine import iaf_distances, iaf_distances_batch
 from ..core.hitrate import HitRateCurve, curve_from_backward_distances
 from ..core.parallel import (
     parallel_iaf_distances,
@@ -173,6 +173,13 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
                 Divergence(hub_name, name, "distances", idx, va, vb)
             )
 
+    check_distances(
+        "iaf-naive-backend",
+        lambda: iaf_distances(
+            trace, dtype=cfg.numpy_dtype(), engine_backend="naive"
+        ),
+    )
+    _check_batch_split(report, case)
     if cfg.check_reference and n <= REFERENCE_MAX_N:
         check_distances("reference", lambda: reference_distances(trace))
     if cfg.check_naive and n <= NAIVE_MAX_N:
@@ -280,6 +287,12 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
                 )
 
         check_weighted(
+            "weighted-naive-backend",
+            lambda: weighted_backward_distances(
+                trace, sizes, engine_backend="naive"
+            ),
+        )
+        check_weighted(
             "weighted-parallel-threads",
             lambda: parallel_weighted_backward_distances(
                 trace, sizes, workers=cfg.workers
@@ -330,6 +343,39 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
             )
 
     return report
+
+
+def _check_batch_split(report: OracleReport, case: FuzzCase) -> None:
+    """Split the trace into parts; a batched solve must equal per-part solves.
+
+    Each part is an independent trace (a part's first access to an address
+    is a cold miss even if the address appeared in an earlier part), so the
+    per-part loop — not the whole-trace hub — is the reference here.
+    """
+    trace, cfg = case.trace, case.config
+    name = "iaf-batch-split"
+    report.comparisons.append(f"iaf-loop~{name}:distances")
+    n = trace.size
+    cuts = sorted({0, n // 3, (2 * n) // 3, n})
+    parts = [trace[a:b] for a, b in zip(cuts, cuts[1:])] or [trace]
+    try:
+        batched = iaf_distances_batch(parts, dtype=cfg.numpy_dtype())
+        looped = [iaf_distances(p, dtype=cfg.numpy_dtype()) for p in parts]
+    except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+        report.divergences.append(
+            Divergence("iaf-loop", name, "crash", -1, "ok",
+                       f"{type(exc).__name__}: {exc}")
+        )
+        return
+    for i, (got, want) in enumerate(zip(batched, looped)):
+        diff = _first_diff_vec(np.asarray(want), np.asarray(got))
+        if diff is not None:
+            idx, va, vb = diff
+            report.divergences.append(
+                Divergence("iaf-loop", name, "distances", idx,
+                           f"part {i}: {va}", f"part {i}: {vb}")
+            )
+            return
 
 
 def _streaming_curve(case: FuzzCase) -> HitRateCurve:

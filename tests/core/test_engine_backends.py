@@ -1,0 +1,363 @@
+"""Fused-vs-naive backend equivalence, workspace reuse, and batch solving.
+
+The fused partition kernel (``engine_backend="fused"``) must be
+*bit-identical* to the reference two-pass pipeline it replaced
+(``engine_backend="naive"``) on every trace shape the fuzzer can draw —
+unit and weighted, every dtype — and the batched multi-trace entry
+points must reproduce the per-trace loop exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.engine import (
+    ENGINE_BACKENDS,
+    EngineStats,
+    Segments,
+    Workspace,
+    _check_head_overflow,
+    batch_segments,
+    iaf_distances,
+    iaf_distances_batch,
+    iaf_hit_rate_curve,
+    iaf_hit_rate_curves_batch,
+    solve_prepost_arrays,
+)
+from repro.core.ops import prepost_sequence_arrays
+from repro.core.parallel import (
+    _merge_part_values,
+    parallel_iaf_distances,
+    parallel_iaf_distances_batch,
+    parallel_iaf_hit_rate_curves_batch,
+)
+from repro.core.weighted import weighted_backward_distances
+from repro.errors import CapacityError, ReproError
+from repro.qa.strategies import case_from_seed, object_sizes_for
+
+from ..conftest import small_traces
+
+#: Fuzz seeds driving the property sweep — each draws a different strategy
+#: (zipf / scan-loop / phase-shift / duplicate-heavy / near-dtype-limit …).
+SWEEP_SEEDS = list(range(16))
+
+
+def _solve(trace, backend, dtype=np.int64, workspace=None):
+    return iaf_distances(trace, dtype=dtype, engine_backend=backend,
+                         workspace=workspace)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_fuzz_case_bit_identical(self, seed):
+        case = case_from_seed(seed)
+        trace, dt = case.trace, case.config.numpy_dtype()
+        fused = iaf_distances(trace, dtype=dt, engine_backend="fused")
+        naive = iaf_distances(trace, dtype=dt, engine_backend="naive")
+        assert fused.dtype == naive.dtype
+        assert np.array_equal(fused, naive)
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_fuzz_case_weighted_bit_identical(self, seed):
+        case = case_from_seed(seed)
+        if case.trace.size and int(case.trace.max()) >= (1 << 16):
+            pytest.skip("sizes array indexed by address")
+        sizes = object_sizes_for(case)
+        fused = weighted_backward_distances(case.trace, sizes,
+                                            engine_backend="fused")
+        naive = weighted_backward_distances(case.trace, sizes,
+                                            engine_backend="naive")
+        assert np.array_equal(fused, naive)
+
+    @given(small_traces())
+    def test_property_bit_identical(self, trace):
+        assert np.array_equal(_solve(trace, "fused"), _solve(trace, "naive"))
+
+    @given(small_traces(max_len=40, max_addr=6))
+    def test_property_int32_bit_identical(self, trace):
+        assert np.array_equal(
+            _solve(trace.astype(np.int32), "fused", dtype=np.int32),
+            _solve(trace.astype(np.int32), "naive", dtype=np.int32),
+        )
+
+    @given(small_traces(max_len=40, max_addr=6),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_weighted_bit_identical(self, trace, seed):
+        sizes = np.random.default_rng(seed).integers(
+            1, 17, size=int(trace.max()) + 1 if trace.size else 1
+        )
+        assert np.array_equal(
+            weighted_backward_distances(trace, sizes, engine_backend="fused"),
+            weighted_backward_distances(trace, sizes, engine_backend="naive"),
+        )
+
+    def test_stats_parity(self):
+        trace = np.random.default_rng(3).integers(0, 300, size=4096)
+        stats = {}
+        for be in ENGINE_BACKENDS:
+            s = EngineStats()
+            iaf_distances(trace, engine_backend=be, stats=s)
+            stats[be] = s
+        f, n = stats["fused"], stats["naive"]
+        assert f.levels == n.levels
+        assert f.ops_per_level == n.ops_per_level
+        assert f.work == n.work
+        assert f.span_basic == n.span_basic
+        assert f.peak_level_ops == n.peak_level_ops
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="engine backend"):
+            iaf_distances([1, 2, 1], engine_backend="vectorized")
+
+    def test_curve_backend_parity(self):
+        trace = np.random.default_rng(5).integers(0, 64, size=2000)
+        a = iaf_hit_rate_curve(trace, engine_backend="fused")
+        b = iaf_hit_rate_curve(trace, engine_backend="naive")
+        assert np.array_equal(a.hits_cumulative, b.hits_cumulative)
+        assert a.total_accesses == b.total_accesses
+
+
+class TestWorkspace:
+    def test_views_not_copies(self):
+        ws = Workspace()
+        a = ws.array("x", 10, np.int64)
+        a[:] = 7
+        assert ws.array("x", 10, np.int64)[0] == 7
+
+    def test_geometric_growth(self):
+        ws = Workspace()
+        for size in range(1, 4000, 37):
+            ws.array("ramp", size, np.int64)
+        # A monotone ramp must trigger O(log) reallocations, not O(n).
+        assert len(ws.grow_events) <= 10
+
+    def test_no_growth_after_level_two(self):
+        """The fused level loop allocates nothing past the first levels."""
+        trace = np.random.default_rng(11).integers(0, 5000, size=1 << 15)
+        ws = Workspace()
+        iaf_distances(trace, workspace=ws)
+        assert ws.grow_events, "primed workspace should record allocations"
+        assert max(ws.grow_levels()) <= 2, (
+            f"late workspace growth at levels {sorted(set(ws.grow_levels()))}"
+        )
+
+    def test_reuse_across_solves_no_new_allocations(self):
+        rng = np.random.default_rng(12)
+        ws = Workspace()
+        trace = rng.integers(0, 2000, size=1 << 14)
+        iaf_distances(trace, workspace=ws)
+        warm = len(ws.grow_events)
+        for _ in range(3):
+            t = rng.integers(0, 2000, size=1 << 14)
+            assert np.array_equal(iaf_distances(t, workspace=ws),
+                                  iaf_distances(t))
+        assert len(ws.grow_events) == warm
+
+    def test_dtype_switch_reallocates_once(self):
+        ws = Workspace()
+        ws.array("x", 100, np.int64)
+        ws.array("x", 100, np.int32)
+        ws.array("x", 100, np.int32)
+        assert len(ws.grow_events) == 2
+
+
+class TestLogicalNbytes:
+    def test_single_matches_formula(self):
+        kind, t, r = prepost_sequence_arrays(
+            np.array([1, 2, 1, 3], dtype=np.int64)
+        )
+        seg = Segments.single(kind, t, r, 0, 4)
+        per_op = kind.itemsize + t.itemsize + r.itemsize
+        expected = seg.n_ops * per_op + 1 * (8 + 8) + 2 * 8
+        assert seg.nbytes == expected
+
+    def test_view_backed_part_reports_own_size(self):
+        """A slice of a bigger batch must not report the base buffer."""
+        kind, t, r = prepost_sequence_arrays(
+            np.random.default_rng(0).integers(0, 9, size=64)
+        )
+        seg = Segments.single(kind, t, r, 0, 64)
+        half = Segments(
+            kind=seg.kind[: seg.n_ops // 2], t=seg.t[: seg.n_ops // 2],
+            r=seg.r[: seg.n_ops // 2],
+            starts=np.array([0, seg.n_ops // 2], dtype=np.int64),
+            lo=seg.lo, hi=seg.hi, w=None,
+        )
+        assert 0 < half.nbytes < seg.nbytes
+
+
+class TestHeadOverflowGuard:
+    def test_int64_never_raises(self):
+        _check_head_overflow(np.array([2**62], dtype=np.int64), np.int64)
+
+    def test_int32_overflow_raises(self):
+        with pytest.raises(CapacityError, match="int64"):
+            _check_head_overflow(
+                np.array([2**31], dtype=np.int64), np.int32
+            )
+
+    def test_int32_underflow_raises(self):
+        with pytest.raises(CapacityError):
+            _check_head_overflow(
+                np.array([-(2**31) - 1], dtype=np.int64), np.int32
+            )
+
+    @pytest.mark.parametrize("backend", ENGINE_BACKENDS)
+    def test_end_to_end_int32_head_raises(self, backend):
+        """A merged head run past int32 raises instead of wrapping.
+
+        Four leading full-interval prefixes each carrying effect 2**30
+        project into both children as a mergeable leading run whose head
+        sum (2**32) no int32 ``r`` can hold.
+        """
+        from repro.core.ops import POSTFIX, PREFIX
+
+        n = 8
+        kind = np.array([PREFIX] * 4 + [PREFIX, POSTFIX, PREFIX, POSTFIX],
+                        dtype=np.uint8)
+        t = np.array([n] * 4 + [0, 1, 1, 2], dtype=np.int32)
+        r = np.array([2**30 - 1] * 4 + [0, 0, 0, 0], dtype=np.int32)
+        seg = Segments.single(kind, t, r, 0, n)
+        values = np.zeros(n + 1, dtype=np.int64)
+        with pytest.raises(CapacityError, match="int64"):
+            solve_prepost_arrays(seg, values, engine_backend=backend)
+
+
+class TestBatchSolving:
+    def _traces(self, sizes=(0, 1, 313, 4096, 77, 2500), universe=97):
+        rng = np.random.default_rng(21)
+        return [rng.integers(0, universe, size=s) for s in sizes]
+
+    def test_batch_segments_disjoint_intervals(self):
+        traces = self._traces()
+        _arrs, seg, bases, total = batch_segments(traces, dtype=np.int64)
+        assert seg.n_segments == len(traces)
+        assert bases[0] == 0
+        for i in range(len(traces) - 1):
+            assert seg.hi[i] < seg.lo[i + 1]
+        assert total == sum(t.size for t in traces) + len(traces)
+
+    def test_batch_equals_per_trace_loop(self):
+        traces = self._traces()
+        batched = iaf_distances_batch(traces)
+        assert len(batched) == len(traces)
+        for t, d in zip(traces, batched):
+            assert np.array_equal(d, iaf_distances(t))
+
+    def test_batch_int32(self):
+        traces = self._traces(sizes=(100, 0, 555))
+        for t, d in zip(traces, iaf_distances_batch(traces, dtype=np.int32)):
+            assert np.array_equal(d, iaf_distances(t, dtype=np.int32))
+
+    def test_batch_empty_list(self):
+        assert iaf_distances_batch([]) == []
+
+    def test_batch_curves_equal_per_trace(self):
+        traces = self._traces()
+        curves = iaf_hit_rate_curves_batch(traces)
+        for t, c in zip(traces, curves):
+            ref = iaf_hit_rate_curve(t)
+            assert np.array_equal(c.hits_cumulative, ref.hits_cumulative)
+            assert c.total_accesses == ref.total_accesses
+
+    def test_batch_auto_narrows_when_certified(self):
+        """Default dtype narrows the op arrays to int32 when exact."""
+        traces = self._traces()
+        _arrs, seg, _bases, _total = batch_segments(traces)
+        assert seg.t.dtype == np.int32
+        assert seg.r.dtype == np.int32
+        _arrs, seg64, _b, _t = batch_segments(traces, dtype=np.int64)
+        assert seg64.t.dtype == np.int64
+
+    def test_workspace_certifies_narrow_accumulator(self):
+        """prime() picks int32 accumulation only under the effect bound."""
+        from repro.core.ops import POSTFIX, PREFIX
+
+        kind = np.array([PREFIX, POSTFIX], dtype=np.uint8)
+        t = np.array([0, 1], dtype=np.int32)
+        small = Segments.single(kind, t, np.array([3, 0], dtype=np.int32),
+                                0, 2)
+        ws = Workspace()
+        ws.prime(small)
+        assert ws.acc_dtype == np.int32
+        huge = Segments.single(
+            kind, t, np.array([2**31 - 2, 2], dtype=np.int32), 0, 2
+        )
+        ws.prime(huge)
+        assert ws.acc_dtype == np.int64
+
+    def test_batch_int32_capacity_error(self):
+        """Rebasing past the dtype max must fail loudly, not wrap."""
+        traces = [np.zeros(2**20, dtype=np.int32)] * 2049
+        with pytest.raises(CapacityError):
+            batch_segments(traces, dtype=np.int32)
+
+    def test_parallel_batch_matches_serial(self):
+        traces = self._traces()
+        serial = iaf_distances_batch(traces)
+        par = parallel_iaf_distances_batch(traces, workers=4)
+        for a, b in zip(serial, par):
+            assert np.array_equal(a, b)
+        curves = iaf_hit_rate_curves_batch(traces)
+        pcurves = parallel_iaf_hit_rate_curves_batch(traces, workers=4)
+        for a, b in zip(curves, pcurves):
+            assert np.array_equal(a.hits_cumulative, b.hits_cumulative)
+
+    def test_batch_shares_levels(self):
+        """One batched solve runs log(max n) levels, not sum of logs."""
+        traces = self._traces(sizes=(4096, 4096, 4096, 4096))
+        stats = EngineStats()
+        iaf_distances_batch(traces, stats=stats)
+        solo = EngineStats()
+        iaf_distances(traces[0], stats=solo)
+        assert stats.levels <= solo.levels + 1
+
+
+class TestMergePartValues:
+    def test_out_of_order_noncontiguous_runs(self):
+        values = np.full(20, -1, dtype=np.int64)
+        # Part owns [8,11] and [2,5] (out of order), with a gap at [6,7].
+        lo = np.array([8, 2], dtype=np.int64)
+        hi = np.array([11, 5], dtype=np.int64)
+        local = np.arange(2, 12, dtype=np.int64) * 10
+        _merge_part_values(values, lo, hi, local)
+        assert values[2:6].tolist() == [20, 30, 40, 50]
+        assert values[8:12].tolist() == [80, 90, 100, 110]
+        assert values[6:8].tolist() == [-1, -1], "gap cells must be untouched"
+        assert values[0:2].tolist() == [-1, -1]
+
+    def test_adjacent_segments_coalesce(self):
+        values = np.zeros(10, dtype=np.int64)
+        lo = np.array([3, 6], dtype=np.int64)
+        hi = np.array([5, 8], dtype=np.int64)
+        local = np.arange(3, 9, dtype=np.int64)
+        _merge_part_values(values, lo, hi, local)
+        assert values[3:9].tolist() == [3, 4, 5, 6, 7, 8]
+
+    def test_empty_part(self):
+        values = np.ones(4, dtype=np.int64)
+        _merge_part_values(values, np.zeros(0, np.int64),
+                           np.zeros(0, np.int64), np.zeros(0, np.int64))
+        assert values.tolist() == [1, 1, 1, 1]
+
+    def test_matches_process_pool_path(self):
+        from repro.core.parallel import process_parallel_iaf_distances
+
+        trace = np.random.default_rng(9).integers(0, 400, size=30_000)
+        want = iaf_distances(trace)
+        for be in ENGINE_BACKENDS:
+            got = process_parallel_iaf_distances(
+                trace, workers=3, engine_backend=be
+            )
+            assert np.array_equal(want, got)
+
+
+class TestParallelBackends:
+    @pytest.mark.parametrize("backend", ENGINE_BACKENDS)
+    def test_thread_pool_parity(self, backend):
+        trace = np.random.default_rng(17).integers(0, 512, size=40_000)
+        assert np.array_equal(
+            parallel_iaf_distances(trace, workers=4, engine_backend=backend),
+            iaf_distances(trace),
+        )
