@@ -1,0 +1,261 @@
+"""Service soak: hammer one CurveService from many clients for 30s.
+
+CI's ``service-soak`` job runs this as a gate on the PR-4 service layer:
+several client threads submit a random mix of trace sizes and
+``SolveConfig`` shapes (plain iaf, parallel-iaf, narrow dtype,
+truncation, one oversize trace that crosses the shard threshold) against
+a single shared :class:`~repro.service.CurveService` for a wall-clock
+budget, then the script asserts
+
+* **zero errors** — every accepted request completes and its curve is
+  bit-identical to a precomputed direct ``iaf_hit_rate_curve`` solve;
+  ``ServiceOverloadedError`` rejections are *expected* backpressure and
+  are counted, not failed;
+* **bounded memory** — RSS (``/proc/self/status`` VmRSS) must
+  *plateau*: the high-water mark over the first third of the run (the
+  burn-in, where arenas and workspaces reach steady state under full
+  concurrency) bounds the rest — the post-burn-in peak may not exceed
+  it by more than ``--max-rss-growth-mb``.  A per-request leak grows
+  linearly with the hundreds of requests a window completes and blows
+  through the margin; the concurrency working set does not.
+
+Usage (defaults match the CI job)::
+
+    PYTHONPATH=src python scripts/soak_service.py --seconds 30
+
+Exits nonzero on any solve error, curve mismatch, or RSS-growth breach.
+Tune ``--clients``/``--workers`` to explore contention locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+# Cap glibc's per-thread malloc arenas before numpy loads: without it,
+# every client/worker/shard thread can map an arena that keeps its own
+# high-water mark, and RSS creeps for minutes before plateauing — noise
+# the growth bound would have to absorb.  Re-exec so the cap applies.
+if os.environ.get("MALLOC_ARENA_MAX") is None:
+    os.environ["MALLOC_ARENA_MAX"] = "4"
+    os.execv(sys.executable, [sys.executable] + sys.argv)
+
+import numpy as np
+
+from repro import SolveConfig
+from repro.core.engine import iaf_hit_rate_curve
+from repro.errors import ServiceOverloadedError
+from repro.service import CurveService
+
+SHARD_THRESHOLD = 200_000  # low enough that the big trace shards
+
+
+def rss_kib() -> int:
+    """Resident set size in KiB from /proc (Linux CI runners)."""
+    with open("/proc/self/status", "r", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise RuntimeError("VmRSS not found in /proc/self/status")
+
+
+def build_corpus(seed: int) -> List[np.ndarray]:
+    """Mixed-size traces: many small, some medium, one shard-worthy."""
+    rng = np.random.default_rng(seed)
+    corpus = [
+        rng.integers(0, 64, size=int(n))
+        for n in rng.integers(50, 2_000, size=12)
+    ]
+    corpus += [
+        rng.integers(0, 5_000, size=int(n))
+        for n in rng.integers(20_000, 60_000, size=3)
+    ]
+    corpus.append(rng.integers(0, 20_000, size=SHARD_THRESHOLD + 50_000))
+    return corpus
+
+
+def config_menu() -> List[SolveConfig]:
+    return [
+        SolveConfig(),
+        SolveConfig(max_cache_size=16),
+        SolveConfig(max_cache_size=256),
+        SolveConfig(dtype=np.int32),
+        SolveConfig(algorithm="parallel-iaf", workers=2),
+        SolveConfig(engine_backend="naive"),
+    ]
+
+
+def expected_curve(direct: np.ndarray, cfg: SolveConfig) -> np.ndarray:
+    k = cfg.max_cache_size
+    return direct[:k] if k is not None else direct
+
+
+def client_loop(
+    service: CurveService,
+    corpus: List[np.ndarray],
+    direct: List[np.ndarray],
+    configs: List[SolveConfig],
+    stop_at: float,
+    seed: int,
+    out: Dict[str, int],
+    errors: List[str],
+    lock: threading.Lock,
+) -> None:
+    rng = random.Random(seed)
+    while time.monotonic() < stop_at:
+        idx = rng.randrange(len(corpus))
+        trace = corpus[idx]
+        # The oversize trace always goes through the default config so it
+        # exercises the shard path; small traces draw from the full menu.
+        cfg = (SolveConfig() if trace.size >= SHARD_THRESHOLD
+               else rng.choice(configs))
+        try:
+            future = service.submit(trace, cfg, deadline=120.0)
+        except ServiceOverloadedError:
+            with lock:
+                out["rejected"] += 1
+            time.sleep(0.002)  # expected backpressure: back off, retry
+            continue
+        try:
+            result = future.result(timeout=180.0)
+        except Exception as exc:  # noqa: BLE001 — any failure fails the soak
+            with lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+            return
+        if not np.array_equal(result.curve.hits_cumulative,
+                              expected_curve(direct[idx], cfg)):
+            with lock:
+                errors.append(
+                    f"curve mismatch: trace#{idx} n={trace.size} cfg={cfg}"
+                )
+            return
+        with lock:
+            out["completed"] += 1
+
+
+def run_soak(args: argparse.Namespace) -> int:
+    corpus = build_corpus(args.seed)
+    print(f"corpus: {len(corpus)} traces, "
+          f"{min(t.size for t in corpus)}..{max(t.size for t in corpus)} "
+          f"accesses", flush=True)
+    direct = [iaf_hit_rate_curve(t).hits_cumulative for t in corpus]
+
+    service = CurveService(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_batch=16,
+        shard_threshold=SHARD_THRESHOLD,
+        shard_workers=2,
+    )
+    counts = {"completed": 0, "rejected": 0}
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    # Prime each config path once so first-touch allocation (imports,
+    # per-worker workspaces) is out of the way before the clock starts.
+    small = [t for t in corpus if t.size < SHARD_THRESHOLD]
+    for cfg in config_menu():  # wave per config; chunked to fit the queue
+        for at in range(0, len(small), args.max_queue):
+            warm = [service.submit(t, cfg, deadline=120.0)
+                    for t in small[at:at + args.max_queue]]
+            for f in warm:
+                f.result(timeout=180.0)
+    service.submit(corpus[-1], deadline=120.0).result(timeout=180.0)
+
+    # Plateau bound: the burn-in third of the run brings arenas and the
+    # concurrency working set to their high-water; afterwards RSS may
+    # not climb more than the margin.  Leaks grow per-request and fail;
+    # steady-state churn does not.
+    start = time.monotonic()
+    burn_in_until = start + max(8.0, args.seconds / 3.0)
+    stop_at = start + args.seconds
+    burn_in_peak_kib = rss_kib()
+    steady_peak_kib = 0
+    clients = [
+        threading.Thread(
+            target=client_loop,
+            args=(service, corpus, direct, config_menu(), stop_at,
+                  args.seed + 1 + i, counts, errors, lock),
+            name=f"soak-client-{i}",
+            daemon=True,
+        )
+        for i in range(args.clients)
+    ]
+    for t in clients:
+        t.start()
+    while any(t.is_alive() for t in clients):
+        sample = rss_kib()
+        if time.monotonic() < burn_in_until:
+            burn_in_peak_kib = max(burn_in_peak_kib, sample)
+        else:
+            steady_peak_kib = max(steady_peak_kib, sample)
+        time.sleep(0.25)
+    for t in clients:
+        t.join()
+    service.close(drain=True)
+    steady_peak_kib = max(steady_peak_kib, rss_kib())
+
+    growth_mb = max(0.0, steady_peak_kib - burn_in_peak_kib) / 1024.0
+    metrics = service.metrics()
+    print(f"completed {counts['completed']}  "
+          f"rejected(backpressure) {counts['rejected']}  "
+          f"batches {metrics.get('service.batches', 0)}  "
+          f"sharded {metrics.get('service.sharded', 0)}  "
+          f"p50 {metrics.get('service.latency_p50', 0.0) * 1e3:.1f}ms  "
+          f"p99 {metrics.get('service.latency_p99', 0.0) * 1e3:.1f}ms",
+          flush=True)
+    print(f"rss burn-in peak {burn_in_peak_kib / 1024:.1f}MB  "
+          f"steady peak {steady_peak_kib / 1024:.1f}MB  "
+          f"growth {growth_mb:.1f}MB "
+          f"(limit {args.max_rss_growth_mb}MB)", flush=True)
+
+    ok = True
+    if errors:
+        ok = False
+        for err in errors:
+            print(f"ERROR: {err}", file=sys.stderr)
+    for key in ("service.failed", "service.deadline_exceeded",
+                "service.cancelled"):
+        if metrics.get(key, 0):
+            ok = False
+            print(f"ERROR: {key} = {metrics[key]}", file=sys.stderr)
+    if counts["completed"] < args.clients:
+        ok = False
+        print(f"ERROR: only {counts['completed']} requests completed",
+              file=sys.stderr)
+    if growth_mb > args.max_rss_growth_mb:
+        ok = False
+        print(f"ERROR: RSS grew {growth_mb:.1f}MB > "
+              f"{args.max_rss_growth_mb}MB", file=sys.stderr)
+    print("soak PASSED" if ok else "soak FAILED", flush=True)
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=30.0,
+                        help="wall-clock soak budget (default 30)")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent client threads (default 6)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker threads (default 2)")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="admission queue bound; shrink it to force "
+                             "the backpressure path (default 64)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="corpus + scheduling seed (default 0)")
+    parser.add_argument("--max-rss-growth-mb", type=float, default=128.0,
+                        help="post-burn-in RSS peak may exceed the "
+                             "burn-in peak by at most this (default 128; "
+                             "a per-request leak blows far past it "
+                             "within the budget)")
+    return run_soak(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

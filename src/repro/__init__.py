@@ -5,11 +5,19 @@ SPAA 2023).
 Quick start::
 
     import numpy as np
-    from repro import hit_rate_curve
+    from repro import SolveConfig, hit_rate_curve, solve
 
     trace = np.random.default_rng(0).integers(0, 10_000, size=1_000_000)
     curve = hit_rate_curve(trace)            # exact LRU hit-rate curve
     print(curve.hit_rate(4096))              # H_T(4096)
+
+    cfg = SolveConfig(algorithm="parallel-iaf", workers=4)
+    result = solve(trace, cfg)               # SolveResult: curve+stats+time
+    print(result.wall_seconds, result.stats.levels)
+
+For many concurrent requests, :class:`repro.service.CurveService` runs a
+batching solve service with admission control (``python -m repro serve``;
+see docs/SERVICE.md).
 
 The package layout mirrors DESIGN.md:
 
@@ -37,6 +45,8 @@ from .core import (
     EngineStats,
     HitRateCurve,
     OnlineCurveAnalyzer,
+    SolveConfig,
+    SolveResult,
     Workspace,
     analyze_stream,
     bounded_iaf,
@@ -49,6 +59,8 @@ from .core import (
     iaf_hit_rate_curves_batch,
     parallel_bounded_iaf,
     parallel_iaf_distances,
+    solve,
+    solve_batch,
     stack_distances,
     weighted_hit_rate_curve,
     weighted_stack_distances,
@@ -66,6 +78,8 @@ __all__ = [
     "EngineStats",
     "HitRateCurve",
     "OnlineCurveAnalyzer",
+    "SolveConfig",
+    "SolveResult",
     "Workspace",
     "analyze_stream",
     "ReproError",
@@ -85,6 +99,8 @@ __all__ = [
     "iaf_hit_rate_curves_batch",
     "parallel_bounded_iaf",
     "parallel_iaf_distances",
+    "solve",
+    "solve_batch",
     "stack_distances",
     "weighted_hit_rate_curve",
     "weighted_stack_distances",

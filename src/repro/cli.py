@@ -15,6 +15,9 @@ Six subcommands cover the operator workflow the paper motivates:
 * ``fuzz``     — randomized differential testing: run seeded adversarial
   traces through every implementation (:mod:`repro.qa`) until a time
   budget expires, minimizing and reporting any divergence found.
+* ``serve``    — run the batching solve service
+  (:mod:`repro.service`) over a line-oriented protocol: one request per
+  stdin/TCP line, one JSON result per line (see docs/SERVICE.md).
 
 The CLI works on trace files rather than in-memory arrays so it composes
 with the streaming story: ``analyze --algorithm bounded-iaf`` keeps O(k)
@@ -30,7 +33,8 @@ from typing import List, Optional, Sequence
 
 from .analysis.curves import knee_points, smallest_cache_for_hit_rate
 from .analysis.report import render_table, seconds
-from .core.api import ALGORITHMS, hit_rate_curve, hit_rate_curves_batch
+from .core.api import ALGORITHMS, solve
+from .core.config import SolveConfig
 from .core.engine import ENGINE_BACKENDS
 from .errors import ReproError
 from .workloads.stats import frequency_profile, trace_stats
@@ -138,6 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--keep-going", action="store_true",
                       help="report divergences but continue to the budget")
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the batching solve service (stdin lines, or TCP with "
+             "--port)",
+    )
+    srv.add_argument("--port", type=int, default=None,
+                     help="listen on TCP instead of stdin (0 = any free "
+                          "port)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--max-queue", type=int, default=256,
+                     help="admission queue bound; beyond it requests are "
+                          "rejected, not buffered")
+    srv.add_argument("--max-batch", type=int, default=32,
+                     help="most requests one dispatch tick coalesces")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="solver threads")
+    srv.add_argument("--shard-threshold", type=int, default=1 << 20,
+                     help="traces at least this long are sharded across "
+                          "--shard-workers threads instead of batched")
+    srv.add_argument("--shard-workers", type=int, default=4)
+    srv.add_argument("--default-deadline", type=float, default=None,
+                     help="seconds granted to requests that set none")
+    srv.add_argument("--metrics", action="store_true",
+                     help="print service counters to stderr on exit")
+
     return parser
 
 
@@ -227,15 +256,24 @@ def _cmd_analyze_batch(args: argparse.Namespace) -> int:
         raise ReproError("--profile is not supported with --batch")
     if args.save:
         raise ReproError("--save is not supported with --batch")
+    from .service import CurveService
+
     traces = [read_trace(path) for path in args.trace]
-    t0 = time.perf_counter()
-    curves = hit_rate_curves_batch(
-        traces,
+    cfg = SolveConfig(
         algorithm=args.algorithm,
         max_cache_size=args.max_cache_size,
         workers=args.workers,
         engine_backend=args.engine_backend,
     )
+    t0 = time.perf_counter()
+    # The same execution path as `repro serve`: one service, all files
+    # submitted atomically so compatible ones ride one coalesced solve.
+    with CurveService(
+        max_queue=max(16, len(traces)), max_batch=max(1, len(traces)),
+        workers=1,
+    ) as svc:
+        results = svc.solve_many(traces, cfg, labels=args.trace)
+    curves = [r.curve for r in results]
     elapsed = time.perf_counter() - t0
     total = sum(t.size for t in traces)
     if args.format == "csv":
@@ -274,13 +312,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         curve = result.curve
         profile_events = result.events
     else:
-        curve = hit_rate_curve(
-            trace,
+        curve = solve(trace, SolveConfig(
             algorithm=args.algorithm,
             max_cache_size=args.max_cache_size,
             workers=args.workers,
             engine_backend=args.engine_backend,
-        )
+        )).curve
     elapsed = time.perf_counter() - t0
     _report_curve(
         curve, args,
@@ -362,11 +399,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = []
     for algo in algorithms:
         t0 = time.perf_counter()
-        curve = hit_rate_curve(
-            trace, algorithm=algo,
+        curve = solve(trace, SolveConfig(
+            algorithm=algo,
             max_cache_size=args.max_cache_size,
             workers=args.workers,
-        )
+        )).curve
         results.append((algo, curve, time.perf_counter() - t0))
     reference = results[0][1]
     probe = max(1, min(reference.max_size or 1,
@@ -437,6 +474,42 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CurveService, serve_stream, serve_tcp
+
+    service = CurveService(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        shard_threshold=args.shard_threshold,
+        shard_workers=args.shard_workers,
+        default_deadline=args.default_deadline,
+    )
+    failures = 0
+    try:
+        if args.port is not None:
+            with serve_tcp(service, args.host, args.port) as server:
+                host, port = server.server_address[:2]
+                print(f"{PROG}: serving on {host}:{port}",
+                      file=sys.stderr)
+                try:
+                    server.serve_forever()
+                except KeyboardInterrupt:
+                    pass
+        else:
+            failures = serve_stream(
+                sys.stdin,
+                lambda text: print(text, flush=True),
+                service,
+            )
+    finally:
+        service.close(drain=True)
+        if args.metrics:
+            for name, value in sorted(service.metrics().items()):
+                print(f"{name}: {value:g}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -448,6 +521,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "profile": _cmd_profile,
         "fuzz": _cmd_fuzz,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -1,7 +1,9 @@
 """Core contribution: INCREMENT-AND-FREEZE and its variants."""
 
 from .api import ALGORITHMS, hit_rate_curve, hit_rate_curves_batch, \
-    stack_distances
+    solve, solve_batch, stack_distances
+from .config import BATCHABLE_ALGORITHMS, ENGINE_ALGORITHMS, SolveConfig, \
+    SolveResult
 from .bounded import (
     BoundedResult,
     bounded_iaf,
@@ -68,8 +70,14 @@ from .weighted import (
 
 __all__ = [
     "ALGORITHMS",
+    "BATCHABLE_ALGORITHMS",
+    "ENGINE_ALGORITHMS",
+    "SolveConfig",
+    "SolveResult",
     "hit_rate_curve",
     "hit_rate_curves_batch",
+    "solve",
+    "solve_batch",
     "stack_distances",
     "BoundedResult",
     "bounded_iaf",

@@ -22,133 +22,319 @@ examples, tests, and benchmarks all drive the same surface:
 (The sampling heuristic lives apart — see
 :func:`repro.baselines.shards.shards_hit_rate_curve` — because its output
 is an estimate, not a :class:`~repro.core.hitrate.HitRateCurve`.)
+
+**Request API.**  The canonical way to select an algorithm and its knobs
+is a frozen :class:`~repro.core.config.SolveConfig`::
+
+    from repro import SolveConfig, hit_rate_curve, solve
+
+    cfg = SolveConfig(algorithm="parallel-iaf", workers=4)
+    curve = hit_rate_curve(trace, cfg)
+    result = solve(trace, cfg)          # SolveResult: curve+stats+timing
+
+:func:`solve` / :func:`solve_batch` are the single execution path the
+CLI and the :mod:`repro.service` serving layer share.  The historical
+keyword style (``hit_rate_curve(trace, algorithm=..., workers=...)``)
+keeps working through a deprecation shim that warns **once per call
+site** and forwards into a ``SolveConfig``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import sys
+import time
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace
 from ..errors import ReproError
 from ..extmem.blockdevice import MemoryConfig
+from ..obs import NULL_SPAN, get_tracer
 from .bounded import bounded_iaf
-from .engine import EngineStats, iaf_distances, iaf_hit_rate_curve, \
-    iaf_hit_rate_curves_batch
+from .config import ALGORITHMS, ENGINE_ALGORITHMS, SolveConfig, SolveResult
+from .engine import EngineStats, iaf_distances, iaf_distances_batch
 from .external import external_iaf_distances
 from .hitrate import HitRateCurve, curve_from_backward_distances
-from .parallel import parallel_iaf_distances, parallel_iaf_hit_rate_curve, \
-    parallel_iaf_hit_rate_curves_batch
+from .parallel import parallel_iaf_distances, parallel_iaf_distances_batch
 from .prevnext import prev_next_arrays
 from .reference import reference_distances
 
-#: Algorithms usable with :func:`hit_rate_curve`.
-ALGORITHMS = (
-    "iaf",
-    "bounded-iaf",
-    "parallel-iaf",
-    "external-iaf",
-    "reference",
-    "ost",
-    "splay",
-    "parda",
-    "mattson",
-    "fenwick",
+# ---------------------------------------------------------------------------
+# Deprecation shim: keyword-style calls -> SolveConfig, one warning per site
+# ---------------------------------------------------------------------------
+
+#: Keyword parameters the legacy call style accepted, per function.
+_CURVE_KWARGS = frozenset(
+    ("algorithm", "max_cache_size", "workers", "dtype", "memory_config",
+     "stats", "engine_backend", "workspace")
 )
+_DISTANCE_KWARGS = frozenset(
+    ("algorithm", "workers", "dtype", "engine_backend")
+)
+
+#: Call sites (filename, lineno) that already received their warning.
+_warned_sites: Set[Tuple[str, int]] = set()
+
+
+def _legacy_config(
+    func: str,
+    config: Optional[SolveConfig],
+    kwargs: Dict[str, Any],
+    allowed: frozenset,
+) -> Tuple[SolveConfig, Optional[EngineStats]]:
+    """Fold legacy keyword arguments into a :class:`SolveConfig`.
+
+    Emits a :class:`DeprecationWarning` the first time each *call site*
+    (caller filename + line) uses the keyword style; subsequent calls
+    from the same site — loops, property-based tests — stay silent.
+    ``stats`` is the old out-parameter and is returned separately so it
+    can still be filled in place.
+    """
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise TypeError(
+            f"{func}() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}"
+        )
+    caller = sys._getframe(2)
+    site = (caller.f_code.co_filename, caller.f_lineno)
+    if site not in _warned_sites:
+        _warned_sites.add(site)
+        warnings.warn(
+            f"keyword-style {func}({', '.join(sorted(kwargs))}=...) is "
+            f"deprecated; pass a SolveConfig instead, e.g. "
+            f"{func}(trace, SolveConfig({', '.join(sorted(set(kwargs) - {'stats'}))}=...)). "
+            f"The keyword shim will be removed in 2.0 (see README).",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    stats = kwargs.pop("stats", None)
+    base = config if config is not None else SolveConfig()
+    return (base.replace(**kwargs) if kwargs else base), stats
+
+
+# ---------------------------------------------------------------------------
+# The unified execution path
+# ---------------------------------------------------------------------------
+
+
+def solve(
+    trace: TraceLike,
+    config: Optional[SolveConfig] = None,
+    *,
+    stats: Optional[EngineStats] = None,
+) -> SolveResult:
+    """Solve one trace under ``config``; the single execution path.
+
+    Returns a :class:`~repro.core.config.SolveResult` carrying the
+    curve, the backward distance vector (when the algorithm materializes
+    one), the solve's instrumentation, and wall time.  ``stats`` lets a
+    caller supply its own :class:`EngineStats` accumulator (the engine
+    algorithms allocate one otherwise); the same object ends up at
+    ``result.stats`` and ``result.curve.stats``.
+    """
+    cfg = config if config is not None else SolveConfig()
+    t0 = time.perf_counter()
+    curve, distances, stats_obj = _solve_dispatch(trace, cfg, stats)
+    curve = curve.with_stats(stats_obj) if stats_obj is not None else curve
+    # bounded-iaf and parda produce their (already truncated) curve
+    # themselves; everything else honors max_cache_size by post-filtering.
+    if (
+        cfg.max_cache_size is not None
+        and cfg.algorithm not in ("bounded-iaf", "parda")
+        and curve.truncated_at is None
+    ):
+        curve = _truncate(curve, cfg.max_cache_size)
+    return SolveResult(
+        curve=curve,
+        config=cfg,
+        stats=stats_obj,
+        distances=distances,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def _solve_dispatch(
+    trace: TraceLike,
+    cfg: SolveConfig,
+    stats: Optional[EngineStats],
+) -> Tuple[HitRateCurve, Optional[np.ndarray], Optional[Any]]:
+    """Dispatch one solve; returns ``(curve, distances, stats)``."""
+    algorithm = cfg.algorithm
+    dtype = DEFAULT_DTYPE if cfg.dtype is None else cfg.dtype
+    arr = as_trace(trace, dtype=dtype)
+    if stats is None and algorithm in ENGINE_ALGORITHMS:
+        stats = EngineStats()
+    if algorithm == "iaf":
+        d = iaf_distances(arr, dtype=dtype, stats=stats,
+                          engine_backend=cfg.engine_backend,
+                          workspace=cfg.workspace)
+        return _postprocess_curve(arr, d), d, stats
+    if algorithm == "bounded-iaf":
+        res = bounded_iaf(arr, cfg.max_cache_size, dtype=dtype, stats=stats,
+                          engine_backend=cfg.engine_backend)
+        return res.curve, None, stats
+    if algorithm == "parallel-iaf":
+        d = parallel_iaf_distances(arr, workers=cfg.workers, dtype=dtype,
+                                   stats=stats,
+                                   engine_backend=cfg.engine_backend)
+        return _postprocess_curve(arr, d), d, stats
+    if algorithm == "external-iaf":
+        mem = cfg.memory_config or MemoryConfig(
+            memory_items=65536, block_items=1024
+        )
+        d, report = external_iaf_distances(
+            arr, mem, dtype=dtype, engine_backend=cfg.engine_backend
+        )
+        curve = _postprocess_curve(arr, d)
+        report.curve = curve
+        return curve, d, report.stats
+    if algorithm == "reference":
+        d = reference_distances(arr)
+        return _postprocess_curve(arr, d), d, None
+    if algorithm in ("ost", "splay", "mattson", "parda", "fenwick"):
+        from ..baselines import baseline_hit_rate_curve
+
+        curve = baseline_hit_rate_curve(
+            arr, algorithm, max_cache_size=cfg.max_cache_size,
+            workers=cfg.workers,
+        )
+        return curve, None, None
+    raise ReproError(
+        f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+    )
+
+
+def _postprocess_curve(arr: np.ndarray, d: np.ndarray) -> HitRateCurve:
+    """Distance vector → curve, under the usual post-processing span."""
+    tracer = get_tracer()
+    span = (tracer.span("iaf.postprocess", n=arr.size)
+            if tracer.enabled else NULL_SPAN)
+    with span:
+        _, nxt = prev_next_arrays(arr)
+        return curve_from_backward_distances(d, nxt)
+
+
+def solve_batch(
+    traces: Sequence[TraceLike],
+    config: Optional[SolveConfig] = None,
+    *,
+    stats: Optional[EngineStats] = None,
+) -> List[SolveResult]:
+    """Solve many traces under one config; coalesce where the engine can.
+
+    For the engine algorithms (``"iaf"``, ``"parallel-iaf"``) all traces
+    are seeded into **one** batched level loop — identical curves to a
+    per-trace loop, but every vectorized pass is shared across the batch
+    (the serving-throughput form; see
+    :func:`repro.core.engine.iaf_hit_rate_curves_batch`).  Other
+    algorithms fall back to a per-trace loop for interface parity.  Each
+    returned :class:`SolveResult` of a coalesced solve shares the batch's
+    ``stats`` and reports the batch's wall time, with ``batched=True``.
+    """
+    cfg = config if config is not None else SolveConfig()
+    algorithm = cfg.algorithm
+    if algorithm not in ("iaf", "parallel-iaf"):
+        return [solve(t, cfg) for t in traces]
+    if stats is None:
+        stats = EngineStats()
+    t0 = time.perf_counter()
+    arrs = [
+        as_trace(t, dtype=DEFAULT_DTYPE if cfg.dtype is None else cfg.dtype)
+        for t in traces
+    ]
+    if algorithm == "iaf":
+        distances = iaf_distances_batch(
+            arrs, dtype=cfg.dtype, stats=stats,
+            engine_backend=cfg.engine_backend, workspace=cfg.workspace,
+        )
+    else:
+        distances = parallel_iaf_distances_batch(
+            arrs, workers=cfg.workers, dtype=cfg.dtype, stats=stats,
+            engine_backend=cfg.engine_backend,
+        )
+    results: List[SolveResult] = []
+    wall = time.perf_counter() - t0
+    for arr, d in zip(arrs, distances):
+        if arr.size == 0:
+            curve = HitRateCurve(np.zeros(0, dtype=np.int64), 0)
+        else:
+            curve = _postprocess_curve(arr, d)
+        curve = curve.with_stats(stats)
+        if cfg.max_cache_size is not None:
+            curve = _truncate(curve, cfg.max_cache_size)
+        results.append(SolveResult(
+            curve=curve, config=cfg, stats=stats, distances=d,
+            wall_seconds=wall, batched=True,
+        ))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# The classic façade (SolveConfig-first, keyword shim for legacy calls)
+# ---------------------------------------------------------------------------
 
 
 def hit_rate_curve(
     trace: TraceLike,
+    config: Optional[SolveConfig] = None,
     *,
-    algorithm: str = "iaf",
-    max_cache_size: Optional[int] = None,
-    workers: int = 1,
-    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
-    memory_config: Optional[MemoryConfig] = None,
-    stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
-) -> HitRateCurve:
+    return_stats: bool = False,
+    **kwargs: Any,
+):
     """Exact LRU hit-rate curve of ``trace``.
 
-    ``max_cache_size`` truncates the curve at ``k`` (required knowledge
-    only for ``bounded-iaf`` and ``parda``, honored by post-filtering for
-    the others).  ``workers`` selects thread-count for the parallel
-    algorithms.  ``memory_config`` supplies (M, B) for ``external-iaf``.
-    ``stats`` collects engine work counters for the algorithms built on
-    the vectorized engine (iaf, bounded-iaf, parallel-iaf); the other
-    implementations leave it untouched.  ``engine_backend`` selects the
-    level kernel (``"fused"``/``"naive"``) for the engine-based
-    algorithms — see :data:`repro.core.engine.ENGINE_BACKENDS`.
+    ``config`` selects the implementation and its knobs (see
+    :class:`~repro.core.config.SolveConfig`); with ``return_stats=True``
+    the full :class:`~repro.core.config.SolveResult` is returned instead
+    of the bare curve.  Legacy keyword arguments (``algorithm=``,
+    ``max_cache_size=``, ``workers=``, ``dtype=``, ``memory_config=``,
+    ``stats=``, ``engine_backend=``) still work through a deprecation
+    shim that warns once per call site.
     """
-    arr = as_trace(trace, dtype=dtype)
-    if algorithm == "iaf":
-        curve = iaf_hit_rate_curve(arr, dtype=dtype, stats=stats,
-                                   engine_backend=engine_backend)
-    elif algorithm == "bounded-iaf":
-        curve = bounded_iaf(arr, max_cache_size, dtype=dtype, stats=stats,
-                            engine_backend=engine_backend).curve
-        return curve
-    elif algorithm == "parallel-iaf":
-        curve = parallel_iaf_hit_rate_curve(
-            arr, workers=workers, dtype=dtype, stats=stats,
-            engine_backend=engine_backend,
+    stats = None
+    if kwargs:
+        config, stats = _legacy_config(
+            "hit_rate_curve", config, kwargs, _CURVE_KWARGS
         )
-    elif algorithm == "external-iaf":
-        config = memory_config or MemoryConfig(
-            memory_items=65536, block_items=1024
-        )
-        d, _report = external_iaf_distances(arr, config, dtype=dtype,
-                                            engine_backend=engine_backend)
-        _, nxt = prev_next_arrays(arr)
-        curve = curve_from_backward_distances(d, nxt)
-    elif algorithm == "reference":
-        d = reference_distances(arr)
-        _, nxt = prev_next_arrays(arr)
-        curve = curve_from_backward_distances(d, nxt)
-    elif algorithm in ("ost", "splay", "mattson", "parda", "fenwick"):
-        from ..baselines import baseline_hit_rate_curve
-
-        curve = baseline_hit_rate_curve(
-            arr, algorithm, max_cache_size=max_cache_size, workers=workers
-        )
-        if algorithm == "parda":
-            return curve
-    else:
-        raise ReproError(
-            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
-        )
-    if max_cache_size is not None:
-        curve = _truncate(curve, max_cache_size)
-    return curve
+    result = solve(trace, config, stats=stats)
+    return result if return_stats else result.curve
 
 
 def stack_distances(
     trace: TraceLike,
-    *,
-    algorithm: str = "iaf",
-    workers: int = 1,
-    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
-    engine_backend: str = "fused",
+    config: Optional[SolveConfig] = None,
+    **kwargs: Any,
 ) -> np.ndarray:
     """Forward LRU stack distance of every access (0 = first occurrence).
 
     ``out[i] <= k`` and nonzero exactly when access ``i`` hits an LRU
-    cache of size ``k``.
+    cache of size ``k``.  Only the distance-materializing algorithms
+    (``iaf``, ``parallel-iaf``, ``reference``) are supported.
     """
-    arr = as_trace(trace, dtype=dtype)
-    if algorithm == "iaf":
-        d = iaf_distances(arr, dtype=dtype, engine_backend=engine_backend)
-    elif algorithm == "parallel-iaf":
-        d = parallel_iaf_distances(arr, workers=workers, dtype=dtype,
-                                   engine_backend=engine_backend)
-    elif algorithm == "reference":
-        d = reference_distances(arr)
-    else:
+    if kwargs:
+        config, _stats = _legacy_config(
+            "stack_distances", config, kwargs, _DISTANCE_KWARGS
+        )
+    cfg = config if config is not None else SolveConfig()
+    if cfg.algorithm not in ("iaf", "parallel-iaf", "reference"):
         raise ReproError(
             f"stack_distances supports iaf/parallel-iaf/reference, "
-            f"got {algorithm!r}"
+            f"got {cfg.algorithm!r}"
         )
+    dtype = DEFAULT_DTYPE if cfg.dtype is None else cfg.dtype
+    arr = as_trace(trace, dtype=dtype)
+    if cfg.algorithm == "iaf":
+        d = iaf_distances(arr, dtype=dtype,
+                          engine_backend=cfg.engine_backend,
+                          workspace=cfg.workspace)
+    elif cfg.algorithm == "parallel-iaf":
+        d = parallel_iaf_distances(arr, workers=cfg.workers, dtype=dtype,
+                                   engine_backend=cfg.engine_backend)
+    else:
+        d = reference_distances(arr)
     prev, _ = prev_next_arrays(arr)
     out = np.zeros(arr.size, dtype=np.int64)
     has_prev = prev != -1
@@ -157,52 +343,42 @@ def stack_distances(
 
 
 def hit_rate_curves_batch(
-    traces: "list[TraceLike]",
+    traces: Sequence[TraceLike],
+    config: Optional[SolveConfig] = None,
     *,
-    algorithm: str = "iaf",
-    max_cache_size: Optional[int] = None,
-    workers: int = 1,
-    dtype: "Optional[np.typing.DTypeLike]" = None,
-    stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
-) -> "list[HitRateCurve]":
+    return_stats: bool = False,
+    **kwargs: Any,
+):
     """Exact LRU hit-rate curves of many traces at once.
 
-    For the engine algorithms (``"iaf"``, ``"parallel-iaf"``) all traces
-    are seeded into one batched solve — identical curves to a per-trace
-    loop, but every level's vectorized pass is shared across the batch
-    (see :func:`repro.core.engine.iaf_hit_rate_curves_batch`).  Other
-    algorithms fall back to a per-trace loop for interface parity.
+    One coalesced engine solve where possible (see :func:`solve_batch`);
+    with ``return_stats=True`` the list holds full
+    :class:`~repro.core.config.SolveResult` objects instead of curves.
     """
-    if algorithm == "iaf":
-        curves = iaf_hit_rate_curves_batch(
-            traces, dtype=dtype, stats=stats, engine_backend=engine_backend
+    stats = None
+    if kwargs:
+        config, stats = _legacy_config(
+            "hit_rate_curves_batch", config, kwargs, _CURVE_KWARGS
         )
-    elif algorithm == "parallel-iaf":
-        curves = parallel_iaf_hit_rate_curves_batch(
-            traces, workers=workers, dtype=dtype, stats=stats,
-            engine_backend=engine_backend,
-        )
-    else:
-        curves = [
-            hit_rate_curve(
-                t, algorithm=algorithm, workers=workers,
-                dtype=DEFAULT_DTYPE if dtype is None else dtype,
-                engine_backend=engine_backend,
-            )
-            for t in traces
-        ]
-    if max_cache_size is not None:
-        curves = [_truncate(c, max_cache_size) for c in curves]
-    return curves
+    results = solve_batch(traces, config, stats=stats)
+    return results if return_stats else [r.curve for r in results]
 
 
 def _truncate(curve: HitRateCurve, k: int) -> HitRateCurve:
-    """Cut a full curve down to its first ``k`` sizes."""
+    """Cut a full curve down to its first ``k`` sizes.
+
+    Metadata is preserved: the ``stats`` linkage rides along, and a
+    curve already truncated at or below ``k`` is returned unchanged
+    (its sizes past its own bound are *unknown*, so re-stamping it as
+    ``truncated_at=k`` would claim knowledge the solve never had).
+    """
     if k < 1:
         raise ReproError(f"max_cache_size must be >= 1, got {k}")
+    if curve.truncated_at is not None and curve.truncated_at <= k:
+        return curve
     return HitRateCurve(
         hits_cumulative=curve.hits_cumulative[:k],
         total_accesses=curve.total_accesses,
         truncated_at=k,
+        stats=curve.stats,
     )

@@ -80,12 +80,18 @@ def forward_distances_via_reversal(
 
 @dataclass
 class BoundedResult:
-    """Output of one BOUNDED-IAF run."""
+    """Output of one BOUNDED-IAF run.
+
+    ``.curve`` / ``.stats`` follow the unified result-shape convention
+    (see :class:`repro.core.config.SolveResult`): ``stats`` is the
+    :class:`EngineStats` the run recorded into, when one was supplied.
+    """
 
     curve: HitRateCurve
     windows: List[HitRateCurve]
     chunk_bounds: List[Tuple[int, int]]
     k: int
+    stats: Optional[EngineStats] = None
 
 
 def bounded_iaf(
@@ -154,7 +160,8 @@ def bounded_iaf(
     if memory is not None:
         memory.observe("bounded.qbar", 0)
     return BoundedResult(
-        curve=merge_curves(windows), windows=windows, chunk_bounds=bounds, k=k
+        curve=merge_curves(windows).with_stats(stats), windows=windows,
+        chunk_bounds=bounds, k=k, stats=stats,
     )
 
 

@@ -1,0 +1,185 @@
+"""Unified request/response types for every solve entry point.
+
+Before this module, each façade function grew its own keyword sprawl
+(``algorithm=``, ``max_cache_size=``, ``workers=``, ``dtype=``,
+``memory_config=``, ``engine_backend=``, ...) and each variant returned
+a different ad-hoc shape (a bare curve, a ``(distances, report)`` tuple,
+a ``BoundedResult``).  The serving layer (:mod:`repro.service`) needs
+one value it can queue, hash into a batching key, and hand to any
+worker — so the request side is a frozen :class:`SolveConfig` and the
+response side a :class:`SolveResult`:
+
+* :class:`SolveConfig` — everything that selects *how* to solve, with
+  validation at construction.  Immutable, so a config can be shared by
+  many concurrent requests and used as (part of) a coalescing key.
+* :class:`SolveResult` — curve + distances + stats + timing in one
+  object with stable attribute names (``.curve`` / ``.stats``), the
+  same names :class:`~repro.core.bounded.BoundedResult` and
+  :class:`~repro.core.external.ExternalRunReport` carry.
+
+The old keyword style still works everywhere via a deprecation shim in
+:mod:`repro.core.api` that warns once per call site and forwards into a
+``SolveConfig``; see docs/API.md for the migration table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .._typing import SUPPORTED_DTYPES
+from ..errors import CapacityError, ReproError
+from ..extmem.blockdevice import MemoryConfig
+from .engine import ENGINE_BACKENDS, EngineStats, Workspace
+from .hitrate import HitRateCurve
+
+#: Algorithms usable with :func:`repro.core.api.hit_rate_curve` /
+#: :func:`repro.core.api.solve`.
+ALGORITHMS = (
+    "iaf",
+    "bounded-iaf",
+    "parallel-iaf",
+    "external-iaf",
+    "reference",
+    "ost",
+    "splay",
+    "parda",
+    "mattson",
+    "fenwick",
+)
+
+#: Algorithms built on the vectorized engine (honor ``stats=``,
+#: ``engine_backend=``, and workspace reuse).
+ENGINE_ALGORITHMS = ("iaf", "bounded-iaf", "parallel-iaf")
+
+#: Algorithms whose requests may be coalesced into one batched level
+#: loop by :func:`repro.core.api.solve_batch` / the serving layer.
+BATCHABLE_ALGORITHMS = ("iaf", "parallel-iaf")
+
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """How to solve one hit-rate-curve request.
+
+    ``dtype=None`` means "the library default" — ``int64`` for single
+    solves, automatic narrowing certification for batched solves (see
+    :func:`repro.core.engine.batch_segments`).  ``workspace`` is a
+    reusable fused-kernel :class:`~repro.core.engine.Workspace`; sharing
+    one across *sequential* solves amortizes level buffers, but a
+    workspace must never be used by two solves concurrently (the serving
+    layer keeps one per worker thread).
+    """
+
+    algorithm: str = "iaf"
+    max_cache_size: Optional[int] = None
+    workers: int = 1
+    dtype: Optional["np.typing.DTypeLike"] = None
+    memory_config: Optional[MemoryConfig] = None
+    engine_backend: str = "fused"
+    workspace: Optional[Workspace] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ReproError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {ALGORITHMS}"
+            )
+        if self.engine_backend not in ENGINE_BACKENDS:
+            raise ReproError(
+                f"unknown engine backend {self.engine_backend!r}; "
+                f"choose from {ENGINE_BACKENDS}"
+            )
+        if self.workers < 1:
+            raise CapacityError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.max_cache_size is not None and self.max_cache_size < 1:
+            raise ReproError(
+                f"max_cache_size must be >= 1, got {self.max_cache_size}"
+            )
+        if self.dtype is not None and np.dtype(self.dtype) not in \
+                SUPPORTED_DTYPES:
+            raise ReproError(
+                f"unsupported dtype {self.dtype!r}; supported: "
+                + ", ".join(str(d) for d in SUPPORTED_DTYPES)
+            )
+
+    def replace(self, **changes: Any) -> "SolveConfig":
+        """A copy with the given fields changed (validated again)."""
+        return replace(self, **changes)
+
+    def batch_key(self) -> Tuple[str, str, str, int]:
+        """Coalescing key: requests with equal keys may share one batch.
+
+        Batched solves share the level loop's dtype and kernel, so only
+        those knobs partition the batch; ``max_cache_size`` is a
+        per-request post-processing step and deliberately excluded.
+        ``workers`` only matters for ``parallel-iaf`` (plain ``iaf``
+        batches ignore it, so it must not split them).
+        """
+        return (
+            self.algorithm,
+            "auto" if self.dtype is None else str(np.dtype(self.dtype)),
+            self.engine_backend,
+            self.workers if self.algorithm == "parallel-iaf" else 0,
+        )
+
+    @property
+    def batchable(self) -> bool:
+        """Whether requests with this config can ride a coalesced solve."""
+        return (
+            self.algorithm in BATCHABLE_ALGORITHMS
+            and self.workspace is None
+        )
+
+
+@dataclass
+class SolveResult:
+    """Everything one solve produced, under one set of attribute names.
+
+    ``stats`` is the solve's instrumentation: an
+    :class:`~repro.core.engine.EngineStats` for the engine algorithms,
+    an :class:`~repro.extmem.iostats.IOStats` for ``external-iaf``,
+    ``None`` for the baselines.  ``distances`` is the backward distance
+    vector when the algorithm materializes one (``iaf``,
+    ``parallel-iaf``, ``external-iaf``, ``reference``); curve-only
+    algorithms leave it ``None``.  For batched solves, ``wall_seconds``
+    is the whole batch's wall time (the per-request marginal cost is not
+    separable from a coalesced level loop).
+    """
+
+    curve: HitRateCurve
+    config: SolveConfig
+    stats: Optional[Any] = None
+    distances: Optional[np.ndarray] = field(default=None, repr=False)
+    wall_seconds: float = 0.0
+    batched: bool = False
+
+    @property
+    def algorithm(self) -> str:
+        return self.config.algorithm
+
+    def summary(self) -> Dict[str, Any]:
+        """Small JSON-friendly digest (used by ``repro serve``)."""
+        return {
+            "algorithm": self.algorithm,
+            "total_accesses": int(self.curve.total_accesses),
+            "max_size": int(self.curve.max_size),
+            "truncated_at": self.curve.truncated_at,
+            "wall_seconds": self.wall_seconds,
+            "batched": self.batched,
+        }
+
+
+__all__ = [
+    "ALGORITHMS",
+    "BATCHABLE_ALGORITHMS",
+    "ENGINE_ALGORITHMS",
+    "EngineStats",
+    "SolveConfig",
+    "SolveResult",
+]

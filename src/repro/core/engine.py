@@ -1231,11 +1231,12 @@ def iaf_hit_rate_curve(
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
     engine_backend: str = "fused",
+    workspace: Optional[Workspace] = None,
 ) -> HitRateCurve:
     """Full pipeline: pre-process, distance computation, post-process."""
     arr = as_trace(trace, dtype=dtype)
     d = iaf_distances(arr, dtype=dtype, stats=stats, memory=memory,
-                      engine_backend=engine_backend)
+                      engine_backend=engine_backend, workspace=workspace)
     tracer = get_tracer()
     span = (tracer.span("iaf.postprocess", n=arr.size)
             if tracer.enabled else NULL_SPAN)

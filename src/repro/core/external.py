@@ -36,6 +36,7 @@ from ..obs import NULL_SPAN, get_tracer
 from ..extmem.iostats import IOStats
 from .engine import Segments, Workspace, _shrink_child, \
     solve_prepost_arrays
+from .hitrate import HitRateCurve
 from .ops import POSTFIX, PREFIX, prepost_sequence_arrays
 
 #: The base-case constant ``c`` from Section 5: subproblems on intervals
@@ -45,12 +46,19 @@ BASE_CASE_DIVISOR = 4
 
 @dataclass
 class ExternalRunReport:
-    """What one EXTERNAL-IAF run did, for benchmarks and tests."""
+    """What one EXTERNAL-IAF run did, for benchmarks and tests.
+
+    ``.curve`` / ``.stats`` follow the unified result-shape convention
+    (see :class:`repro.core.config.SolveResult`): when the run was driven
+    through :func:`repro.core.api.solve`, the hit-rate curve built from
+    its distance vector is attached here.
+    """
 
     stats: IOStats
     base_cases: int
     internal_nodes: int
     max_depth: int
+    curve: Optional[HitRateCurve] = None
 
     def total_blocks(self) -> int:
         return self.stats.total_blocks

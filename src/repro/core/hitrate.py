@@ -14,8 +14,8 @@ and conversion to hit-rate / miss-ratio arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -32,11 +32,17 @@ class HitRateCurve:
 
     ``truncated_at`` is set when the curve was computed by a k-bounded
     algorithm: sizes above it are unknown rather than flat.
+
+    ``stats`` optionally links the curve back to the instrumentation of
+    the solve that produced it (an ``EngineStats`` or ``IOStats``).  It
+    is provenance, not data: it never participates in equality or
+    merging, and post-processing steps (truncation) must carry it over.
     """
 
     hits_cumulative: np.ndarray
     total_accesses: int
     truncated_at: Optional[int] = None
+    stats: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.hits_cumulative, dtype=np.int64)
@@ -121,6 +127,15 @@ class HitRateCurve:
         out = np.full(size, tail_value, dtype=np.int64)
         out[: cur.size] = cur
         return out
+
+    def with_stats(self, stats: Optional[Any]) -> "HitRateCurve":
+        """The same curve with ``stats`` attached (data arrays shared)."""
+        return HitRateCurve(
+            hits_cumulative=self.hits_cumulative,
+            total_accesses=self.total_accesses,
+            truncated_at=self.truncated_at,
+            stats=stats,
+        )
 
     def almost_equal(self, other: "HitRateCurve") -> bool:
         """Exact equality of hit counts over the common explicit range."""

@@ -51,3 +51,24 @@ class TraceFileError(ReproError):
 
 class ObservabilityError(ReproError):
     """Misuse of the instrumentation layer (spans, counters, timers)."""
+
+
+class ServiceError(ReproError):
+    """Base class for :mod:`repro.service` failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The admission queue is full; the request was rejected, not queued.
+
+    Backpressure by rejection: the service bounds its memory by refusing
+    work it cannot buffer, instead of queueing without limit and OOMing.
+    Callers should back off and retry.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shut down (or closing) and no longer accepts work."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its result could be delivered."""

@@ -16,12 +16,13 @@ The layer every perf PR builds on (see docs/OBSERVABILITY.md):
 
 Quick use::
 
-    from repro import hit_rate_curve
+    from repro import SolveConfig, hit_rate_curve
     from repro.obs import tracing
     from repro.obs.export import summary_table
 
     with tracing() as tracer:
-        hit_rate_curve(trace, algorithm="parallel-iaf", workers=4)
+        hit_rate_curve(trace, SolveConfig(algorithm="parallel-iaf",
+                                          workers=4))
     print(summary_table(tracer.events()))
 """
 

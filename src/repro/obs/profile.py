@@ -67,24 +67,22 @@ def profile_hit_rate_curve(
     """
     # Local imports: core modules import repro.obs at load time.
     from .._typing import DEFAULT_DTYPE
-    from ..core.api import hit_rate_curve
+    from ..core.api import solve
+    from ..core.config import SolveConfig
     from ..core.engine import EngineStats
 
     dt = DEFAULT_DTYPE if dtype is None else dtype
     arr = np.asarray(trace)
     stats = EngineStats()
+    config = SolveConfig(
+        algorithm=algorithm, max_cache_size=max_cache_size,
+        workers=workers, dtype=dt,
+    )
     with tracing(capacity=capacity, tracer=tracer) as t:
         t0 = time.perf_counter()
         with t.span("profile.run", algorithm=algorithm, n=int(arr.size),
                     workers=workers):
-            curve = hit_rate_curve(
-                arr,
-                algorithm=algorithm,
-                max_cache_size=max_cache_size,
-                workers=workers,
-                dtype=dt,
-                stats=stats,
-            )
+            curve = solve(arr, config, stats=stats).curve
         wall = time.perf_counter() - t0
     counters = Counters()
     counters.add("profile.wall_seconds", wall)

@@ -1,0 +1,33 @@
+"""repro.service — a long-running, batching hit-rate-curve solve service.
+
+Many producers submit :class:`~repro.core.config.SolveConfig` requests;
+the service coalesces compatible ones into single batched engine solves
+(amortizing the per-level vectorized passes and reusing per-worker
+:class:`~repro.core.engine.Workspace` buffers), shards oversized traces
+across a bounded worker pool, and returns futures.
+
+Robustness over raw throughput:
+
+* bounded admission queue — a full queue **rejects** with
+  :class:`~repro.errors.ServiceOverloadedError` instead of growing
+  without bound;
+* per-request deadlines and cancellation;
+* retry on :class:`~repro.errors.CapacityError` (a narrow-dtype batch
+  overflow falls back to per-request int64 solves);
+* graceful drain on :meth:`CurveService.close`.
+
+Front ends: the :class:`CurveService` library API, and the line-oriented
+``python -m repro serve`` protocol (stdin or TCP) in
+:mod:`repro.service.server`.  See docs/SERVICE.md.
+"""
+
+from .curve_service import CurveService, SolveFuture
+from .server import parse_request, serve_stream, serve_tcp
+
+__all__ = [
+    "CurveService",
+    "SolveFuture",
+    "parse_request",
+    "serve_stream",
+    "serve_tcp",
+]

@@ -1,0 +1,262 @@
+"""Line-oriented front ends for :class:`~repro.service.CurveService`.
+
+One request per line, one JSON response per line.  A request is either a
+bare path to a REPROTRC trace file::
+
+    /data/day1.reprotrc
+
+or a JSON object selecting the solve and its knobs::
+
+    {"trace": "/data/day1.reprotrc", "id": "day1", "algorithm": "iaf",
+     "max_cache_size": 4096, "deadline": 5.0, "sizes": [64, 1024, 4096]}
+
+``trace`` may also be an inline list of integer addresses (handy for
+tests and ad-hoc probes).  Responses arrive in *completion* order, so
+tag requests with ``id`` to correlate; each is either::
+
+    {"id": "day1", "ok": true, "algorithm": "iaf", "total_accesses": …,
+     "max_size": …, "truncated_at": 4096, "wall_seconds": …,
+     "batched": true, "hit_rates": {"64": 0.31, …}}
+
+or ``{"id": …, "ok": false, "error": "DeadlineExceededError",
+"message": …}``.  Malformed lines are answered immediately with an
+``ok: false`` line; they never crash the server.
+
+``python -m repro serve`` runs this loop over stdin (EOF drains and
+exits) or, with ``--port``, over TCP with one connection per client
+thread, all sharing a single service — the batching works *across*
+connections.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import SolveConfig, SolveResult
+from ..errors import ReproError
+from ..workloads.traceio import read_trace
+from .curve_service import CurveService, SolveFuture
+
+#: JSON request fields; anything else is rejected (typo protection).
+_REQUEST_FIELDS = frozenset(
+    ("trace", "id", "algorithm", "max_cache_size", "workers", "dtype",
+     "engine_backend", "deadline", "sizes")
+)
+_DTYPES = {"int32": np.int32, "int64": np.int64}
+
+
+def parse_request(
+    line: str,
+    *,
+    default_config: Optional[SolveConfig] = None,
+) -> Tuple[Any, SolveConfig, Optional[float], Optional[str], List[int]]:
+    """Parse one request line.
+
+    Returns ``(trace, config, deadline, request_id, sizes)`` where
+    ``trace`` is a path string or an inline address list.  Raises
+    :class:`ReproError` on malformed input.
+    """
+    base = default_config if default_config is not None else SolveConfig()
+    text = line.strip()
+    if not text:
+        raise ReproError("empty request line")
+    if not text.startswith("{"):
+        return text, base, None, None, []
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"bad request JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ReproError("request JSON must be an object")
+    unknown = set(obj) - _REQUEST_FIELDS
+    if unknown:
+        raise ReproError(
+            f"unknown request field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(_REQUEST_FIELDS)}"
+        )
+    if "trace" not in obj:
+        raise ReproError('request needs a "trace" (path or address list)')
+    changes: Dict[str, Any] = {}
+    for field in ("algorithm", "max_cache_size", "workers",
+                  "engine_backend"):
+        if field in obj:
+            changes[field] = obj[field]
+    if "dtype" in obj:
+        try:
+            changes["dtype"] = _DTYPES[obj["dtype"]]
+        except (KeyError, TypeError):
+            raise ReproError(
+                f"bad dtype {obj['dtype']!r}; use one of "
+                f"{sorted(_DTYPES)}"
+            ) from None
+    try:
+        cfg = base.replace(**changes) if changes else base
+    except TypeError as exc:
+        raise ReproError(f"bad request field: {exc}") from None
+    deadline = obj.get("deadline")
+    if deadline is not None and (
+        not isinstance(deadline, (int, float)) or deadline <= 0
+    ):
+        raise ReproError(f"deadline must be a positive number, "
+                         f"got {deadline!r}")
+    sizes = obj.get("sizes") or []
+    if not isinstance(sizes, list) or not all(
+        isinstance(s, int) and s >= 1 for s in sizes
+    ):
+        raise ReproError("sizes must be a list of positive integers")
+    req_id = obj.get("id")
+    return obj["trace"], cfg, deadline, req_id, sizes
+
+
+def _result_payload(
+    req_id: Optional[str], result: SolveResult, sizes: List[int]
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"id": req_id, "ok": True}
+    payload.update(result.summary())
+    if sizes:
+        payload["hit_rates"] = {
+            str(k): result.curve.hit_rate(k) for k in sizes
+        }
+    return payload
+
+
+def _error_payload(
+    req_id: Optional[str], exc: BaseException
+) -> Dict[str, Any]:
+    return {
+        "id": req_id,
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+
+
+def serve_stream(
+    lines: Iterable[str],
+    emit: Callable[[str], None],
+    service: CurveService,
+    *,
+    default_config: Optional[SolveConfig] = None,
+) -> int:
+    """Run the line protocol over one request stream.
+
+    Reads requests from ``lines``, writes each JSON response through
+    ``emit`` as its solve completes (under a lock — responses stay whole
+    lines), and blocks until every accepted request has been answered.
+    Returns the number of failed requests (parse errors, rejections, and
+    solve errors alike); the caller owns the service's lifecycle.
+    """
+    out_lock = threading.Lock()
+    failures = [0]
+
+    def send(payload: Dict[str, Any]) -> None:
+        with out_lock:
+            if not payload["ok"]:
+                failures[0] += 1
+            emit(json.dumps(payload))
+
+    # One event per accepted request, set only after its response line
+    # has been emitted.  (Waiting on the futures themselves would race:
+    # result() waiters wake *before* done-callbacks run, so the stream
+    # could close under the last response.)
+    answered: List[threading.Event] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            trace, cfg, deadline, req_id, sizes = parse_request(
+                line, default_config=default_config
+            )
+            arr = read_trace(trace) if isinstance(trace, str) else trace
+            future = service.submit(
+                arr, cfg, deadline=deadline, label=req_id or ""
+            )
+        except Exception as exc:  # noqa: BLE001 — reported on the stream
+            send(_error_payload(_best_effort_id(line), exc))
+            continue
+        event = threading.Event()
+
+        def on_done(f: SolveFuture, req_id=req_id, sizes=sizes,
+                    event=event) -> None:
+            try:
+                try:
+                    payload = _result_payload(req_id, f.result(), sizes)
+                except Exception as exc:  # noqa: BLE001
+                    payload = _error_payload(req_id, exc)
+                try:
+                    send(payload)
+                except OSError:
+                    pass  # client went away; the solve still completed
+            finally:
+                event.set()
+
+        future.add_done_callback(on_done)
+        answered.append(event)
+    for event in answered:
+        event.wait()
+    return failures[0]
+
+
+def _best_effort_id(line: str) -> Optional[str]:
+    """Recover the request id from a line that failed to parse/submit."""
+    try:
+        obj = json.loads(line)
+        if isinstance(obj, dict):
+            return obj.get("id")
+    except json.JSONDecodeError:
+        pass
+    return None
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One client connection: the stream protocol over a socket."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        def emit(text: str) -> None:
+            self.wfile.write(text.encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+        lines = (raw.decode("utf-8", "replace") for raw in self.rfile)
+        serve_stream(
+            lines, emit, self.server.service,  # type: ignore[attr-defined]
+            default_config=self.server.default_config,  # type: ignore[attr-defined]
+        )
+
+
+class CurveServer(socketserver.ThreadingTCPServer):
+    """TCP front end; all connections share one :class:`CurveService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: CurveService,
+        *,
+        default_config: Optional[SolveConfig] = None,
+    ) -> None:
+        super().__init__(address, _LineHandler)
+        self.service = service
+        self.default_config = default_config
+
+
+def serve_tcp(
+    service: CurveService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    default_config: Optional[SolveConfig] = None,
+) -> CurveServer:
+    """Bind a :class:`CurveServer`; the caller runs ``serve_forever()``.
+
+    ``port=0`` picks a free port (``server.server_address`` has the
+    real one — the pattern the tests use).
+    """
+    return CurveServer((host, port), service,
+                       default_config=default_config)

@@ -1,0 +1,190 @@
+"""The line-oriented serve protocol: parsing, stdin mode, TCP mode."""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import SolveConfig
+from repro.cli import main
+from repro.core.engine import iaf_hit_rate_curve
+from repro.errors import ReproError
+from repro.service import CurveService, parse_request, serve_stream, serve_tcp
+from repro.workloads.traceio import write_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path, rng):
+    trace = rng.integers(0, 50, size=800)
+    path = tmp_path / "t.reprotrc"
+    write_trace(path, trace)
+    return str(path), trace
+
+
+class TestParseRequest:
+    def test_bare_path(self):
+        trace, cfg, deadline, req_id, sizes = parse_request("  /a/b.trc \n")
+        assert trace == "/a/b.trc"
+        assert cfg == SolveConfig()
+        assert deadline is None and req_id is None and sizes == []
+
+    def test_full_json(self):
+        line = json.dumps({
+            "trace": "x.trc", "id": "r1", "algorithm": "parallel-iaf",
+            "max_cache_size": 64, "workers": 2, "dtype": "int32",
+            "engine_backend": "naive", "deadline": 1.5, "sizes": [4, 8],
+        })
+        trace, cfg, deadline, req_id, sizes = parse_request(line)
+        assert trace == "x.trc"
+        assert cfg.algorithm == "parallel-iaf"
+        assert cfg.max_cache_size == 64
+        assert cfg.workers == 2
+        assert np.dtype(cfg.dtype) == np.int32
+        assert cfg.engine_backend == "naive"
+        assert deadline == 1.5
+        assert req_id == "r1"
+        assert sizes == [4, 8]
+
+    def test_inline_trace(self):
+        trace, *_ = parse_request('{"trace": [1, 2, 1]}')
+        assert trace == [1, 2, 1]
+
+    def test_default_config_inherited(self):
+        base = SolveConfig(engine_backend="naive")
+        _t, cfg, *_ = parse_request('{"trace": "x"}', default_config=base)
+        assert cfg.engine_backend == "naive"
+
+    @pytest.mark.parametrize("line,match", [
+        ("", "empty"),
+        ("{not json", "bad request JSON"),
+        ('{"trace": "x", "workers": 0}', "workers"),
+        ('{"trace": "x", "bogus": 1}', "unknown request field"),
+        ('{"id": "a"}', 'needs a "trace"'),
+        ('{"trace": "x", "dtype": "float64"}', "bad dtype"),
+        ('{"trace": "x", "deadline": -1}', "deadline"),
+        ('{"trace": "x", "sizes": [0]}', "sizes"),
+        ('{"trace": "x", "algorithm": "magic"}', "unknown algorithm"),
+    ])
+    def test_malformed_lines_rejected(self, line, match):
+        with pytest.raises(ReproError, match=match):
+            parse_request(line)
+
+
+class TestServeStream:
+    def run_lines(self, lines, **service_kwargs):
+        out = []
+        with CurveService(workers=1, **service_kwargs) as svc:
+            failures = serve_stream(iter(lines), out.append, svc)
+        return [json.loads(text) for text in out], failures
+
+    def test_mixed_good_and_bad_lines(self, trace_file):
+        path, trace = trace_file
+        lines = [
+            path + "\n",
+            json.dumps({"trace": [1, 2, 1, 2], "id": "inline",
+                        "sizes": [2]}) + "\n",
+            "garbage-not-a-file\n",
+            "\n",  # blank lines are skipped, not errors
+        ]
+        responses, failures = self.run_lines(lines)
+        assert failures == 1
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[None]["ok"] in (True, False)  # path or garbage line
+        ok = [r for r in responses if r["ok"]]
+        bad = [r for r in responses if not r["ok"]]
+        assert len(ok) == 2 and len(bad) == 1
+        inline = by_id["inline"]
+        assert inline["hit_rates"]["2"] == pytest.approx(0.5)
+        direct = iaf_hit_rate_curve(trace)
+        served = next(r for r in ok if r["id"] is None)
+        assert served["total_accesses"] == direct.total_accesses
+        assert served["max_size"] == direct.max_size
+
+    def test_error_line_carries_request_id(self):
+        responses, failures = self.run_lines([
+            json.dumps({"trace": "no-such-file.trc", "id": "gone"}),
+        ])
+        assert failures == 1
+        assert responses[0]["id"] == "gone"
+        assert responses[0]["ok"] is False
+        assert responses[0]["error"]
+
+    def test_every_request_answered(self, rng):
+        traces = [rng.integers(0, 9, size=50).tolist() for _ in range(10)]
+        lines = [json.dumps({"trace": t, "id": str(i)})
+                 for i, t in enumerate(traces)]
+        responses, failures = self.run_lines(lines, max_batch=4)
+        assert failures == 0
+        assert sorted(r["id"] for r in responses) == \
+            sorted(str(i) for i in range(10))
+
+
+class TestServeCLI:
+    def test_stdin_mode(self, trace_file, capsys, monkeypatch):
+        path, trace = trace_file
+        request = json.dumps({"trace": path, "id": "cli", "sizes": [8]})
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        rc = main(["serve", "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        payload = json.loads(out[-1])
+        assert payload["ok"] is True
+        assert payload["id"] == "cli"
+        direct = iaf_hit_rate_curve(trace)
+        assert payload["hit_rates"]["8"] == pytest.approx(
+            direct.hit_rate(8)
+        )
+
+    def test_stdin_mode_bad_line_rc(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("no-such.trc\n"))
+        rc = main(["serve", "--workers", "1", "--metrics"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.strip())["ok"] is False
+        assert "service.queue_depth" in captured.err
+
+
+class TestServeTCP:
+    def test_round_trip_shared_service(self, trace_file):
+        path, trace = trace_file
+        with CurveService(workers=2) as svc:
+            server = serve_tcp(svc, "127.0.0.1", 0)
+            host, port = server.server_address[:2]
+            runner = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            runner.start()
+            try:
+                def request(lines):
+                    with socket.create_connection((host, port),
+                                                  timeout=30) as sock:
+                        sock.sendall("".join(lines).encode())
+                        sock.shutdown(socket.SHUT_WR)
+                        buf = b""
+                        while True:
+                            chunk = sock.recv(65536)
+                            if not chunk:
+                                break
+                            buf += chunk
+                    return [json.loads(l) for l in
+                            buf.decode().strip().splitlines()]
+
+                responses = request([
+                    json.dumps({"trace": path, "id": "a"}) + "\n",
+                    json.dumps({"trace": [1, 2, 1], "id": "b",
+                                "sizes": [1]}) + "\n",
+                ])
+                assert sorted(r["id"] for r in responses) == ["a", "b"]
+                assert all(r["ok"] for r in responses)
+                direct = iaf_hit_rate_curve(trace)
+                by_id = {r["id"]: r for r in responses}
+                assert by_id["a"]["total_accesses"] == \
+                    direct.total_accesses
+                assert by_id["b"]["hit_rates"]["1"] == pytest.approx(0.0)
+            finally:
+                server.shutdown()
+                server.server_close()
