@@ -162,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="traces at least this long are sharded across "
                           "--shard-workers threads instead of batched")
     srv.add_argument("--shard-workers", type=int, default=4)
+    srv.add_argument("--shard-processes", action="store_true",
+                     help="solve oversized shards on the persistent "
+                          "shared-memory process pool (process-iaf) "
+                          "instead of threads")
     srv.add_argument("--default-deadline", type=float, default=None,
                      help="seconds granted to requests that set none")
     srv.add_argument("--metrics", action="store_true",
@@ -483,6 +487,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_threshold=args.shard_threshold,
         shard_workers=args.shard_workers,
+        shard_processes=args.shard_processes,
         default_deadline=args.default_deadline,
     )
     failures = 0
@@ -497,8 +502,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 except KeyboardInterrupt:
                     pass
         else:
+            # Prefer the raw byte stream: serve_stream decodes strictly
+            # and answers invalid UTF-8 with a ProtocolError line.  Text
+            # stand-ins without a .buffer (tests, pipes) pass through.
+            stdin = getattr(sys.stdin, "buffer", sys.stdin)
             failures = serve_stream(
-                sys.stdin,
+                stdin,
                 lambda text: print(text, flush=True),
                 service,
             )

@@ -181,6 +181,14 @@ def _solve_dispatch(
                                    stats=stats,
                                    engine_backend=cfg.engine_backend)
         return _postprocess_curve(arr, d), d, stats
+    if algorithm == "process-iaf":
+        from .parallel import process_parallel_iaf_distances
+
+        d = process_parallel_iaf_distances(
+            arr, workers=cfg.workers, dtype=dtype,
+            engine_backend=cfg.engine_backend,
+        )
+        return _postprocess_curve(arr, d), d, None
     if algorithm == "external-iaf":
         mem = cfg.memory_config or MemoryConfig(
             memory_items=65536, block_items=1024

@@ -41,6 +41,7 @@ ALGORITHMS = (
     "iaf",
     "bounded-iaf",
     "parallel-iaf",
+    "process-iaf",
     "external-iaf",
     "reference",
     "ost",

@@ -357,14 +357,40 @@ def _solve_split_processes(
     values: np.ndarray,
     workers: int,
     engine_backend: str = "fused",
+    executor: "Optional[object]" = None,
 ) -> None:
-    """Split ``seg`` and solve the parts on a process pool.
+    """Split ``seg`` and solve the parts across processes.
+
+    The fast path dispatches through the persistent shared-memory
+    executor (:mod:`repro.parallel_exec`): workers are already forked,
+    the parts are published into the shared arena, and only descriptors
+    cross the pipe.  When that pool is unavailable or disabled
+    (``REPRO_EXEC_DISABLE=1``) the legacy per-call pickled pool runs
+    instead — the benchmark's A/B baseline.
+    """
+    parts = _split_segments(seg, workers)
+    if executor is None:
+        from ..parallel_exec import default_executor
+
+        executor = default_executor(workers)
+    if executor is not None:
+        executor.solve_parts(parts, values, engine_backend=engine_backend)
+        return
+    _solve_split_processes_pickled(parts, values, workers, engine_backend)
+
+
+def _solve_split_processes_pickled(
+    parts: List[Segments],
+    values: np.ndarray,
+    workers: int,
+    engine_backend: str = "fused",
+) -> None:
+    """Legacy dispatch: a fresh pool and fully pickled arrays per call.
 
     Child processes have their own (disabled) tracers, so their internal
     levels are invisible here; the parent-side ``parallel.dispatch`` span
     covers pickling, the pool round-trip, and the interval merge.
     """
-    parts = _split_segments(seg, workers)
     tracer = get_tracer()
     span = (
         tracer.span("parallel.dispatch", parts=len(parts), workers=workers)
@@ -417,14 +443,17 @@ def process_parallel_iaf_distances(
     workers: int = 2,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     engine_backend: str = "fused",
+    executor: "Optional[object]" = None,
 ) -> np.ndarray:
     """Backward distances with *process*-based parallelism.
 
     The thread-pool variant relies on numpy kernels releasing the GIL;
     this one sidesteps the GIL entirely: after the serial warm-up levels,
-    each subtree group is shipped to a worker process (the per-part op
-    arrays are O(n/workers), so the pickling cost is one pass over the
-    data) and the distance slices are merged back by interval.
+    each subtree group is dispatched to a worker process.  By default the
+    parts go through the persistent shared-memory pool
+    (:func:`repro.parallel_exec.default_executor` — forked once, reused
+    across requests, descriptors only on the pipe); pass ``executor`` to
+    pin a specific :class:`~repro.parallel_exec.ProcessExecutor`.
 
     Output is identical to :func:`repro.core.engine.iaf_distances`.
     """
@@ -443,7 +472,8 @@ def process_parallel_iaf_distances(
     if workers == 1 or seg.n_segments == 0:
         solve_prepost_arrays(seg, values, engine_backend=engine_backend)
         return values[1:]
-    _solve_split_processes(seg, values, workers, engine_backend)
+    _solve_split_processes(seg, values, workers, engine_backend,
+                           executor=executor)
     return values[1:]
 
 
@@ -455,13 +485,14 @@ def parallel_weighted_backward_distances(
     use_processes: bool = False,
     stats: Optional[EngineStats] = None,
     engine_backend: str = "fused",
+    executor: "Optional[object]" = None,
 ) -> np.ndarray:
     """Weighted (Section 9.1) backward distances with subtree parallelism.
 
     Identical output to
     :func:`repro.core.weighted.weighted_backward_distances`; the engine's
     ``w`` array is carried through the warm-up levels, the subtree split,
-    and (with ``use_processes``) the pickled process-pool payloads.
+    and (with ``use_processes``) the shared-memory process dispatch.
     """
     from .weighted import _validate_sizes, weighted_prepost_arrays
 
@@ -483,7 +514,8 @@ def parallel_weighted_backward_distances(
                              engine_backend=engine_backend)
         return values[1:]
     if use_processes:
-        _solve_split_processes(seg, values, workers, engine_backend)
+        _solve_split_processes(seg, values, workers, engine_backend,
+                               executor=executor)
     else:
         _solve_split_threads(seg, values, workers, stats, engine_backend)
     return values[1:]

@@ -21,7 +21,7 @@ from typing import Iterable, List, Tuple
 import numpy as np
 
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
-from ..errors import CapacityError
+from ..errors import CapacityError, ReproError
 from ..obs import NULL_SPAN, get_tracer
 from .bounded import _process_chunk, recent_distinct_suffix
 from .hitrate import HitRateCurve, merge_curves
@@ -54,7 +54,8 @@ class OnlineCurveAnalyzer:
             )
         self._k = int(max_cache_size)
         self._backend = engine_backend
-        self._chunk_len = chunk_multiplier * self._k
+        self._chunk_multiplier = int(chunk_multiplier)
+        self._chunk_len = self._chunk_multiplier * self._k
         self._dtype = validate_dtype(dtype)
         self._qbar = np.zeros(0, dtype=self._dtype)
         self._pending: List[np.ndarray] = []
@@ -67,6 +68,15 @@ class OnlineCurveAnalyzer:
     @property
     def max_cache_size(self) -> int:
         return self._k
+
+    @property
+    def chunk_multiplier(self) -> int:
+        return self._chunk_multiplier
+
+    @property
+    def chunk_length(self) -> int:
+        """Accesses per window: always ``chunk_multiplier * k``."""
+        return self._chunk_len
 
     @property
     def accesses_ingested(self) -> int:
@@ -110,11 +120,18 @@ class OnlineCurveAnalyzer:
         discarded: past windows stay truncated at their old ``k``, so the
         merged curve keeps the smallest truncation.  ``Q̄`` is already the
         most-recent-k suffix and simply stops truncating as hard.
+
+        The chunk length is recomputed as ``chunk_multiplier * new_k``,
+        preserving the bounded-IAF amortization (each O(multiplier·k)
+        chunk solve is charged to multiplier·k accesses — an earlier
+        version clamped to ``max(chunk_len, k)``, silently discarding
+        the multiplier).  The pending buffer is untouched: it simply has
+        more room before the next window boundary.
         """
         if new_k < self._k:
             raise CapacityError("k can only grow, never shrink")
         self._k = int(new_k)
-        self._chunk_len = max(self._chunk_len, self._k)
+        self._chunk_len = self._chunk_multiplier * self._k
 
     def _process_pending(self) -> None:
         chunk = (
@@ -179,10 +196,26 @@ class OnlineCurveAnalyzer:
 
     @staticmethod
     def _retruncate(curve: HitRateCurve, k: int) -> HitRateCurve:
-        if curve.truncated_at == k:
+        """Restate ``curve`` with exactly ``k`` explicit sizes.
+
+        Window curves may store fewer than ``k`` entries (no access in
+        the window had a larger reuse distance), so ``[:k]`` alone would
+        label a short array ``truncated_at=k`` and let ``merge_curves``
+        mix unequal-length mislabeled curves.  Because ``k`` never
+        exceeds the window's own truncation bound (``_min_k`` guarantees
+        it), the curve is exact for every size up to ``k`` — short
+        arrays extend with a flat tail, long ones are cut.
+        """
+        if curve.truncated_at is not None and curve.truncated_at < k:
+            raise ReproError(
+                f"cannot restate a curve truncated at "
+                f"{curve.truncated_at} for k={k}: sizes beyond the "
+                f"truncation are unknown"
+            )
+        if curve.truncated_at == k and curve.max_size == k:
             return curve
         return HitRateCurve(
-            curve.hits_cumulative[:k], curve.total_accesses, truncated_at=k
+            curve._padded(k)[:k], curve.total_accesses, truncated_at=k
         )
 
 

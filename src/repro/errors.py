@@ -53,6 +53,16 @@ class ObservabilityError(ReproError):
     """Misuse of the instrumentation layer (spans, counters, timers)."""
 
 
+class ExecutorError(ReproError):
+    """Misuse or hard failure of the shared-memory process executor.
+
+    Worker-side detection of a stale arena descriptor also raises this;
+    the dispatch layer turns it into a retry/degrade, so callers only
+    see it for unambiguous misuse (dispatching on a closed executor,
+    invalid pool parameters).
+    """
+
+
 class ServiceError(ReproError):
     """Base class for :mod:`repro.service` failures."""
 
@@ -72,3 +82,13 @@ class ServiceClosedError(ServiceError):
 
 class DeadlineExceededError(ServiceError):
     """A request's deadline expired before its result could be delivered."""
+
+
+class ProtocolError(ServiceError):
+    """A request line violates the wire protocol (e.g. invalid UTF-8).
+
+    Distinct from a well-formed request that *parses* badly: protocol
+    errors are byte-level garbage the server refuses to interpret at
+    all, answered with an ``ok: false`` line instead of a silently
+    mangled best-effort decode.
+    """

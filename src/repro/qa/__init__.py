@@ -20,6 +20,7 @@ Driven by ``python -m repro fuzz`` (see ``docs/FUZZING.md``) and by the
 deterministic matrix suite in ``tests/qa/``.
 """
 
+from .faults import WorkerKillPlan, inject_worker_kills
 from .oracle import (
     Divergence,
     OracleReport,
@@ -58,4 +59,6 @@ __all__ = [
     "push_plan_for",
     "sample_case",
     "sample_config",
+    "WorkerKillPlan",
+    "inject_worker_kills",
 ]

@@ -92,7 +92,10 @@ class CurveService:
     seconds) applies to requests submitted without one.  Traces of at
     least ``shard_threshold`` accesses are solved as sharded
     ``parallel-iaf`` runs over ``shard_workers`` threads instead of
-    joining a batch.
+    joining a batch; ``shard_processes=True`` routes those shards to
+    the persistent shared-memory process pool
+    (:mod:`repro.parallel_exec`) as ``process-iaf`` solves instead —
+    one pool per process, shared across services and dispatch ticks.
     """
 
     def __init__(
@@ -103,6 +106,7 @@ class CurveService:
         workers: int = 2,
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
         shard_workers: int = 4,
+        shard_processes: bool = False,
         default_deadline: Optional[float] = None,
         tick_seconds: float = 0.02,
         latency_window: int = 1024,
@@ -121,6 +125,17 @@ class CurveService:
         self._max_batch = max_batch
         self._shard_threshold = shard_threshold
         self._shard_workers = shard_workers
+        self._shard_processes = shard_processes
+        if shard_processes:
+            # Warm the process pool before traffic arrives: the shared
+            # executor (one per process, reused by every dispatch tick)
+            # forks its workers here, not inside the first oversized
+            # request.  Service close() leaves the pool running — it is
+            # shared with other services and the library's direct
+            # callers; atexit tears it down.
+            from ..parallel_exec import default_executor
+
+            default_executor(shard_workers)
         self._default_deadline = default_deadline
         self._tick = tick_seconds
         self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=max_queue)
@@ -250,6 +265,17 @@ class CurveService:
                 return
             self._gate.release()
             self._pause_held = False
+
+    def record_protocol_error(self) -> None:
+        """Count one malformed (undecodable) request line.
+
+        The line front ends call this for input that never reaches
+        :func:`~repro.service.server.parse_request` — e.g. bytes that are
+        not valid UTF-8 — so operators can tell protocol garbage apart
+        from well-formed requests that failed.
+        """
+        with self._lock:
+            self.counters.add("service.protocol_errors")
 
     def metrics(self) -> Dict[str, float]:
         """Counter snapshot plus queue depth and latency percentiles."""
@@ -400,8 +426,10 @@ class CurveService:
     def _run_single(self, req: _Request, shard: bool = False) -> None:
         cfg = req.config
         if shard:
+            algorithm = ("process-iaf" if self._shard_processes
+                         else "parallel-iaf")
             cfg = cfg.replace(
-                algorithm="parallel-iaf", workers=self._shard_workers,
+                algorithm=algorithm, workers=self._shard_workers,
                 workspace=None,
             )
             with self._lock:

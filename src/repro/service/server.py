@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..core.config import SolveConfig, SolveResult
-from ..errors import ReproError
+from ..errors import ProtocolError, ReproError
 from ..workloads.traceio import read_trace
 from .curve_service import CurveService, SolveFuture
 
@@ -137,7 +137,7 @@ def _error_payload(
 
 
 def serve_stream(
-    lines: Iterable[str],
+    lines: "Iterable[Any]",
     emit: Callable[[str], None],
     service: CurveService,
     *,
@@ -145,11 +145,16 @@ def serve_stream(
 ) -> int:
     """Run the line protocol over one request stream.
 
-    Reads requests from ``lines``, writes each JSON response through
-    ``emit`` as its solve completes (under a lock — responses stay whole
-    lines), and blocks until every accepted request has been answered.
-    Returns the number of failed requests (parse errors, rejections, and
-    solve errors alike); the caller owns the service's lifecycle.
+    Reads requests from ``lines`` — ``str`` or raw ``bytes`` lines;
+    bytes are decoded *strictly* as UTF-8, and an undecodable line is
+    answered with a :class:`~repro.errors.ProtocolError` response (and
+    counted as ``service.protocol_errors``) instead of being silently
+    mangled by a lossy decode.  Each JSON response goes through ``emit``
+    as its solve completes (under a lock — responses stay whole lines),
+    and the call blocks until every accepted request has been answered.
+    Returns the number of failed requests (protocol errors, parse
+    errors, rejections, and solve errors alike); the caller owns the
+    service's lifecycle.
     """
     out_lock = threading.Lock()
     failures = [0]
@@ -166,6 +171,15 @@ def serve_stream(
     # could close under the last response.)
     answered: List[threading.Event] = []
     for line in lines:
+        if isinstance(line, (bytes, bytearray)):
+            try:
+                line = bytes(line).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                service.record_protocol_error()
+                send(_error_payload(None, ProtocolError(
+                    f"request line is not valid UTF-8: {exc}"
+                )))
+                continue
         if not line.strip():
             continue
         try:
@@ -221,9 +235,11 @@ class _LineHandler(socketserver.StreamRequestHandler):
             self.wfile.write(text.encode("utf-8") + b"\n")
             self.wfile.flush()
 
-        lines = (raw.decode("utf-8", "replace") for raw in self.rfile)
+        # Raw byte lines go straight to serve_stream, which decodes
+        # strictly and answers undecodable input with a ProtocolError
+        # line (a lossy decode here used to mangle requests silently).
         serve_stream(
-            lines, emit, self.server.service,  # type: ignore[attr-defined]
+            self.rfile, emit, self.server.service,  # type: ignore[attr-defined]
             default_config=self.server.default_config,  # type: ignore[attr-defined]
         )
 

@@ -7,8 +7,9 @@ from hypothesis import strategies as st
 
 from repro.baselines.naive import naive_hit_counts
 from repro.core.bounded import bounded_iaf
+from repro.core.hitrate import HitRateCurve
 from repro.core.streaming import OnlineCurveAnalyzer, analyze_stream
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ReproError
 
 from ..conftest import nonempty_traces
 
@@ -105,3 +106,91 @@ class TestExpandK:
         for kk in (1, 2, 3):
             w = int(want[min(kk, len(want)) - 1]) if len(want) else 0
             assert curve.hits(kk) == w
+
+    def test_preserves_chunk_multiplier(self):
+        """Regression: expand_k used to clamp the chunk to ≈k, silently
+        discarding chunk_multiplier and the bounded-IAF amortization."""
+        a = OnlineCurveAnalyzer(2, chunk_multiplier=4)  # chunk 8
+        assert a.chunk_length == 8
+        a.expand_k(16)
+        assert a.chunk_multiplier == 4
+        assert a.chunk_length == 64  # old code: max(8, 16) == 16
+
+    def test_preserves_pending_buffer(self):
+        """The partial chunk survives the grow: windows only complete on
+        the *new* multiplier·k boundary, with nothing lost or replayed."""
+        a = OnlineCurveAnalyzer(2, chunk_multiplier=4)
+        a.push([1, 2, 3])  # 3 pending of chunk 8
+        a.expand_k(16)     # chunk becomes 64
+        assert a.accesses_ingested == 3
+        # 61 more fill the window exactly once (old code with chunk 16
+        # would have completed four windows here).
+        completed = a.push(np.arange(61) % 5)
+        assert completed == 1
+        assert len(a.windows) == 1
+        assert a.accesses_ingested == 64
+
+    def test_windows_after_expand_match_offline_run(self):
+        """Post-expansion behavior equals a fresh analyzer at the new k
+        fed the same remaining stream against the same Q̄ suffix."""
+        tr = np.random.default_rng(3).integers(0, 10, size=48)
+        a = OnlineCurveAnalyzer(2, chunk_multiplier=2)
+        a.push(tr[:16])   # 4 windows at chunk 4
+        a.expand_k(4)     # chunk 8
+        a.push(tr[16:])   # 32 more -> 4 windows of 8
+        assert len(a.windows) == 8
+        want = naive_hit_counts(tr)
+        curve = a.curve()
+        for kk in (1, 2):  # smallest truncation still rules the merge
+            assert curve.hits(kk) == int(want[min(kk, len(want)) - 1])
+
+
+class TestRetruncate:
+    def test_short_window_padded_to_full_length(self):
+        """Regression: a window curve shorter than k was sliced by a
+        no-op ``[:k]`` yet labeled ``truncated_at=k`` — the merged curve
+        claimed k explicit sizes while storing fewer."""
+        a = OnlineCurveAnalyzer(5)
+        a.push([1, 1])  # max reuse distance 1 -> stored curve length 1
+        curve = a.curve()
+        assert curve.truncated_at == 5
+        assert curve.max_size == 5  # old code: max_size == 1
+        assert curve.hits(5) == 1
+
+    def test_padding_is_exact_flat_tail(self):
+        got = OnlineCurveAnalyzer._retruncate(
+            HitRateCurve(np.array([3], dtype=np.int64), 10,
+                         truncated_at=8),
+            5,
+        )
+        assert got.truncated_at == 5
+        assert np.array_equal(got.hits_cumulative, [3, 3, 3, 3, 3])
+
+    def test_long_curve_cut_to_k(self):
+        got = OnlineCurveAnalyzer._retruncate(
+            HitRateCurve(np.array([1, 2, 3, 4], dtype=np.int64), 10,
+                         truncated_at=4),
+            2,
+        )
+        assert got.truncated_at == 2
+        assert np.array_equal(got.hits_cumulative, [1, 2])
+
+    def test_refuses_to_extend_past_truncation(self):
+        short = HitRateCurve(np.array([2], dtype=np.int64), 4,
+                             truncated_at=2)
+        with pytest.raises(ReproError, match="truncated at 2"):
+            OnlineCurveAnalyzer._retruncate(short, 5)
+
+    def test_mixed_length_windows_merge_cleanly(self):
+        """Windows with different stored lengths (hot window: short
+        curve; scan window: full length) merge into one full-length,
+        correctly labeled curve."""
+        a = OnlineCurveAnalyzer(4, chunk_multiplier=1)
+        a.push([7, 7, 7, 7])          # window 0: all distance-1 hits
+        a.push([1, 2, 3, 4])          # window 1: compulsory misses
+        merged = a.curve()
+        assert merged.truncated_at == 4
+        assert merged.max_size == 4
+        want = naive_hit_counts(np.array([7, 7, 7, 7, 1, 2, 3, 4]))
+        for kk in range(1, 5):
+            assert merged.hits(kk) == int(want[min(kk, len(want)) - 1])

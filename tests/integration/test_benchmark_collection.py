@@ -34,6 +34,7 @@ EXPECTED_MODULES = [
     "bench_locality.py",
     "bench_obs_overhead.py",
     "bench_pram_span.py",
+    "bench_process_parallel.py",
     "bench_sec93_cache_limit.py",
     "bench_sec95_64bit.py",
     "bench_shards_tradeoff.py",

@@ -124,6 +124,89 @@ class TestServeStream:
             sorted(str(i) for i in range(10))
 
 
+class TestProtocolErrors:
+    """Regression: byte lines used to be decoded with errors="replace",
+    so undecodable requests were silently mangled into U+FFFD garbage
+    and failed downstream with a misleading parse error."""
+
+    def run_bytes(self, lines):
+        out = []
+        with CurveService(workers=1) as svc:
+            failures = serve_stream(iter(lines), out.append, svc)
+            metrics = svc.metrics()
+        return [json.loads(text) for text in out], failures, metrics
+
+    def test_invalid_utf8_answered_with_protocol_error(self):
+        responses, failures, metrics = self.run_bytes([
+            b'{"trace": [1, 2, 1], "id": "good", "sizes": [1]}\n',
+            b"\xff\xfe not utf-8 \x80\n",
+        ])
+        assert failures == 1
+        assert metrics["service.protocol_errors"] == 1
+        by_ok = {r["ok"]: r for r in responses}
+        assert by_ok[True]["id"] == "good"
+        bad = by_ok[False]
+        assert bad["error"] == "ProtocolError"
+        assert "not valid UTF-8" in bad["message"]
+        assert bad["id"] is None  # undecodable line has no usable id
+
+    def test_valid_bytes_lines_decode_strictly(self):
+        request = {"trace": [1, 2, 1, 2], "id": "bytes", "sizes": [2]}
+        responses, failures, metrics = self.run_bytes([
+            (json.dumps(request) + "\n").encode("utf-8"),
+        ])
+        assert failures == 0
+        assert metrics.get("service.protocol_errors", 0) == 0
+        assert responses[0]["ok"] is True
+        assert responses[0]["hit_rates"]["2"] == pytest.approx(0.5)
+
+    def test_stream_continues_after_protocol_error(self):
+        """One bad client line must not poison later requests."""
+        lines = [
+            b"\x80\x81\x82\n",
+            b'{"trace": [5, 5, 5], "id": "after", "sizes": [1]}\n',
+            b"\xc3\x28\n",  # invalid continuation byte
+        ]
+        responses, failures, metrics = self.run_bytes(lines)
+        assert failures == 2
+        assert metrics["service.protocol_errors"] == 2
+        ok = [r for r in responses if r["ok"]]
+        assert len(ok) == 1 and ok[0]["id"] == "after"
+
+    def test_tcp_client_gets_protocol_error_line(self, trace_file):
+        path, _ = trace_file
+        with CurveService(workers=1) as svc:
+            server = serve_tcp(svc, "127.0.0.1", 0)
+            host, port = server.server_address[:2]
+            runner = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            runner.start()
+            try:
+                with socket.create_connection((host, port),
+                                              timeout=30) as sock:
+                    sock.sendall(b"\xff\xfebad\n" +
+                                 json.dumps({"trace": path,
+                                             "id": "tcp"}).encode() +
+                                 b"\n")
+                    sock.shutdown(socket.SHUT_WR)
+                    buf = b""
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        buf += chunk
+                responses = [json.loads(l) for l in
+                             buf.decode().strip().splitlines()]
+            finally:
+                server.shutdown()
+                server.server_close()
+            metrics = svc.metrics()
+        assert metrics["service.protocol_errors"] == 1
+        by_id = {r["id"]: r for r in responses}
+        assert by_id["tcp"]["ok"] is True
+        assert by_id[None]["error"] == "ProtocolError"
+
+
 class TestServeCLI:
     def test_stdin_mode(self, trace_file, capsys, monkeypatch):
         path, trace = trace_file
