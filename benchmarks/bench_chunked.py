@@ -1,0 +1,251 @@
+"""Chunked incremental IAF: steady-state memory and throughput.
+
+The measurement behind ``repro.core.chunked``: the chunked engine's
+working set is O(u + chunk) — living carry plus one chunk solve — while
+the batch engine materializes O(n) op arrays.  The curve is bit-identical
+either way (checked here before any timing), so the chunk size is purely
+a memory/throughput dial.
+
+Each side runs in its own subprocess and reports its peak RSS
+(``ru_maxrss``), so the sides cannot pollute each other's allocator high
+watermark:
+
+* **batch** — ``iaf_hit_rate_curve`` over the materialized trace, at n
+  and 4n.  RSS grows with n; that growth is the baseline.
+* **chunked** — :class:`~repro.core.chunked.ChunkedIAF` fed the same
+  stream in pushes (the trace is never materialized), at n and 4n and
+  across a sweep of chunk sizes.  RSS and the engine's own
+  ``state_nbytes`` must plateau: 4x the accesses, same footprint.
+
+Acceptance bars (recorded in ``BENCH_chunked.json``):
+
+* chunked and batch curves agree exactly at every measured point;
+* chunked peak RSS grows < ``RSS_GROWTH_HEADROOM`` from n to 4n while
+  the carried ``state_nbytes`` stays flat;
+* chunked throughput at the default chunk stays within
+  ``THROUGHPUT_FLOOR`` of the batch engine.
+
+Runs two ways: under pytest like the sibling benches, or as a script
+(CI's perf-smoke job, under a hard ``timeout``) which writes the JSON
+and exits nonzero on regression::
+
+    PYTHONPATH=src python benchmarks/bench_chunked.py
+
+``REPRO_BENCH_CHUNKED_N`` scales the base stream length (default
+1_000_000; CI uses a smaller value for runtime).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_chunked.json"
+CHILD_FLAG = "--child"  # internal: one isolated (mode, n, chunk) point
+
+UNIVERSE = 8192
+PUSH = 4096                  # stream granularity fed to the engine
+CHUNK_SWEEP = (4096, 32768, 131072)
+RSS_GROWTH_HEADROOM = 1.35   # chunked peak RSS from n to 4n
+THROUGHPUT_FLOOR = 10.0      # batch may be at most this many x faster
+
+
+def chunked_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_CHUNKED_N", 1_000_000))
+
+
+def _push_stream(n: int, seed: int = 23):
+    """The benchmark stream, generated push by push (never materialized)."""
+    rng = np.random.default_rng(seed)
+    for start in range(0, n, PUSH):
+        yield rng.integers(0, UNIVERSE, size=min(PUSH, n - start))
+
+
+def _checksum(curve) -> int:
+    return int(curve.hits_cumulative.sum()) + curve.total_accesses * 10**9
+
+
+def _child(mode: str, n: int, chunk: int) -> Dict[str, float]:
+    t0 = time.perf_counter()
+    if mode == "batch":
+        from repro.core.engine import iaf_hit_rate_curve
+
+        trace = np.concatenate(list(_push_stream(n)))
+        curve = iaf_hit_rate_curve(trace)
+        state = int(trace.nbytes)
+    else:
+        from repro.core.chunked import ChunkedIAF
+
+        engine = ChunkedIAF(chunk)
+        for batch in _push_stream(n):
+            engine.push(batch)
+        curve = engine.finalize()
+        state = engine.state_nbytes  # living carry (+ empty pending)
+    seconds = time.perf_counter() - t0
+    return {
+        "rss_kb": float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "seconds": seconds,
+        "state_nbytes": float(state),
+        "checksum": float(_checksum(curve)),
+    }
+
+
+def _run_point(mode: str, n: int, chunk: int) -> Dict[str, float]:
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()),
+         CHILD_FLAG, mode, str(n), str(chunk)],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return json.loads(proc.stdout.strip())
+
+
+def measure(n: int) -> Dict[str, object]:
+    default_chunk = 32768
+    batch_1 = _run_point("batch", n, 0)
+    batch_4 = _run_point("batch", 4 * n, 0)
+    chunked_1 = _run_point("chunked", n, default_chunk)
+    chunked_4 = _run_point("chunked", 4 * n, default_chunk)
+    sweep: List[Dict[str, float]] = []
+    for chunk in CHUNK_SWEEP:
+        point = _run_point("chunked", n, chunk)
+        point["chunk"] = chunk
+        sweep.append(point)
+    return {
+        "n": n,
+        "universe": UNIVERSE,
+        "default_chunk": default_chunk,
+        "batch": {"n1": batch_1, "n4": batch_4},
+        "chunked": {"n1": chunked_1, "n4": chunked_4},
+        "chunk_sweep": sweep,
+        "batch_rss_growth": batch_4["rss_kb"] / batch_1["rss_kb"],
+        "chunked_rss_growth": chunked_4["rss_kb"] / chunked_1["rss_kb"],
+        "throughput_ratio": (
+            (n / chunked_1["seconds"]) / (n / batch_1["seconds"])
+            if chunked_1["seconds"] and batch_1["seconds"] else 0.0
+        ),
+    }
+
+
+def verify(results: Dict[str, object]) -> List[str]:
+    """Every regression-gate violation, as human-readable strings."""
+    problems: List[str] = []
+    batch, chunked = results["batch"], results["chunked"]
+    for point in (chunked["n1"], *results["chunk_sweep"]):
+        if point["checksum"] != batch["n1"]["checksum"]:
+            problems.append(
+                "chunked curve diverges from the batch engine at n="
+                f"{results['n']}"
+            )
+            break
+    if chunked["n4"]["checksum"] != batch["n4"]["checksum"]:
+        problems.append(
+            f"chunked curve diverges from batch at n={4 * results['n']}"
+        )
+    if results["chunked_rss_growth"] > RSS_GROWTH_HEADROOM:
+        problems.append(
+            f"chunked peak RSS grew {results['chunked_rss_growth']:.2f}x "
+            f"from n to 4n (> {RSS_GROWTH_HEADROOM}x): the working set "
+            "is no longer O(u + chunk)"
+        )
+    if chunked["n4"]["state_nbytes"] > chunked["n1"]["state_nbytes"]:
+        problems.append(
+            "carried state_nbytes grew with n after universe saturation"
+        )
+    if results["throughput_ratio"] < 1.0 / THROUGHPUT_FLOOR:
+        problems.append(
+            f"chunked throughput is {1 / results['throughput_ratio']:.1f}x "
+            f"slower than batch (floor: {THROUGHPUT_FLOOR}x)"
+        )
+    return problems
+
+
+def write_json(results: Dict[str, object]) -> None:
+    JSON_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def _render(results: Dict[str, object]) -> str:
+    from repro.analysis.report import render_table
+
+    batch, chunked = results["batch"], results["chunked"]
+    n = results["n"]
+    rows = [
+        ["batch", f"{n:,}", f"{batch['n1']['rss_kb'] / 1024:.0f}",
+         f"{batch['n1']['seconds']:.2f}"],
+        ["batch", f"{4 * n:,}", f"{batch['n4']['rss_kb'] / 1024:.0f}",
+         f"{batch['n4']['seconds']:.2f}"],
+        ["chunked", f"{n:,}", f"{chunked['n1']['rss_kb'] / 1024:.0f}",
+         f"{chunked['n1']['seconds']:.2f}"],
+        ["chunked", f"{4 * n:,}", f"{chunked['n4']['rss_kb'] / 1024:.0f}",
+         f"{chunked['n4']['seconds']:.2f}"],
+    ] + [
+        [f"chunked c={p['chunk']:,}", f"{n:,}",
+         f"{p['rss_kb'] / 1024:.0f}", f"{p['seconds']:.2f}"]
+        for p in results["chunk_sweep"]
+    ]
+    return render_table(
+        f"Chunked vs batch (u={results['universe']:,}, "
+        f"default chunk={results['default_chunk']:,})",
+        ["engine", "accesses", "peak RSS (MB)", "wall (s)"],
+        rows,
+        note=(
+            f"batch RSS growth n→4n: {results['batch_rss_growth']:.2f}x; "
+            f"chunked: {results['chunked_rss_growth']:.2f}x; "
+            f"results recorded in {JSON_PATH.name}"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (same harness style as the sibling bench modules)
+# ---------------------------------------------------------------------------
+
+def test_chunked_memory_plateau_and_throughput(benchmark):
+    results = benchmark.pedantic(
+        lambda: measure(chunked_n()), rounds=1, iterations=1
+    )
+    write_json(results)
+    from _common import write_result
+
+    write_result("chunked", _render(results))
+    problems = verify(results)
+    assert not problems, "\n".join(problems)
+
+
+def main() -> int:
+    results = measure(chunked_n())
+    write_json(results)
+    print(_render(results))
+    problems = verify(results)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(
+        f"ok: chunked RSS growth n→4n {results['chunked_rss_growth']:.2f}x "
+        f"(batch {results['batch_rss_growth']:.2f}x); throughput "
+        f"{results['throughput_ratio']:.2f}x of batch"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 5 and sys.argv[1] == CHILD_FLAG:
+        print(json.dumps(_child(sys.argv[2], int(sys.argv[3]),
+                                int(sys.argv[4]))))
+        sys.exit(0)
+    sys.exit(main())

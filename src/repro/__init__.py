@@ -42,6 +42,8 @@ from .core import (
     ALGORITHMS,
     ENGINE_BACKENDS,
     BoundedResult,
+    ChunkedIAF,
+    ChunkedResult,
     EngineStats,
     HitRateCurve,
     OnlineCurveAnalyzer,
@@ -50,6 +52,7 @@ from .core import (
     Workspace,
     analyze_stream,
     bounded_iaf,
+    chunked_iaf,
     external_iaf_distances,
     hit_rate_curve,
     hit_rate_curves_batch,
@@ -74,6 +77,9 @@ __all__ = [
     "ALGORITHMS",
     "ENGINE_BACKENDS",
     "BoundedResult",
+    "ChunkedIAF",
+    "ChunkedResult",
+    "chunked_iaf",
     "DEFAULT_DTYPE",
     "EngineStats",
     "HitRateCurve",

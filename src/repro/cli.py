@@ -83,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--algorithm", default="iaf", choices=list(ALGORITHMS))
     ana.add_argument("--max-cache-size", "-k", type=int, default=None)
     ana.add_argument("--workers", type=int, default=1)
+    ana.add_argument("--chunk-size", type=int, default=None,
+                     help="accesses per chunk for chunked-iaf (result is "
+                          "identical for every value; memory is not)")
     ana.add_argument("--engine-backend", default="fused",
                      choices=list(ENGINE_BACKENDS),
                      help="engine level kernel (naive = differential "
@@ -268,6 +271,7 @@ def _cmd_analyze_batch(args: argparse.Namespace) -> int:
         max_cache_size=args.max_cache_size,
         workers=args.workers,
         engine_backend=args.engine_backend,
+        chunk_size=args.chunk_size,
     )
     t0 = time.perf_counter()
     # The same execution path as `repro serve`: one service, all files
@@ -321,6 +325,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             max_cache_size=args.max_cache_size,
             workers=args.workers,
             engine_backend=args.engine_backend,
+            chunk_size=args.chunk_size,
         )).curve
     elapsed = time.perf_counter() - t0
     _report_curve(

@@ -11,6 +11,7 @@ from .bounded import (
     parallel_bounded_iaf,
     recent_distinct_suffix,
 )
+from .chunked import ChunkedIAF, ChunkedResult, chunked_iaf
 from .engine import (
     ENGINE_BACKENDS,
     EngineStats,
@@ -84,6 +85,9 @@ __all__ = [
     "forward_distances_via_reversal",
     "parallel_bounded_iaf",
     "recent_distinct_suffix",
+    "ChunkedIAF",
+    "ChunkedResult",
+    "chunked_iaf",
     "ENGINE_BACKENDS",
     "EngineStats",
     "Segments",

@@ -9,6 +9,7 @@ examples, tests, and benchmarks all drive the same surface:
 ==================  ========================================================
 ``"iaf"``           vectorized INCREMENT-AND-FREEZE (default)
 ``"bounded-iaf"``   BOUNDED-IAF (Section 7; honors ``max_cache_size``)
+``"chunked-iaf"``   incremental exact IAF with living-request carryover
 ``"parallel-iaf"``  thread-pool IAF (honors ``workers``)
 ``"external-iaf"``  EXTERNAL-IAF against a simulated block device
 ``"reference"``     the paper-faithful pure-Python recursion
@@ -175,6 +176,13 @@ def _solve_dispatch(
     if algorithm == "bounded-iaf":
         res = bounded_iaf(arr, cfg.max_cache_size, dtype=dtype, stats=stats,
                           engine_backend=cfg.engine_backend)
+        return res.curve, None, stats
+    if algorithm == "chunked-iaf":
+        from .chunked import chunked_iaf
+
+        res = chunked_iaf(arr, cfg.chunk_size, dtype=dtype, stats=stats,
+                          engine_backend=cfg.engine_backend,
+                          workspace=cfg.workspace)
         return res.curve, None, stats
     if algorithm == "parallel-iaf":
         d = parallel_iaf_distances(arr, workers=cfg.workers, dtype=dtype,

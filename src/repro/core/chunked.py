@@ -1,0 +1,404 @@
+"""CHUNKED-INCREMENT-AND-FREEZE: incremental exact IAF, chunk by chunk.
+
+The batch engine materializes full-trace ``prev``/``next`` arrays, so a
+month-long trace costs O(n) memory even though the curve itself only
+needs O(u) state (one entry per distinct address).  This module is the
+online form the paper's Section 7 machinery makes possible *without*
+giving up exactness: consume the trace chunk-by-chunk and carry only the
+**living requests** between chunks — the last access of every address
+that is still distinct, ordered by recency, together with its global
+position (the ``living_req`` representation of the etwest exemplar).
+
+Per chunk ``C`` with carried living set ``L`` the engine solves the
+synthetic trace ``R = L · C`` with the existing fused partition kernel
+(via the reversal duality ``f(T) = reverse(d(reverse(T)))``) and keeps
+only the chunk part of the forward distances.  This is exact, not an
+approximation: every address in the global interval ``(prev(i), i)`` of
+a chunk access ``i`` either re-occurs inside the chunk or is living at
+the chunk boundary with a last access inside the interval, so distinct
+counts over ``R`` equal distinct counts over the full trace — Lemma 7.1
+with the truncation bound removed.  BOUNDED-IAF's ``Q̄`` suffix is the
+``k``-truncated special case of this carry.
+
+Consequences:
+
+* ``ChunkedIAF.finalize()`` is **bit-identical** to
+  :func:`repro.core.engine.iaf_hit_rate_curve` for *every* chunk size —
+  the per-window forward-distance histograms partition the full trace's
+  backward-distance histogram.
+* Steady-state memory is O(u + chunk): the living carry, the pending
+  buffer, and one chunk solve's engine state.  Nothing grows with n.
+* With ``max_cache_size=k`` the carry is truncated to the ``k`` most
+  recent living requests and windows come out ``truncated_at=k`` —
+  exactly the BOUNDED-IAF chunk loop, which is how
+  :class:`repro.core.streaming.OnlineCurveAnalyzer` now runs on top of
+  this engine.
+
+See docs/STREAMING.md for the architecture write-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
+from ..errors import CapacityError, ReproError
+from ..metrics.memory import MemoryModel
+from ..obs import NULL_SPAN, get_tracer
+from .engine import EngineStats, Workspace, iaf_distances
+from .hitrate import HitRateCurve, curve_from_forward_distances, merge_curves
+from .prevnext import last_access_carryover, prev_next_arrays
+
+#: Default accesses per chunk for the exact (untruncated) mode.  Large
+#: enough to amortize per-chunk overhead, small enough that the chunk
+#: solve's working set stays modest next to the O(u) carry.
+DEFAULT_CHUNK_SIZE = 1 << 15
+
+
+def _restate_truncation(curve: HitRateCurve, k: int) -> HitRateCurve:
+    """Restate ``curve`` with exactly ``k`` explicit sizes.
+
+    Valid only when ``k`` does not exceed the curve's own truncation
+    bound: the curve is then exact for every size up to ``k``, so short
+    arrays extend with a flat tail and long ones are cut.
+    """
+    if curve.truncated_at is not None and curve.truncated_at < k:
+        raise ReproError(
+            f"cannot restate a curve truncated at "
+            f"{curve.truncated_at} for k={k}: sizes beyond the "
+            f"truncation are unknown"
+        )
+    if curve.truncated_at == k and curve.max_size == k:
+        return curve
+    return HitRateCurve(
+        curve._padded(k)[:k], curve.total_accesses, truncated_at=k
+    )
+
+
+class ChunkedIAF:
+    """Incremental IAF over a pushed stream, with living-request carry.
+
+    ``max_cache_size=None`` (the default) is the exact mode: the carry
+    holds *all* living requests and :meth:`finalize` reproduces the
+    batch engine's full curve bit for bit.  ``max_cache_size=k``
+    truncates the carry to the ``k`` most recent living requests and
+    produces ``truncated_at=k`` windows — the BOUNDED-IAF regime.
+
+    ``workspace`` is an optional fused-kernel
+    :class:`~repro.core.engine.Workspace` shared across the per-chunk
+    solves (one is created internally for the fused backend); like every
+    workspace it must not be used by two solves concurrently.
+    """
+
+    def __init__(
+        self,
+        chunk_size: Optional[int] = None,
+        *,
+        max_cache_size: Optional[int] = None,
+        dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+        engine_backend: str = "fused",
+        stats: Optional[EngineStats] = None,
+        memory: Optional[MemoryModel] = None,
+        workspace: Optional[Workspace] = None,
+        span_name: str = "chunked.chunk",
+    ) -> None:
+        if max_cache_size is not None and max_cache_size < 1:
+            raise CapacityError(
+                f"max_cache_size must be >= 1, got {max_cache_size}"
+            )
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        if chunk_size < 1:
+            raise CapacityError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self._chunk_size = int(chunk_size)
+        self._k = None if max_cache_size is None else int(max_cache_size)
+        self._dtype = validate_dtype(dtype)
+        self._backend = engine_backend
+        self._stats = stats
+        self._memory = memory
+        self._span_name = span_name
+        if workspace is None and engine_backend == "fused":
+            workspace = Workspace()
+        self._workspace = workspace
+        self._living_addrs = np.zeros(0, dtype=self._dtype)
+        self._living_last = np.zeros(0, dtype=np.int64)
+        self._pending: List[np.ndarray] = []
+        self._pending_len = 0
+        self._windows: List[HitRateCurve] = []
+        self._accesses = 0
+        self._processed = 0
+        self._preview: Optional[HitRateCurve] = None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    @property
+    def max_cache_size(self) -> Optional[int]:
+        return self._k
+
+    @property
+    def accesses_ingested(self) -> int:
+        """Total accesses pushed so far (including unprocessed buffer)."""
+        return self._accesses
+
+    @property
+    def living(self) -> np.ndarray:
+        """Living addresses after the processed prefix, least-recent first."""
+        return self._living_addrs.copy()
+
+    @property
+    def living_last_access(self) -> np.ndarray:
+        """Global last-access position of each living address."""
+        return self._living_last.copy()
+
+    @property
+    def living_size(self) -> int:
+        return int(self._living_addrs.size)
+
+    @property
+    def windows(self) -> List[HitRateCurve]:
+        """Curves of completed chunks, in stream order."""
+        return list(self._windows)
+
+    @property
+    def state_nbytes(self) -> int:
+        """Bytes of carried state: living map + pending buffer.
+
+        This is the quantity that plateaus at O(u + chunk) — the soak
+        benchmark charts it (plus process RSS) against the batch
+        engine's O(n) footprint.
+        """
+        pending = sum(int(a.nbytes) for a in self._pending)
+        return (
+            int(self._living_addrs.nbytes)
+            + int(self._living_last.nbytes)
+            + pending
+        )
+
+    # -- ingestion ----------------------------------------------------------
+
+    def push(self, accesses: TraceLike) -> int:
+        """Ingest a batch of accesses; returns chunks completed by it.
+
+        Input is validated exactly like the offline entry points (via
+        :func:`repro._typing.as_trace`).
+        """
+        arr = np.atleast_1d(np.asarray(accesses))
+        arr = as_trace(arr, dtype=self._dtype)
+        if arr.size:
+            self._preview = None
+        self._accesses += int(arr.size)
+        completed = 0
+        while arr.size:
+            room = self._chunk_size - self._pending_len
+            take, arr = arr[:room], arr[room:]
+            self._pending.append(take)
+            self._pending_len += int(take.size)
+            if self._pending_len == self._chunk_size:
+                self._process_pending()
+                completed += 1
+        return completed
+
+    def flush(self) -> bool:
+        """Process a partial chunk now (window boundary); True if any."""
+        if self._pending_len == 0:
+            return False
+        self._process_pending()
+        return True
+
+    def reconfigure(
+        self,
+        *,
+        chunk_size: Optional[int] = None,
+        max_cache_size: Optional[int] = None,
+    ) -> None:
+        """Adjust the chunk length and/or grow the truncation bound.
+
+        The pending buffer and completed windows are untouched; a larger
+        chunk simply means more room before the next boundary.  The
+        truncation bound can only grow (shrinking would claim knowledge
+        about sizes the carry already discarded) — past windows keep
+        their old bound, the living carry just stops truncating as hard.
+        """
+        if chunk_size is not None:
+            if chunk_size < 1:
+                raise CapacityError(
+                    f"chunk_size must be >= 1, got {chunk_size}"
+                )
+            self._chunk_size = int(chunk_size)
+        if max_cache_size is not None:
+            if self._k is None or max_cache_size < self._k:
+                raise CapacityError("k can only grow, never shrink")
+            self._k = int(max_cache_size)
+        self._preview = None
+
+    def _process_pending(self) -> None:
+        chunk = (
+            np.concatenate(self._pending)
+            if len(self._pending) != 1
+            else self._pending[0]
+        )
+        self._pending = []
+        self._pending_len = 0
+        self._preview = None
+        tracer = get_tracer()
+        span = (
+            tracer.span(self._span_name, window=len(self._windows),
+                        n=int(chunk.size), living=self.living_size,
+                        k=0 if self._k is None else self._k)
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            if self._memory is not None:
+                self._memory.observe(
+                    "chunked.living",
+                    int(self._living_addrs.nbytes)
+                    + int(self._living_last.nbytes),
+                )
+            self._windows.append(self._solve_chunk(chunk, self._stats))
+            self._living_addrs, self._living_last = last_access_carryover(
+                self._living_addrs, self._living_last, chunk,
+                self._processed, 0 if self._k is None else self._k,
+            )
+            self._processed += int(chunk.size)
+
+    def _solve_chunk(
+        self, chunk: np.ndarray, stats: Optional[EngineStats]
+    ) -> HitRateCurve:
+        """Solve ``living · chunk`` and keep the chunk's contributions.
+
+        Side-effect free with ``stats=None`` — the preview path relies
+        on that to answer mid-chunk queries without double-charging the
+        engine instrumentation.
+        """
+        r_trace = np.concatenate([self._living_addrs, chunk]).astype(
+            self._dtype, copy=False
+        )
+        if self._memory is not None:
+            self._memory.observe("chunked.chunk", int(r_trace.nbytes) * 2)
+        prev_r, _ = prev_next_arrays(r_trace)
+        # Reversal duality: the backward distances of the reversed trace,
+        # reversed, are the forward distances of the original.
+        d_rev = iaf_distances(r_trace[::-1], dtype=self._dtype, stats=stats,
+                              engine_backend=self._backend,
+                              workspace=self._workspace)
+        f = d_rev[::-1]
+        m = self._living_addrs.size
+        prev_chunk = prev_r[m:]
+        prev_map = np.where(prev_chunk == -1, -1, 0)
+        if self._memory is not None:
+            self._memory.observe("chunked.chunk", 0)
+        if self._k is None:
+            return curve_from_forward_distances(f[m:], prev_map)
+        return curve_from_forward_distances(
+            np.minimum(f[m:], self._k + 1), prev_map, truncated_at=self._k
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def preview(self) -> Optional[HitRateCurve]:
+        """Curve of the pending partial chunk, without committing it.
+
+        Side-effect free and cached: repeated calls between pushes
+        re-use the answer instead of re-solving the same accesses, and
+        the solve records into neither ``stats`` nor a window.  Returns
+        ``None`` when nothing is pending.
+        """
+        if self._pending_len == 0:
+            return None
+        if self._preview is None:
+            chunk = np.concatenate(self._pending)
+            self._preview = self._solve_chunk(chunk, None)
+        return self._preview
+
+    def curve(self, *, include_pending: bool = True) -> HitRateCurve:
+        """The curve over everything ingested so far.
+
+        With ``include_pending`` the partial chunk is analyzed on the
+        fly (cached, never committed as a window), so the answer is
+        always exact for the full prefix of the stream.
+        """
+        parts = list(self._windows)
+        if include_pending:
+            pending = self.preview()
+            if pending is not None:
+                parts.append(pending)
+        if not parts:
+            return HitRateCurve(
+                np.zeros(0, dtype=np.int64), 0, truncated_at=self._k
+            )
+        if self._k is None:
+            return merge_curves(parts)
+        ks = [p.truncated_at for p in parts if p.truncated_at is not None]
+        k = min(ks + [self._k])
+        return merge_curves([_restate_truncation(p, k) for p in parts])
+
+    def finalize(self) -> HitRateCurve:
+        """Flush the pending chunk and return the merged curve.
+
+        In the exact mode this is bit-identical to
+        :func:`repro.core.engine.iaf_hit_rate_curve` over the
+        concatenation of everything pushed, for every chunk size.
+        """
+        self.flush()
+        return self.curve(include_pending=False)
+
+
+@dataclass
+class ChunkedResult:
+    """Output of one :func:`chunked_iaf` run.
+
+    ``.curve`` / ``.stats`` follow the unified result-shape convention
+    (see :class:`repro.core.config.SolveResult`).
+    """
+
+    curve: HitRateCurve
+    windows: List[HitRateCurve]
+    chunk_bounds: List[Tuple[int, int]]
+    chunk_size: int
+    stats: Optional[EngineStats] = None
+
+
+def chunked_iaf(
+    trace: TraceLike,
+    chunk_size: Optional[int] = None,
+    *,
+    dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
+    stats: Optional[EngineStats] = None,
+    memory: Optional[MemoryModel] = None,
+    engine_backend: str = "fused",
+    workspace: Optional[Workspace] = None,
+) -> ChunkedResult:
+    """One-shot exact chunked solve (the ``algorithm="chunked-iaf"`` tier).
+
+    Feeds ``trace`` through :class:`ChunkedIAF` in ``chunk_size`` runs;
+    the returned curve is bit-identical to the batch engine's, but the
+    working set never exceeds O(u + chunk_size).
+    """
+    arr = as_trace(trace, dtype=dtype)
+    engine = ChunkedIAF(
+        chunk_size, dtype=dtype, engine_backend=engine_backend,
+        stats=stats, memory=memory, workspace=workspace,
+    )
+    size = engine.chunk_size
+    # Feed in chunk-size runs so the full trace is never re-buffered.
+    for start in range(0, arr.size, size):
+        engine.push(arr[start : start + size])
+    curve = engine.finalize().with_stats(stats)
+    bounds = [
+        (start, min(start + size, arr.size))
+        for start in range(0, arr.size, size)
+    ]
+    return ChunkedResult(
+        curve=curve, windows=engine.windows, chunk_bounds=bounds,
+        chunk_size=size, stats=stats,
+    )

@@ -40,6 +40,7 @@ from .hitrate import HitRateCurve
 ALGORITHMS = (
     "iaf",
     "bounded-iaf",
+    "chunked-iaf",
     "parallel-iaf",
     "process-iaf",
     "external-iaf",
@@ -53,7 +54,7 @@ ALGORITHMS = (
 
 #: Algorithms built on the vectorized engine (honor ``stats=``,
 #: ``engine_backend=``, and workspace reuse).
-ENGINE_ALGORITHMS = ("iaf", "bounded-iaf", "parallel-iaf")
+ENGINE_ALGORITHMS = ("iaf", "bounded-iaf", "chunked-iaf", "parallel-iaf")
 
 #: Algorithms whose requests may be coalesced into one batched level
 #: loop by :func:`repro.core.api.solve_batch` / the serving layer.
@@ -70,7 +71,11 @@ class SolveConfig:
     reusable fused-kernel :class:`~repro.core.engine.Workspace`; sharing
     one across *sequential* solves amortizes level buffers, but a
     workspace must never be used by two solves concurrently (the serving
-    layer keeps one per worker thread).
+    layer keeps one per worker thread).  ``chunk_size`` is the per-chunk
+    run length of ``chunked-iaf`` (``None`` means the module default,
+    :data:`repro.core.chunked.DEFAULT_CHUNK_SIZE`); the result is
+    bit-identical for every value, only the working set changes.  Other
+    algorithms ignore it.
     """
 
     algorithm: str = "iaf"
@@ -79,6 +84,7 @@ class SolveConfig:
     dtype: Optional["np.typing.DTypeLike"] = None
     memory_config: Optional[MemoryConfig] = None
     engine_backend: str = "fused"
+    chunk_size: Optional[int] = None
     workspace: Optional[Workspace] = field(
         default=None, compare=False, repr=False
     )
@@ -101,6 +107,10 @@ class SolveConfig:
         if self.max_cache_size is not None and self.max_cache_size < 1:
             raise ReproError(
                 f"max_cache_size must be >= 1, got {self.max_cache_size}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ReproError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
             )
         if self.dtype is not None and np.dtype(self.dtype) not in \
                 SUPPORTED_DTYPES:

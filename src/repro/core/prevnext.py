@@ -64,6 +64,45 @@ def prev_next_arrays_python(trace: TraceLike) -> Tuple[np.ndarray, np.ndarray]:
     return prev, nxt
 
 
+def last_access_carryover(
+    addrs: np.ndarray,
+    last_access: np.ndarray,
+    chunk: np.ndarray,
+    chunk_start: int,
+    k: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold ``chunk`` into a living-request map (Section 7, ``k = ∞`` form).
+
+    ``addrs``/``last_access`` describe the requests still *living* after
+    some prefix: one entry per still-distinct address, ordered by its
+    last-access position (ascending, i.e. least-recent first), with
+    ``last_access`` holding that global position.  ``chunk`` is the next
+    run of accesses, whose global positions start at ``chunk_start``.
+    Returns the updated ``(addrs, last_access)`` pair.
+
+    With ``k > 0`` only the ``k`` most recent entries survive — exactly
+    :func:`repro.core.bounded.recent_distinct_suffix` plus the carried
+    positions; ``k = 0`` keeps everything (the chunked engine's exact
+    mode, where the map is the O(u) carry between chunk solves).
+    """
+    comb_a = np.concatenate([addrs, chunk])
+    if comb_a.size == 0:
+        return comb_a, last_access[:0]
+    comb_i = np.concatenate([
+        last_access,
+        np.arange(chunk_start, chunk_start + chunk.size, dtype=np.int64),
+    ])
+    rev = comb_a[::-1]
+    _, first_in_rev = np.unique(rev, return_index=True)
+    # First occurrence in the reversal == last occurrence in `comb_a`;
+    # sort by that last-access position, least-recent first.
+    order = np.argsort(first_in_rev)[::-1]
+    keep = comb_a.size - 1 - first_in_rev[order]
+    if k > 0 and keep.size > k:
+        keep = keep[-k:]
+    return comb_a[keep], comb_i[keep]
+
+
 def first_occurrence_mask(prev: np.ndarray) -> np.ndarray:
     """Boolean mask of compulsory (first-touch) accesses."""
     return np.asarray(prev) == -1

@@ -5,13 +5,21 @@ to a production cache that ingests the request stream and, at any
 moment, can answer "what is the hit-rate curve so far / this window?" —
 in O(k) memory and O(log k) amortized work per access.
 
-:class:`OnlineCurveAnalyzer` wraps BOUNDED-INCREMENT-AND-FREEZE's chunk
-loop in push form: accesses accumulate in the current chunk buffer; when
-the chunk fills, it is processed against the running ``Q̄`` suffix and
+:class:`OnlineCurveAnalyzer` is the k-truncated push façade over the
+chunked incremental engine (:class:`repro.core.chunked.ChunkedIAF`):
+accesses accumulate in the current chunk buffer; when the chunk fills,
+it is solved against the carried living-request suffix (the ``Q̄`` of
+Section 7 — the k-truncated special case of the engine's carry) and
 folded into the global (and per-window) curves.  ``flush()`` processes a
 partial chunk early (say, at a period boundary); results are identical
 to an offline :func:`repro.core.bounded.bounded_iaf` run over the same
 concatenated stream with the same chunk boundaries.
+
+Mid-stream queries are cheap: ``curve(include_pending=True)`` analyzes
+the pending partial chunk **on the fly** — side-effect free (no window
+is committed, no stats are charged) and cached, so back-to-back calls
+between pushes never re-solve the same accesses.  See
+docs/STREAMING.md for the architecture.
 """
 
 from __future__ import annotations
@@ -20,11 +28,10 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
-from ..errors import CapacityError, ReproError
-from ..obs import NULL_SPAN, get_tracer
-from .bounded import _process_chunk, recent_distinct_suffix
-from .hitrate import HitRateCurve, merge_curves
+from .._typing import DEFAULT_DTYPE, TraceLike, validate_dtype
+from ..errors import CapacityError
+from .chunked import ChunkedIAF, _restate_truncation
+from .hitrate import HitRateCurve
 
 
 class OnlineCurveAnalyzer:
@@ -53,15 +60,15 @@ class OnlineCurveAnalyzer:
                 f"chunk_multiplier must be >= 1, got {chunk_multiplier}"
             )
         self._k = int(max_cache_size)
-        self._backend = engine_backend
         self._chunk_multiplier = int(chunk_multiplier)
-        self._chunk_len = self._chunk_multiplier * self._k
         self._dtype = validate_dtype(dtype)
-        self._qbar = np.zeros(0, dtype=self._dtype)
-        self._pending: List[np.ndarray] = []
-        self._pending_len = 0
-        self._windows: List[HitRateCurve] = []
-        self._accesses = 0
+        self._engine = ChunkedIAF(
+            self._chunk_multiplier * self._k,
+            max_cache_size=self._k,
+            dtype=self._dtype,
+            engine_backend=engine_backend,
+            span_name="streaming.chunk",
+        )
 
     # -- ingestion ----------------------------------------------------------
 
@@ -76,12 +83,12 @@ class OnlineCurveAnalyzer:
     @property
     def chunk_length(self) -> int:
         """Accesses per window: always ``chunk_multiplier * k``."""
-        return self._chunk_len
+        return self._engine.chunk_size
 
     @property
     def accesses_ingested(self) -> int:
         """Total accesses pushed so far (including unprocessed buffer)."""
-        return self._accesses
+        return self._engine.accesses_ingested
 
     def push(self, accesses: TraceLike) -> int:
         """Ingest a batch of accesses; returns windows completed by it.
@@ -91,26 +98,11 @@ class OnlineCurveAnalyzer:
         values that do not fit in the analyzer's dtype raise
         :class:`~repro.errors.TraceError` instead of being silently cast.
         """
-        arr = np.atleast_1d(np.asarray(accesses))
-        arr = as_trace(arr, dtype=self._dtype)
-        self._accesses += int(arr.size)
-        completed = 0
-        while arr.size:
-            room = self._chunk_len - self._pending_len
-            take, arr = arr[:room], arr[room:]
-            self._pending.append(take)
-            self._pending_len += int(take.size)
-            if self._pending_len == self._chunk_len:
-                self._process_pending()
-                completed += 1
-        return completed
+        return self._engine.push(accesses)
 
     def flush(self) -> bool:
         """Process a partial chunk now (window boundary); True if any."""
-        if self._pending_len == 0:
-            return False
-        self._process_pending()
-        return True
+        return self._engine.flush()
 
     def expand_k(self, new_k: int) -> None:
         """Grow the tracked maximum cache size (Section 7 footnote: with
@@ -118,8 +110,9 @@ class OnlineCurveAnalyzer:
 
         Growing is sound mid-stream only up to the information already
         discarded: past windows stay truncated at their old ``k``, so the
-        merged curve keeps the smallest truncation.  ``Q̄`` is already the
-        most-recent-k suffix and simply stops truncating as hard.
+        merged curve keeps the smallest truncation.  The carried living
+        suffix is already the most-recent-k ordering and simply stops
+        truncating as hard.
 
         The chunk length is recomputed as ``chunk_multiplier * new_k``,
         preserving the bounded-IAF amortization (each O(multiplier·k)
@@ -131,66 +124,37 @@ class OnlineCurveAnalyzer:
         if new_k < self._k:
             raise CapacityError("k can only grow, never shrink")
         self._k = int(new_k)
-        self._chunk_len = self._chunk_multiplier * self._k
-
-    def _process_pending(self) -> None:
-        chunk = (
-            np.concatenate(self._pending)
-            if len(self._pending) != 1
-            else self._pending[0]
+        self._engine.reconfigure(
+            chunk_size=self._chunk_multiplier * self._k,
+            max_cache_size=self._k,
         )
-        self._pending = []
-        self._pending_len = 0
-        tracer = get_tracer()
-        span = (
-            tracer.span("streaming.chunk", window=len(self._windows),
-                        n=int(chunk.size), k=self._k)
-            if tracer.enabled
-            else NULL_SPAN
-        )
-        with span:
-            window = _process_chunk(self._qbar, chunk, self._k,
-                                    self._dtype,
-                                    engine_backend=self._backend)
-            self._windows.append(window)
-            self._qbar = recent_distinct_suffix(self._qbar, chunk, self._k)
 
     # -- queries ------------------------------------------------------------
 
     @property
     def windows(self) -> List[HitRateCurve]:
         """Curves of completed windows, in stream order."""
-        return list(self._windows)
+        return self._engine.windows
 
     def curve(self, *, include_pending: bool = True) -> HitRateCurve:
         """The curve over everything ingested so far.
 
         With ``include_pending`` the partial chunk is analyzed on the fly
         (without committing a window), so the answer is always exact for
-        the full prefix of the stream.
+        the full prefix of the stream.  The on-the-fly solve is
+        side-effect free and cached by the underlying engine: repeated
+        calls between pushes reuse it instead of re-solving — an earlier
+        version re-ran the engine (and re-charged its instrumentation)
+        on every call.
         """
-        parts = list(self._windows)
-        if include_pending and self._pending_len:
-            chunk = np.concatenate(self._pending)
-            parts.append(
-                _process_chunk(self._qbar, chunk, self._k, self._dtype,
-                               engine_backend=self._backend)
-            )
-        if not parts:
-            return HitRateCurve(
-                np.zeros(0, dtype=np.int64), 0, truncated_at=self._min_k()
-            )
-        merged = merge_curves(
-            [self._retruncate(p, self._min_k()) for p in parts]
-        )
-        return merged
+        return self._engine.curve(include_pending=include_pending)
 
     def window_curve(self, index: int) -> HitRateCurve:
         """Curve of one completed window."""
-        return self._windows[index]
+        return self._engine.windows[index]
 
     def _min_k(self) -> int:
-        ks = [w.truncated_at for w in self._windows
+        ks = [w.truncated_at for w in self._engine.windows
               if w.truncated_at is not None]
         return min(ks + [self._k])
 
@@ -206,17 +170,7 @@ class OnlineCurveAnalyzer:
         it), the curve is exact for every size up to ``k`` — short
         arrays extend with a flat tail, long ones are cut.
         """
-        if curve.truncated_at is not None and curve.truncated_at < k:
-            raise ReproError(
-                f"cannot restate a curve truncated at "
-                f"{curve.truncated_at} for k={k}: sizes beyond the "
-                f"truncation are unknown"
-            )
-        if curve.truncated_at == k and curve.max_size == k:
-            return curve
-        return HitRateCurve(
-            curve._padded(k)[:k], curve.total_accesses, truncated_at=k
-        )
+        return _restate_truncation(curve, k)
 
 
 def analyze_stream(

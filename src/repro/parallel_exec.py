@@ -307,7 +307,8 @@ class _Worker:
 
 class _Job:
     __slots__ = ("job_id", "part", "arena", "blocks", "out_block", "span",
-                 "payload", "attempts", "sent_at", "worker")
+                 "payload", "attempts", "sent_at", "worker", "values",
+                 "completed")
 
     def __init__(self, job_id: int, part: Any, arena: SharedArena,
                  blocks: List[_Block], out_block: _Block, span: int,
@@ -322,6 +323,8 @@ class _Job:
         self.attempts = 0
         self.sent_at = 0.0
         self.worker: Optional[_Worker] = None
+        self.values: Optional[np.ndarray] = None  # dispatch's output array
+        self.completed = False        # set only after values are merged
 
 
 # -- fault injection ---------------------------------------------------------
@@ -348,11 +351,21 @@ def clear_fault_hook() -> None:
 class ProcessExecutor:
     """Persistent process pool dispatching Segments parts via shared memory.
 
-    One executor serializes its dispatches (``solve_parts`` holds a
-    lock), but each dispatch fans its parts out across all workers.  The
-    service, the CLI, and :func:`process_parallel_iaf_distances` share
-    one pool via :func:`default_executor`, so a warm second request
-    pays descriptor bytes — not fork, not array pickling.
+    Dispatches are concurrent: independent ``solve_parts`` calls from
+    different threads interleave on the wire, each fanning its parts out
+    across all workers.  (An earlier version held one re-entrant lock
+    across the whole dispatch — publish, send, collect — so the sharded
+    service's "parallel" shards actually ran one after another.)  Three
+    narrow locks replace it: ``_alloc_lock`` guards arena allocation and
+    bookkeeping, ``_io_lock`` guards pipe traffic, and ``_lock`` guards
+    pool state (workers, round-robin, the in-flight job registry).  Any
+    dispatching thread drains whatever replies are ready — including
+    other threads' — and routes each to its job via the registry; a
+    dispatch returns once its own jobs are complete.
+
+    The service, the CLI, and :func:`process_parallel_iaf_distances`
+    share one pool via :func:`default_executor`, so a warm second
+    request pays descriptor bytes — not fork, not array pickling.
     """
 
     def __init__(
@@ -379,7 +392,15 @@ class ProcessExecutor:
             arena_bytes = int(os.environ.get("REPRO_EXEC_ARENA_BYTES",
                                              _DEFAULT_ARENA_BYTES))
         self._ctx = self._pick_context(start_method)
+        # Lock order (outer to inner): _alloc_lock -> _lock -> _io_lock
+        # -> _counters_lock.  Never acquire leftward while holding a
+        # rightward lock.  The fault hook fires outside all of them.
         self._lock = threading.RLock()
+        self._alloc_lock = threading.Lock()
+        self._io_lock = threading.RLock()
+        self._counters_lock = threading.Lock()
+        self._sweep_lock = threading.Lock()
+        self._inflight: Dict[int, _Job] = {}
         self._arena = SharedArena(arena_bytes)
         self._retired: List[SharedArena] = []
         self._workers: List[_Worker] = []
@@ -432,11 +453,12 @@ class ProcessExecutor:
         span = (tracer.span("exec.respawn", worker=worker.index)
                 if tracer.enabled else NULL_SPAN)
         with span:
-            self.counters.add("exec.respawn")
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
+            self._count("exec.respawn")
+            with self._io_lock:
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
             if worker.process.is_alive():
                 worker.process.kill()
             worker.process.join(timeout=5.0)
@@ -452,7 +474,8 @@ class ProcessExecutor:
                 process.start()
             child_conn.close()
             replacement = _Worker(worker.index, process, parent_conn)
-            self._workers[worker.index] = replacement
+            with self._lock:
+                self._workers[worker.index] = replacement
             return replacement
 
     def ensure_workers(self, workers: int) -> None:
@@ -477,8 +500,14 @@ class ProcessExecutor:
             return [w.process.pid for w in self._workers]
 
     def metrics(self) -> Dict[str, float]:
-        with self._lock:
+        with self._counters_lock:
             return self.counters.snapshot()
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        # Counters is a plain dict bag; guard it with the innermost lock
+        # so concurrent dispatches never lose increments.
+        with self._counters_lock:
+            self.counters.add(name, value)
 
     def kill_worker(self, index: int,
                     sig: int = signal.SIGKILL) -> None:
@@ -501,20 +530,22 @@ class ProcessExecutor:
             if self._closed:
                 return
             self._closed = True
-            for worker in self._workers:
-                try:
-                    worker.conn.send_bytes(_dumps(("stop",)))
-                except (BrokenPipeError, OSError):
-                    pass
+            with self._io_lock:
+                for worker in self._workers:
+                    try:
+                        worker.conn.send_bytes(_dumps(("stop",)))
+                    except (BrokenPipeError, OSError):
+                        pass
             for worker in self._workers:
                 worker.process.join(timeout=2.0)
                 if worker.process.is_alive():
                     worker.process.kill()
                     worker.process.join(timeout=2.0)
-                try:
-                    worker.conn.close()
-                except OSError:
-                    pass
+                with self._io_lock:
+                    try:
+                        worker.conn.close()
+                    except OSError:
+                        pass
             self._workers = []
             for arena in [self._arena, *self._retired]:
                 arena.close(unlink=True)
@@ -540,32 +571,41 @@ class ProcessExecutor:
         Bit-identical to solving each part in-process: parts that cannot
         be dispatched (arena exhausted, worker errors, retries spent)
         degrade to an inline solve instead of failing the request.
+
+        Thread-safe and concurrent: independent calls interleave — only
+        arena allocation and pipe writes are briefly serialized, never
+        the wait for results.
         """
-        with self._lock:
-            if self._closed:
-                raise ExecutorError("executor is closed")
-            tracer = get_tracer()
-            span = (tracer.span("exec.dispatch", parts=len(parts),
-                                workers=len(self._workers))
-                    if tracer.enabled else NULL_SPAN)
-            with span:
-                self.counters.add("exec.dispatch")
-                jobs: List[_Job] = []
-                for part in parts:
+        if self._closed:
+            raise ExecutorError("executor is closed")
+        tracer = get_tracer()
+        span = (tracer.span("exec.dispatch", parts=len(parts),
+                            workers=len(self._workers))
+                if tracer.enabled else NULL_SPAN)
+        with span:
+            self._count("exec.dispatch")
+            jobs: List[_Job] = []
+            for part in parts:
+                with self._alloc_lock:
                     job = self._publish(part, engine_backend)
-                    if job is None:
-                        self.counters.add("exec.arena_full")
-                        self._solve_in_process(part, values,
-                                               engine_backend)
-                        continue
-                    jobs.append(job)
-                pending: Dict[int, _Job] = {}
-                try:
+                if job is None:
+                    self._count("exec.arena_full")
+                    self._solve_in_process(part, values, engine_backend)
+                    continue
+                job.values = values
+                jobs.append(job)
+            try:
+                with self._lock:
                     for job in jobs:
-                        pending[job.job_id] = job
-                        self._send(job, engine_backend, "dispatch")
-                    self._collect(pending, values, engine_backend)
-                finally:
+                        self._inflight[job.job_id] = job
+                for job in jobs:
+                    self._send(job, engine_backend, "dispatch")
+                self._collect(jobs, engine_backend)
+            finally:
+                with self._lock:
+                    for job in jobs:
+                        self._inflight.pop(job.job_id, None)
+                with self._alloc_lock:
                     for job in jobs:
                         self._release(job)
 
@@ -600,7 +640,7 @@ class ProcessExecutor:
             replacement = SharedArena(new_size)
         except OSError:
             return False
-        self.counters.add("exec.arena_grow")
+        self._count("exec.arena_grow")
         old = self._arena
         self._arena = replacement
         if old.live_blocks:
@@ -617,36 +657,70 @@ class ProcessExecutor:
                 pass
         arena.close(unlink=True)
 
+    @staticmethod
+    def _certify_int32(part: Any, base: int, span: int) -> bool:
+        """True when ``t`` and ``r`` can ship as int32 bit-identically.
+
+        Mirrors the certification :meth:`Workspace.prime` and
+        ``batch_segments`` use: positions fit when the rebased span
+        does, and ``r`` values fit when the sum of all current values
+        plus one per op (the worst-case merged accumulator the solve
+        can ever form, plus weights when present) fits.  An earlier
+        version shipped int64 unconditionally, doubling descriptor
+        payloads the worker immediately re-read as exact int32 cases.
+        """
+        if np.dtype(part.t.dtype) != np.dtype(np.int64):
+            return False
+        i32 = np.iinfo(np.int32)
+        if span - 1 > int(i32.max):
+            return False
+        tmin = int(part.t.min()) - base if part.t.size else 0
+        tmax = int(part.t.max()) - base if part.t.size else 0
+        if tmin < int(i32.min) or tmax > int(i32.max):
+            return False
+        if part.r.size and int(part.r.min()) < -1:
+            return False
+        bound = int(part.r.sum(dtype=np.int64)) + int(part.r.size)
+        if part.w is not None:
+            if part.w.size and int(part.w.min()) < 0:
+                return False
+            bound += int(part.w.sum(dtype=np.int64))
+        return 0 <= bound <= int(i32.max)
+
     def _try_publish(self, part: Any) -> Optional[_Job]:
         arena = self._arena
         blocks: List[_Block] = []
 
-        def put(arr: np.ndarray,
-                rebase: int = 0) -> Optional[Tuple[int, int, str, int]]:
+        def put(arr: np.ndarray, rebase: int = 0,
+                cast: Optional[np.dtype] = None,
+                ) -> Optional[Tuple[int, int, str, int]]:
             src = np.ascontiguousarray(arr)
-            block = arena.alloc(src.nbytes)
+            dt = src.dtype if cast is None else cast
+            block = arena.alloc(src.size * dt.itemsize)
             if block is None:
                 return None
             blocks.append(block)
-            view = arena.view(block, src.dtype, src.size)
+            view = arena.view(block, dt, src.size)
             if rebase:
                 np.subtract(src, src.dtype.type(rebase), out=view)
             else:
                 view[:] = src
-            return arena.describe(block, src.dtype, src.size)
+            return arena.describe(block, dt, src.size)
 
         base = int(part.lo.min())
         span = int(part.hi.max()) - base + 1
+        narrow = (np.dtype(np.int32)
+                  if self._certify_int32(part, base, span) else None)
         payload: Dict[str, Any] = {}
-        for key, arr, rebase in (
-            ("kind", part.kind, 0),
-            ("t", part.t, base),
-            ("r", part.r, 0),
-            ("starts", part.starts, 0),
-            ("lo", part.lo, base),
-            ("hi", part.hi, base),
+        for key, arr, rebase, cast in (
+            ("kind", part.kind, 0, None),
+            ("t", part.t, base, narrow),
+            ("r", part.r, 0, narrow),
+            ("starts", part.starts, 0, None),
+            ("lo", part.lo, base, None),
+            ("hi", part.hi, base, None),
         ):
-            desc = put(arr, rebase)
+            desc = put(arr, rebase, cast)
             if desc is None:
                 for blk in blocks:
                     arena.free(blk)
@@ -685,97 +759,122 @@ class ProcessExecutor:
                 self._forget_arena(job.arena)
 
     def _send(self, job: _Job, engine_backend: str, event: str) -> None:
-        worker = self._workers[self._rr % len(self._workers)]
-        self._rr += 1
+        with self._lock:
+            worker = self._workers[self._rr % len(self._workers)]
+            self._rr += 1
         job.worker = worker
         job.sent_at = time.monotonic()
         message = ("job", job.job_id, job.arena.name, job.payload,
                    engine_backend)
-        try:
-            worker.conn.send_bytes(_dumps(message))
-        except (BrokenPipeError, OSError):
-            pass  # the health sweep will see the dead worker and retry
-        self.counters.add("exec.jobs")
+        with self._io_lock:
+            try:
+                worker.conn.send_bytes(_dumps(message))
+            except (BrokenPipeError, OSError):
+                pass  # the health sweep will see the dead worker and retry
+        self._count("exec.jobs")
+        # Fire outside every lock: a hook that blocks (the fault tests
+        # use barriers) must not stall other threads' dispatches.
         hook = _fault_hook
         if hook is not None:
             hook(self, worker.index, event)
 
-    def _collect(self, pending: Dict[int, _Job], values: np.ndarray,
-                 engine_backend: str) -> None:
-        while pending:
-            got_reply = False
-            for worker in list(self._workers):
-                try:
-                    while worker.conn.poll(0):
-                        reply = worker.conn.recv()
-                        got_reply = True
-                        self._handle_reply(reply, pending, values,
-                                           engine_backend)
-                except (EOFError, OSError):
-                    pass  # dead worker: the health sweep handles its jobs
-            if not pending:
+    def _collect(self, jobs: List[_Job], engine_backend: str) -> None:
+        """Wait for this dispatch's jobs, servicing any thread's replies."""
+        while not all(job.completed for job in jobs):
+            got_reply = self._drain_replies(engine_backend)
+            if all(job.completed for job in jobs):
                 return
             if not got_reply:
-                self._health_sweep(pending, values, engine_backend)
-                if pending:
+                self._health_sweep(engine_backend)
+                if not all(job.completed for job in jobs):
                     time.sleep(0.002)
 
-    def _health_sweep(self, pending: Dict[int, _Job],
-                      values: np.ndarray, engine_backend: str) -> None:
-        now = time.monotonic()
-        failed: List[_Worker] = []
-        for job in pending.values():
-            worker = job.worker
-            if worker is None or worker in failed:
-                continue
-            if not worker.process.is_alive():
-                failed.append(worker)
-            elif now - job.sent_at > self._dispatch_timeout:
-                self.counters.add("exec.timeouts")
-                # A hung job can't be cancelled; replace the worker.
-                self.kill_worker(worker.index)
-                worker.process.join(timeout=5.0)
-                failed.append(worker)
-        for worker in failed:
-            self._respawn(worker)
-            orphans = [j for j in pending.values() if j.worker is worker]
-            for job in orphans:
-                self._retry_or_degrade(job, pending, values,
-                                       engine_backend)
+    def _drain_replies(self, engine_backend: str) -> bool:
+        replies: List[Tuple] = []
+        with self._lock:
+            workers = list(self._workers)
+        with self._io_lock:
+            for worker in workers:
+                try:
+                    while worker.conn.poll(0):
+                        replies.append(worker.conn.recv())
+                except (EOFError, OSError):
+                    pass  # dead worker: the health sweep handles its jobs
+        for reply in replies:
+            self._handle_reply(reply, engine_backend)
+        return bool(replies)
 
-    def _retry_or_degrade(self, job: _Job, pending: Dict[int, _Job],
-                          values: np.ndarray,
-                          engine_backend: str) -> None:
+    def _health_sweep(self, engine_backend: str) -> None:
+        # One sweeper at a time; everyone else keeps draining replies.
+        if not self._sweep_lock.acquire(blocking=False):
+            return
+        try:
+            now = time.monotonic()
+            with self._lock:
+                inflight = list(self._inflight.values())
+            failed: List[_Worker] = []
+            for job in inflight:
+                worker = job.worker
+                if worker is None or worker in failed:
+                    continue
+                if not worker.process.is_alive():
+                    failed.append(worker)
+                elif now - job.sent_at > self._dispatch_timeout:
+                    self._count("exec.timeouts")
+                    # A hung job can't be cancelled; replace the worker.
+                    self.kill_worker(worker.index)
+                    worker.process.join(timeout=5.0)
+                    failed.append(worker)
+            for worker in failed:
+                with self._lock:
+                    current = (worker.index < len(self._workers)
+                               and self._workers[worker.index] is worker)
+                if current:
+                    self._respawn(worker)
+                with self._lock:
+                    orphans = [j for j in self._inflight.values()
+                               if j.worker is worker]
+                for job in orphans:
+                    self._retry_or_degrade(job, engine_backend)
+        finally:
+            self._sweep_lock.release()
+
+    def _retry_or_degrade(self, job: _Job, engine_backend: str) -> None:
         job.attempts += 1
         if job.attempts > self._max_retries:
-            pending.pop(job.job_id, None)
-            self._solve_in_process(job.part, values, engine_backend)
+            with self._lock:
+                if self._inflight.pop(job.job_id, None) is None:
+                    return  # a reply completed it while we deliberated
+            self._solve_in_process(job.part, job.values, engine_backend)
+            job.completed = True
             return
         tracer = get_tracer()
         span = (tracer.span("exec.retry", job=job.job_id,
                             attempt=job.attempts)
                 if tracer.enabled else NULL_SPAN)
         with span:
-            self.counters.add("exec.retry")
+            self._count("exec.retry")
             time.sleep(self._retry_backoff * (2 ** (job.attempts - 1)))
             self._send(job, engine_backend, "retry")
 
-    def _handle_reply(self, reply: Tuple, pending: Dict[int, _Job],
-                      values: np.ndarray, engine_backend: str) -> None:
+    def _handle_reply(self, reply: Tuple, engine_backend: str) -> None:
         kind = reply[0]
-        job = pending.pop(reply[1], None)
+        with self._lock:
+            job = self._inflight.pop(reply[1], None)
         if job is None:
             return  # stale reply from a superseded attempt
         if kind == "done":
             out = job.arena.view(job.out_block, np.int64, job.span)
             from .core.parallel import _merge_part_values
 
-            _merge_part_values(values, job.part.lo, job.part.hi, out)
+            _merge_part_values(job.values, job.part.lo, job.part.hi, out)
+            job.completed = True
             return
         # Worker-reported error (stale generation, solve failure):
         # degrade inline, where a genuine failure raises for real.
-        self.counters.add("exec.worker_errors")
-        self._solve_in_process(job.part, values, engine_backend)
+        self._count("exec.worker_errors")
+        self._solve_in_process(job.part, job.values, engine_backend)
+        job.completed = True
 
     def _solve_in_process(self, part: Any, values: np.ndarray,
                           engine_backend: str) -> None:
@@ -786,7 +885,7 @@ class ProcessExecutor:
         span = (tracer.span("exec.degrade", n_ops=part.n_ops)
                 if tracer.enabled else NULL_SPAN)
         with span:
-            self.counters.add("exec.degraded")
+            self._count("exec.degraded")
             solve_prepost_arrays(part, values,
                                  engine_backend=engine_backend)
 

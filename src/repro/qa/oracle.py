@@ -6,10 +6,12 @@ through every registered implementation and demands **exact** agreement:
 * backward distance vectors — vectorized engine (the hub), pure-python
   reference recursion, O(n²) definitional oracle, thread-pool and
   process-pool parallel variants;
-* hit-rate curves — engine pipeline (the hub), BOUNDED-IAF,
-  PARALLEL-BOUNDED-IAF, the :class:`~repro.core.streaming.OnlineCurveAnalyzer`
-  fed random push batches, and the Mattson/OST/splay/Fenwick/PARDA
-  baselines;
+* hit-rate curves — engine pipeline (the hub), the chunked incremental
+  engine (``chunked-iaf`` through the :func:`repro.solve` tier, at the
+  case's fuzzed chunk size), the sharded ``process-iaf`` tier,
+  BOUNDED-IAF, PARALLEL-BOUNDED-IAF, the
+  :class:`~repro.core.streaming.OnlineCurveAnalyzer` fed random push
+  batches, and the Mattson/OST/splay/Fenwick/PARDA baselines;
 * weighted (Section 9.1) distances — weighted engine (the hub), the
   brute-force weighted oracle, the weighted OST, and the weighted
   parallel paths (threads and processes).
@@ -239,6 +241,11 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
     check_curve(
         "online-analyzer", lambda: _streaming_curve(case), trunc_kmax
     )
+    check_curve("chunked-iaf", lambda: _chunked_curve(case), full_kmax)
+    if cfg.process_workers:
+        check_curve(
+            "process-iaf", lambda: _process_curve(case), full_kmax
+        )
     if n <= TREE_BASELINE_MAX_N:
         for baseline in ("ost", "splay", "fenwick"):
             check_curve(
@@ -376,6 +383,43 @@ def _check_batch_split(report: OracleReport, case: FuzzCase) -> None:
                            f"part {i}: {va}", f"part {i}: {vb}")
             )
             return
+
+
+def _chunked_curve(case: FuzzCase) -> HitRateCurve:
+    """The chunked incremental engine through the public solve tier.
+
+    Exercises the ``SolveConfig(algorithm="chunked-iaf")`` dispatch with
+    the case's fuzzed chunk size — the result must be bit-identical to
+    the batch hub for *every* chunk size.
+    """
+    from ..core.api import solve
+    from ..core.config import SolveConfig
+
+    cfg = case.config
+    return solve(
+        case.trace,
+        SolveConfig(
+            algorithm="chunked-iaf",
+            chunk_size=cfg.chunk_size or None,
+            dtype=cfg.numpy_dtype(),
+        ),
+    ).curve
+
+
+def _process_curve(case: FuzzCase) -> HitRateCurve:
+    """The ``process-iaf`` tier (persistent executor pool) end to end."""
+    from ..core.api import solve
+    from ..core.config import SolveConfig
+
+    cfg = case.config
+    return solve(
+        case.trace,
+        SolveConfig(
+            algorithm="process-iaf",
+            workers=cfg.process_workers,
+            dtype=cfg.numpy_dtype(),
+        ),
+    ).curve
 
 
 def _streaming_curve(case: FuzzCase) -> HitRateCurve:

@@ -53,6 +53,7 @@ class FuzzConfig:
     process_workers: int = 0      #: process workers (0 = skip process pools)
     k: int = 8                    #: bounded/streaming max cache size
     chunk_multiplier: int = 1     #: chunk length scale for bounded/streaming
+    chunk_size: int = 0           #: chunked-iaf chunk length (0 = default)
     dtype: str = "int64"          #: address dtype ("int32" | "int64")
     push_seed: int = 0            #: seed for streaming push batch sizes
     sizes_seed: int = 0           #: seed for weighted object sizes
@@ -79,7 +80,8 @@ class FuzzCase:
             f"seed={self.seed} strategy={self.strategy} "
             f"n={self.trace.size} u<={u} workers={self.config.workers} "
             f"procs={self.config.process_workers} k={self.config.k} "
-            f"mult={self.config.chunk_multiplier} dtype={self.config.dtype}"
+            f"mult={self.config.chunk_multiplier} "
+            f"chunk={self.config.chunk_size} dtype={self.config.dtype}"
         )
 
 
@@ -174,6 +176,9 @@ def sample_config(
         max_object_size=int(rng.integers(1, 10)),
         check_reference=True,
         check_naive=True,
+        # Drawn last so earlier draws keep their historical rng stream
+        # (committed regression seeds stay replayable).
+        chunk_size=int(rng.integers(1, max(2, n + 1))),
     )
 
 

@@ -3,8 +3,9 @@
 One dispatcher thread drains the bounded admission queue in ticks.  Each
 tick's requests are *planned*: expired ones fail fast with
 :class:`~repro.errors.DeadlineExceededError`, cancelled ones are
-dropped, oversized ones are rewritten to a sharded ``parallel-iaf``
-solve, and the remaining batchable requests are grouped by
+dropped, oversized ones are rewritten to a bounded-memory
+``chunked-iaf`` solve (or a ``process-iaf`` dispatch to the shared
+process pool), and the remaining batchable requests are grouped by
 :meth:`~repro.core.config.SolveConfig.batch_key` so each group rides
 **one** coalesced level loop (see
 :func:`repro.core.api.solve_batch`).  Work units run on a small thread
@@ -90,11 +91,12 @@ class CurveService:
     bounds how many requests one dispatch tick plans together, which is
     also the largest possible coalesced batch.  ``default_deadline`` (in
     seconds) applies to requests submitted without one.  Traces of at
-    least ``shard_threshold`` accesses are solved as sharded
-    ``parallel-iaf`` runs over ``shard_workers`` threads instead of
-    joining a batch; ``shard_processes=True`` routes those shards to
-    the persistent shared-memory process pool
-    (:mod:`repro.parallel_exec`) as ``process-iaf`` solves instead —
+    least ``shard_threshold`` accesses leave the batch path: by default
+    they run as bounded-memory ``chunked-iaf`` solves (working set
+    O(u + chunk), never O(n) — ``shard_chunk_size`` overrides the chunk
+    length), while ``shard_processes=True`` routes them to the
+    persistent shared-memory process pool (:mod:`repro.parallel_exec`)
+    as ``process-iaf`` solves over ``shard_workers`` processes —
     one pool per process, shared across services and dispatch ticks.
     """
 
@@ -107,6 +109,7 @@ class CurveService:
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
         shard_workers: int = 4,
         shard_processes: bool = False,
+        shard_chunk_size: Optional[int] = None,
         default_deadline: Optional[float] = None,
         tick_seconds: float = 0.02,
         latency_window: int = 1024,
@@ -121,11 +124,16 @@ class CurveService:
             raise CapacityError(
                 f"shard_workers must be >= 1, got {shard_workers}"
             )
+        if shard_chunk_size is not None and shard_chunk_size < 1:
+            raise CapacityError(
+                f"shard_chunk_size must be >= 1, got {shard_chunk_size}"
+            )
         self._max_queue = max_queue
         self._max_batch = max_batch
         self._shard_threshold = shard_threshold
         self._shard_workers = shard_workers
         self._shard_processes = shard_processes
+        self._shard_chunk_size = shard_chunk_size
         if shard_processes:
             # Warm the process pool before traffic arrives: the shared
             # executor (one per process, reused by every dispatch tick)
@@ -426,12 +434,21 @@ class CurveService:
     def _run_single(self, req: _Request, shard: bool = False) -> None:
         cfg = req.config
         if shard:
-            algorithm = ("process-iaf" if self._shard_processes
-                         else "parallel-iaf")
-            cfg = cfg.replace(
-                algorithm=algorithm, workers=self._shard_workers,
-                workspace=None,
-            )
+            if self._shard_processes:
+                cfg = cfg.replace(
+                    algorithm="process-iaf", workers=self._shard_workers,
+                    workspace=None,
+                )
+            else:
+                # Bounded-memory shard: the chunked incremental engine
+                # keeps the working set at O(u + chunk) regardless of
+                # trace length, so one oversized request cannot blow the
+                # service's memory the way a full-trace solve would.
+                cfg = cfg.replace(
+                    algorithm="chunked-iaf",
+                    chunk_size=self._shard_chunk_size,
+                    workspace=None,
+                )
             with self._lock:
                 self.counters.add("service.sharded")
         else:

@@ -323,3 +323,131 @@ class TestServiceIntegration:
                                          workers=2))
         assert np.array_equal(got.hits_cumulative,
                               iaf_hit_rate_curve(trace).hits_cumulative)
+
+
+def _make_part(seed: int, n: int = 2000, universe: int = 100):
+    """A root-level Segments part, the shape ``solve_parts`` receives."""
+    from repro.core.engine import Segments
+    from repro.core.ops import prepost_sequence_arrays
+
+    trace = np.random.default_rng(seed).integers(0, universe, size=n)
+    kind, t, r = prepost_sequence_arrays(trace, dtype=np.int64)
+    return trace, Segments.single(kind, t, r, 0, trace.size)
+
+
+class TestConcurrentDispatch:
+    """Regression for the whole-dispatch RLock (ISSUE 6 satellite 1).
+
+    ``solve_parts`` used to hold the executor's re-entrant lock across
+    publish + send + collect, so two shards dispatched from different
+    threads ran strictly one after the other.  The barrier inside the
+    fault hook can only be satisfied if both threads are inside their
+    own dispatch at the same time — under the old lock it times out.
+    """
+
+    def test_dispatches_overlap(self):
+        import threading
+
+        from repro.obs import tracing
+
+        barrier = threading.Barrier(2, timeout=30)
+        local = threading.local()
+        meets = []
+
+        def hook(executor, worker_index, event):
+            if getattr(local, "met", False):
+                return  # only rendezvous on each thread's first job
+            local.met = True
+            try:
+                meets.append(barrier.wait(timeout=30))
+            except threading.BrokenBarrierError:
+                meets.append(None)
+
+        traces = [make_trace(101, max_len=3000), make_trace(102,
+                                                            max_len=3000)]
+        results = [None, None]
+
+        def run(i, ex):
+            results[i] = process_parallel_iaf_distances(
+                traces[i], workers=2, executor=ex
+            )
+
+        with ProcessExecutor(workers=2) as ex:
+            pe.set_fault_hook(hook)
+            try:
+                with tracing() as tracer:
+                    threads = [
+                        threading.Thread(target=run, args=(i, ex))
+                        for i in range(2)
+                    ]
+                    for th in threads:
+                        th.start()
+                    for th in threads:
+                        th.join(timeout=120)
+            finally:
+                pe.clear_fault_hook()
+        assert meets == [0, 1] or meets == [1, 0], (
+            f"dispatches did not overlap: {meets}"
+        )
+        for i in (0, 1):
+            assert np.array_equal(results[i], iaf_distances(traces[i])), i
+        spans = [e for e in tracer.events() if e.name == "exec.dispatch"]
+        assert len(spans) == 2
+        a, b = spans
+        assert a.start < b.end and b.start < a.end, (
+            "exec.dispatch spans must overlap in time"
+        )
+
+
+class TestInt32Publish:
+    """Certified-exact parts ship int32 ``t``/``r`` (ISSUE 6 satellite 2).
+
+    ``_try_publish`` used to copy the op arrays into the arena in their
+    native int64 even when the rebased span and the merge-effect bound
+    certified int32 exact — twice the descriptor payload for nothing.
+    """
+
+    def test_small_part_ships_int32_and_halves_payload(self, executor):
+        _, seg = _make_part(7)
+        with executor._alloc_lock:
+            job = executor._try_publish(seg)
+        assert job is not None
+        try:
+            for key in ("t", "r"):
+                off, gen, dtype_str, count = job.payload[key]
+                assert np.dtype(dtype_str) == np.dtype(np.int32), key
+                shipped = count * np.dtype(dtype_str).itemsize
+                native = getattr(seg, key).nbytes
+                assert shipped * 2 == native, key
+            # Bookkeeping arrays and the output stay int64.
+            for key in ("starts", "lo", "hi", "out"):
+                assert np.dtype(job.payload[key][2]) == np.dtype(np.int64)
+        finally:
+            with executor._alloc_lock:
+                executor._release(job)
+
+    def test_uncertifiable_r_stays_int64(self, executor):
+        from repro.core.engine import Segments
+
+        _, seg = _make_part(8)
+        r = seg.r.copy()
+        r[0] = -5  # below the r >= -1 invariant the bound relies on
+        seg = Segments(kind=seg.kind, t=seg.t, r=r, starts=seg.starts,
+                       lo=seg.lo, hi=seg.hi, w=seg.w)
+        with executor._alloc_lock:
+            job = executor._try_publish(seg)
+        assert job is not None
+        try:
+            for key in ("t", "r"):
+                assert np.dtype(job.payload[key][2]) == np.dtype(np.int64)
+        finally:
+            with executor._alloc_lock:
+                executor._release(job)
+
+    def test_narrowed_dispatch_is_bit_identical(self):
+        trace = make_trace(55, max_len=3000)
+        with ProcessExecutor(workers=2) as ex:
+            got = process_parallel_iaf_distances(
+                trace, workers=2, executor=ex
+            )
+        assert np.array_equal(got, iaf_distances(trace))

@@ -28,6 +28,7 @@ BENCHMARKS = REPO / "benchmarks"
 #: import crash in any of them must fail this list check.
 EXPECTED_MODULES = [
     "bench_ablation_encoding.py",
+    "bench_chunked.py",
     "bench_engine_kernels.py",
     "bench_external_io.py",
     "bench_fig2_speedup.py",

@@ -22,3 +22,22 @@ def test_fuzz_max_cases_short_circuit(capsys):
     out = capsys.readouterr().out
     assert rc == 0, out
     assert "5 cases" in out
+
+
+@pytest.mark.fuzz_smoke
+def test_fuzz_deep_profile_under_worker_kills(capsys):
+    """The matrix must stay divergence-free while workers are killed.
+
+    The deep profile draws ``process_workers`` often enough that the
+    ``parallel-procs``/``process-iaf`` rows dispatch through the shared
+    pool; the armed hook SIGKILLs the first few dispatch targets, so
+    the executor's recovery ladder runs inside the fuzz loop itself.
+    """
+    from repro.qa import inject_worker_kills
+
+    with inject_worker_kills(kills=3):
+        rc = main(["fuzz", "--seconds", "10", "--seed", "7",
+                   "--profile", "deep"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "0 divergences" in out

@@ -81,3 +81,28 @@ def test_every_strategy_reachable():
 
 def test_profiles_exported():
     assert PROFILES == ("quick", "deep")
+
+
+def test_matrix_agrees_under_worker_kills():
+    """The process tiers stay exact while a worker is killed mid-solve.
+
+    Forces ``process_workers`` on so the ``parallel-procs`` and
+    ``process-iaf`` rows join the matrix, then arms the fault hook: the
+    executor must ride its respawn/retry ladder and still agree with
+    every other implementation bit for bit.
+    """
+    import dataclasses
+
+    from repro.qa import inject_worker_kills
+
+    case = case_from_seed(5002, profile="deep")
+    case = dataclasses.replace(
+        case, config=dataclasses.replace(case.config, process_workers=2)
+    )
+    with inject_worker_kills(kills=1) as plan:
+        report = run_case_detailed(case)
+    assert {"parallel-procs", "process-iaf"} <= {
+        c.split("~")[1].split(":")[0] for c in report.comparisons
+    }
+    assert plan.events, "the fault hook never fired — nothing dispatched"
+    assert report.ok, "\n".join(d.describe() for d in report.divergences)

@@ -84,7 +84,8 @@ class TestDifferential:
             result = svc.submit(trace).result(timeout=60)
         assert np.array_equal(result.curve.hits_cumulative,
                               iaf_hit_rate_curve(trace).hits_cumulative)
-        assert result.config.algorithm == "parallel-iaf"
+        # Oversized requests ride the bounded-memory chunked engine.
+        assert result.config.algorithm == "chunked-iaf"
         assert svc.metrics()["service.sharded"] == 1
 
 
