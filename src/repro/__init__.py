@@ -35,12 +35,16 @@ The package layout mirrors DESIGN.md:
   behind ``python -m repro profile`` (see docs/OBSERVABILITY.md).
 - :mod:`repro.qa` — randomized differential testing and fuzzing across
   every implementation (``python -m repro fuzz``; see docs/FUZZING.md).
+- :mod:`repro.tenants` — multi-tenant streaming MRCs: per-tenant
+  always-queryable curves in exact and hash-sampled tiers with memory
+  budgets and tier demotion (see docs/TENANTS.md).
 """
 
 from ._typing import DEFAULT_DTYPE, SUPPORTED_DTYPES, as_trace
 from .core import (
     ALGORITHMS,
     ENGINE_BACKENDS,
+    ApproximateCurve,
     BoundedResult,
     ChunkedIAF,
     ChunkedResult,
@@ -62,6 +66,7 @@ from .core import (
     iaf_hit_rate_curves_batch,
     parallel_bounded_iaf,
     parallel_iaf_distances,
+    sampled_hit_rate_curve,
     solve,
     solve_batch,
     stack_distances,
@@ -105,6 +110,8 @@ __all__ = [
     "iaf_hit_rate_curves_batch",
     "parallel_bounded_iaf",
     "parallel_iaf_distances",
+    "ApproximateCurve",
+    "sampled_hit_rate_curve",
     "solve",
     "solve_batch",
     "stack_distances",

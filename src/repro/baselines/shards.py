@@ -13,67 +13,40 @@ the sample — an honest "heuristic on top of the same substrate"
 baseline.
 
 It demonstrates both halves of the paper's pitch: the approximation is
-indeed cheap and usually accurate (our bench shows ~1% error at 1%
-sampling on smooth curves), *and* it carries no guarantee — the error is
-workload-dependent and unbounded in the worst case, while IAF's exact
-answer now costs little more.
+indeed cheap and usually accurate (``repro.qa.accuracy`` measures ~1%
+error at 1% sampling on smooth curves), *and* it carries no guarantee —
+the error is workload-dependent and unbounded in the worst case, while
+IAF's exact answer now costs little more.
+
+The sampling math itself lives in :mod:`repro.core.sampling`, shared
+with the streaming sampled tier in :mod:`repro.tenants`; this module is
+the thin offline front end.  Extracting it also fixed a latent threshold
+bias (a float-rounded inclusive compare admitted one extra hash value —
+at rate 0.5, ``hash == 2^63`` — versus the exact ``floor(rate·2^64)``
+count); the fix is pinned in ``tests/qa/test_regressions.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from .._typing import TraceLike, as_trace
-from ..core.engine import iaf_distances
-from ..core.hitrate import forward_from_backward
-from ..core.prevnext import prev_next_arrays
-from ..errors import ReproError
+from .._typing import TraceLike
+from ..core.sampling import (
+    MASK as _MASK,
+    SPLITMIX_GAMMA as _SPLITMIX_GAMMA,
+    ApproximateCurve,
+    estimate_error,
+    sampled_hit_rate_curve,
+    splitmix64 as _splitmix64,
+)
 
-#: SplitMix64 constants for the sampling hash.
-_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
-_MASK = (1 << 64) - 1
-
-
-def _splitmix64(values: np.ndarray) -> np.ndarray:
-    """Deterministic 64-bit mixer, vectorized (SplitMix64 finalizer)."""
-    z = (values.astype(np.uint64) + np.uint64(_SPLITMIX_GAMMA)) & np.uint64(_MASK)
-    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9) & np.uint64(_MASK)
-    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB) & np.uint64(_MASK)
-    return z ^ (z >> np.uint64(31))
-
-
-@dataclass(frozen=True)
-class ApproximateCurve:
-    """A sampled estimate of the hit-rate curve.
-
-    ``hits_estimate`` is cumulative *estimated* hit counts per size
-    (floats: samples carry weight ``1/rate``); ``sampled_accesses`` and
-    ``sample_rate`` record how much evidence backs the estimate.
-    """
-
-    hits_estimate: np.ndarray
-    total_accesses: int
-    sampled_accesses: int
-    sample_rate: float
-
-    @property
-    def max_size(self) -> int:
-        return int(self.hits_estimate.size)
-
-    def hit_rate(self, k: int) -> float:
-        if k < 1 or self.total_accesses == 0 or self.max_size == 0:
-            return 0.0
-        return float(
-            self.hits_estimate[min(k, self.max_size) - 1]
-        ) / self.total_accesses
-
-    def hit_rate_array(self) -> np.ndarray:
-        if self.total_accesses == 0:
-            return np.zeros(self.max_size)
-        return self.hits_estimate / self.total_accesses
+__all__ = [
+    "ApproximateCurve",
+    "shards_error",
+    "shards_hit_rate_curve",
+]
 
 
 def shards_hit_rate_curve(
@@ -89,46 +62,8 @@ def shards_hit_rate_curve(
     ``seed`` perturbs the sampling hash (distinct monitors can disagree —
     that's the point of having error bars).
     """
-    if not 0.0 < sample_rate <= 1.0:
-        raise ReproError(
-            f"sample_rate must be in (0, 1], got {sample_rate}"
-        )
-    arr = as_trace(trace)
-    n = arr.size
-    if n == 0:
-        return ApproximateCurve(np.zeros(0), 0, 0, sample_rate)
-
-    hashed = _splitmix64(arr.astype(np.int64).view(np.uint64)
-                         ^ np.uint64(seed * 2 + 1))
-    threshold = np.uint64(min(int(sample_rate * float(_MASK)), _MASK))
-    sampled_mask = hashed <= threshold
-    sample = arr[sampled_mask]
-    if sample.size == 0:
-        return ApproximateCurve(np.zeros(0), n, 0, sample_rate)
-
-    # Exact distances on the sample, scaled up by 1/rate.
-    d = iaf_distances(sample)
-    prev, _ = prev_next_arrays(sample)
-    f = forward_from_backward(d, prev)
-    finite = f[prev != -1]
-    scaled = np.rint(finite / sample_rate).astype(np.int64)
-    scaled = np.maximum(scaled, 1)
-    if max_cache_size is not None:
-        scaled = scaled[scaled <= max_cache_size]
-    if scaled.size == 0:
-        return ApproximateCurve(np.zeros(0), n, int(sample.size), sample_rate)
-    hist = np.bincount(scaled)
-    # Each sampled re-access stands for 1/rate real ones; additionally
-    # correct for sampling noise in the realized sample size (the
-    # standard fixed-rate SHARDS adjustment).
-    expected = n * sample_rate
-    correction = expected / sample.size
-    weight = correction / sample_rate
-    return ApproximateCurve(
-        hits_estimate=np.cumsum(hist[1:]) * weight,
-        total_accesses=n,
-        sampled_accesses=int(sample.size),
-        sample_rate=sample_rate,
+    return sampled_hit_rate_curve(
+        trace, sample_rate, seed=seed, max_cache_size=max_cache_size
     )
 
 
@@ -136,6 +71,4 @@ def shards_error(
     approx: ApproximateCurve, exact_hit_rates: np.ndarray
 ) -> float:
     """Mean absolute error of the estimate over ``1..len(exact)`` sizes."""
-    sizes = np.arange(1, exact_hit_rates.size + 1)
-    est = np.array([approx.hit_rate(int(k)) for k in sizes])
-    return float(np.mean(np.abs(est - exact_hit_rates)))
+    return estimate_error(approx, exact_hit_rates)

@@ -173,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seconds granted to requests that set none")
     srv.add_argument("--metrics", action="store_true",
                      help="print service counters to stderr on exit")
+    srv.add_argument("--tenants", action="store_true",
+                     help="enable the multi-tenant verbs (register/push/"
+                          "curve/evict lines with an \"op\" field; see "
+                          "docs/TENANTS.md)")
+    srv.add_argument("--tenant-budget-mb", type=float, default=None,
+                     help="global tenant state budget in MiB; cold exact "
+                          "tenants are demoted to the sampled tier when "
+                          "the total exceeds it")
+    srv.add_argument("--tenant-sample-rate", type=float, default=0.01,
+                     help="default hash-sampling rate for sampled-tier "
+                          "tenants")
 
     return parser
 
@@ -495,10 +506,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_processes=args.shard_processes,
         default_deadline=args.default_deadline,
     )
+    tenants = None
+    if args.tenants:
+        from .tenants import TenantRegistry, TenantService
+
+        budget = (int(args.tenant_budget_mb * (1 << 20))
+                  if args.tenant_budget_mb is not None else None)
+        tenants = TenantService(service, TenantRegistry(
+            memory_budget=budget,
+            default_sample_rate=args.tenant_sample_rate,
+        ))
     failures = 0
     try:
         if args.port is not None:
-            with serve_tcp(service, args.host, args.port) as server:
+            with serve_tcp(service, args.host, args.port,
+                           tenants=tenants) as server:
                 host, port = server.server_address[:2]
                 print(f"{PROG}: serving on {host}:{port}",
                       file=sys.stderr)
@@ -515,11 +537,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 stdin,
                 lambda text: print(text, flush=True),
                 service,
+                tenants=tenants,
             )
     finally:
         service.close(drain=True)
+        metrics_source = tenants if tenants is not None else service
         if args.metrics:
-            for name, value in sorted(service.metrics().items()):
+            for name, value in sorted(metrics_source.metrics().items()):
                 print(f"{name}: {value:g}", file=sys.stderr)
     return 1 if failures else 0
 

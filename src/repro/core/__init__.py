@@ -61,6 +61,14 @@ from .prevnext import (
     prev_next_arrays_python,
 )
 from .reference import reference_distances, reference_hit_curve_counts
+from .sampling import (
+    ApproximateCurve,
+    estimate_error,
+    rescale_curve,
+    sample_mask,
+    sampled_hit_rate_curve,
+    splitmix64,
+)
 from .streaming import OnlineCurveAnalyzer, analyze_stream
 from .weighted import (
     WeightedCurve,
@@ -126,6 +134,12 @@ __all__ = [
     "prev_next_arrays_python",
     "reference_distances",
     "reference_hit_curve_counts",
+    "ApproximateCurve",
+    "estimate_error",
+    "rescale_curve",
+    "sample_mask",
+    "sampled_hit_rate_curve",
+    "splitmix64",
     "OnlineCurveAnalyzer",
     "analyze_stream",
     "WeightedCurve",

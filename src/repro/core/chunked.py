@@ -150,6 +150,11 @@ class ChunkedIAF:
         return self._accesses
 
     @property
+    def accesses_processed(self) -> int:
+        """Accesses already committed into windows (excludes pending)."""
+        return self._processed
+
+    @property
     def living(self) -> np.ndarray:
         """Living addresses after the processed prefix, least-recent first."""
         return self._living_addrs.copy()
@@ -213,6 +218,64 @@ class ChunkedIAF:
             return False
         self._process_pending()
         return True
+
+    def seed_carry(
+        self,
+        addrs: TraceLike,
+        last_access: TraceLike,
+        *,
+        processed: int,
+    ) -> None:
+        """Adopt a living-request carry from another engine.
+
+        This is the tier-switch handoff in :mod:`repro.tenants`: a
+        successor engine (e.g. the sampled tier after a demotion) starts
+        from the predecessor's living map so cross-boundary reuse
+        distances stay exact over the successor's stream.  ``addrs``
+        must be distinct, ``last_access`` strictly increasing (i.e.
+        least-recent first, the engine's own carry order) with every
+        position below ``processed``, the number of accesses the carry
+        summarizes.  Only a pristine engine may be seeded — accepting a
+        foreign carry after pushes would corrupt window accounting.
+        """
+        if self._accesses or self._windows or self._pending_len:
+            raise ReproError(
+                "seed_carry requires a pristine engine (nothing pushed)"
+            )
+        addr_arr = as_trace(np.atleast_1d(np.asarray(addrs)),
+                            dtype=self._dtype)
+        last_arr = np.atleast_1d(np.asarray(last_access)).astype(np.int64)
+        if addr_arr.size != last_arr.size:
+            raise ReproError(
+                f"carry shape mismatch: {addr_arr.size} addresses vs "
+                f"{last_arr.size} last-access positions"
+            )
+        if np.unique(addr_arr).size != addr_arr.size:
+            raise ReproError("carry addresses must be distinct")
+        if addr_arr.size:
+            if (np.diff(last_arr) <= 0).any():
+                raise ReproError(
+                    "carry last_access must be strictly increasing "
+                    "(least-recent first)"
+                )
+            if int(last_arr[0]) < 0 or int(last_arr[-1]) >= processed:
+                raise ReproError(
+                    "carry last_access positions must lie in "
+                    f"[0, processed={processed})"
+                )
+        if processed < 0:
+            raise ReproError(f"processed must be >= 0, got {processed}")
+        if self._k is not None and addr_arr.size > self._k:
+            # Bounded mode keeps only the k most recent living requests.
+            addr_arr = addr_arr[-self._k:]
+            last_arr = last_arr[-self._k:]
+        self._living_addrs = addr_arr
+        self._living_last = last_arr
+        self._processed = int(processed)
+        # The carry summarizes `processed` historical accesses; count them
+        # as ingested so accesses_ingested >= accesses_processed holds.
+        # They are NOT in any window — the predecessor's curve covers them.
+        self._accesses = int(processed)
 
     def reconfigure(
         self,

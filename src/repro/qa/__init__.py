@@ -15,11 +15,24 @@ cross-validation harness:
 * :mod:`repro.qa.shrink` — delta-debugging minimizer that reduces any
   failing case to a minimal reproducer and renders it as a
   ready-to-paste pytest regression.
+* :mod:`repro.qa.accuracy` — the sampled-vs-exact error harness behind
+  the CI accuracy gate and ``docs/ACCURACY.md``.
 
 Driven by ``python -m repro fuzz`` (see ``docs/FUZZING.md``) and by the
 deterministic matrix suite in ``tests/qa/``.
 """
 
+from .accuracy import (
+    MAX_BOUND,
+    MEAN_BOUND,
+    REFERENCE_RATE,
+    WORKLOADS,
+    AccuracyRow,
+    AccuracyWorkload,
+    markdown_table,
+    measure,
+    measure_workload,
+)
 from .faults import WorkerKillPlan, inject_worker_kills
 from .oracle import (
     Divergence,
@@ -61,4 +74,13 @@ __all__ = [
     "sample_config",
     "WorkerKillPlan",
     "inject_worker_kills",
+    "AccuracyRow",
+    "AccuracyWorkload",
+    "MAX_BOUND",
+    "MEAN_BOUND",
+    "REFERENCE_RATE",
+    "WORKLOADS",
+    "markdown_table",
+    "measure",
+    "measure_workload",
 ]

@@ -1,0 +1,208 @@
+"""Sampled-vs-exact accuracy harness: measure the estimator, then gate it.
+
+The sampled tier (:mod:`repro.core.sampling`) is an estimator, and the
+package's position — the paper's position — is that estimators must ship
+with *measured* error, not folklore.  This harness computes, for each
+seeded workload and sampling rate, the absolute hit-rate error between
+the SHARDS estimate and the exact IAF curve, evaluated on a fixed size
+grid, across several independent sampling seeds.  The pytest gates in
+``tests/qa/test_accuracy.py`` then hold the smooth workloads to
+``MEAN_BOUND``/``MAX_BOUND`` at R = 0.01 **and** require the adversarial
+workload to exceed them — the error really is workload-dependent and
+unbounded, which is why the exact tier exists.
+
+Everything here is deterministic: workloads are pure functions of their
+committed seeds, the sampling seeds are fixed, and the grid depends only
+on the exact curve's size — so the gate numbers in CI are the numbers in
+``docs/ACCURACY.md`` (regenerate with ``python scripts/accuracy_report.py``).
+
+The grid starts at ``max_size/points`` rather than 1: at R = 0.01 the
+rescaled distances quantize to multiples of ~1/R, so pointwise error at
+tiny cache sizes measures quantization, not the estimator.  The *mean*
+over the grid still covers the whole range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.engine import iaf_hit_rate_curve
+from ..core.sampling import sampled_hit_rate_curve
+from ..workloads.synthetic import zipfian_trace
+
+#: The CI gate for smooth workloads at the reference rate.
+REFERENCE_RATE = 0.01
+MEAN_BOUND = 0.02
+MAX_BOUND = 0.05
+#: Sampling seeds the harness averages over (fixed — the numbers are
+#: deterministic, so the gate cannot flake).
+DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2, 3, 4)
+DEFAULT_GRID_POINTS = 64
+
+
+def _zipf_workload() -> np.ndarray:
+    return zipfian_trace(1_000_000, 100_000, 0.8, seed=1)
+
+
+def _cdn_workload() -> np.ndarray:
+    # CDN object popularity is canonically zipf with exponent ~0.9
+    # (Breslau et al., INFOCOM '99); larger universe, heavier head.
+    return zipfian_trace(1_000_000, 150_000, 0.9, seed=7)
+
+
+def _scan_workload() -> np.ndarray:
+    # Cyclic scan: every reuse distance equals the universe size, so the
+    # exact curve is a cliff at k = u.  Sampling quantizes and rescales
+    # distances, smearing the cliff's mass across neighbouring sizes —
+    # near the cliff the estimate is wrong by O(1), at any rate < 1.
+    return np.tile(np.arange(2_000, dtype=np.int64), 100)
+
+
+@dataclass(frozen=True)
+class AccuracyWorkload:
+    """One committed workload: a name, a factory, and its smoothness."""
+
+    name: str
+    factory: Callable[[], np.ndarray]
+    smooth: bool  # smooth workloads are gated; adversarial must fail
+
+
+WORKLOADS: Tuple[AccuracyWorkload, ...] = (
+    AccuracyWorkload("zipf", _zipf_workload, smooth=True),
+    AccuracyWorkload("cdn", _cdn_workload, smooth=True),
+    AccuracyWorkload("scan", _scan_workload, smooth=False),
+)
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """Measured error for one (workload, rate): the harness's unit."""
+
+    workload: str
+    smooth: bool
+    rate: float
+    seeds: Tuple[int, ...]
+    mean_error: float  # per-seed grid means, averaged over seeds
+    max_error: float  # worst pointwise error across all seeds
+    sampled_fraction: float  # realized sample size / trace size, averaged
+    grid_points: int
+
+    @property
+    def within_bounds(self) -> bool:
+        return self.mean_error <= MEAN_BOUND and self.max_error <= MAX_BOUND
+
+
+def size_grid(max_size: int, points: int = DEFAULT_GRID_POINTS) -> np.ndarray:
+    """Evaluation sizes: ``points`` cache sizes from max/points to max."""
+    if max_size < 1:
+        return np.zeros(0, dtype=np.int64)
+    return np.unique(
+        np.linspace(max(1, max_size // points), max_size, points).astype(
+            np.int64
+        )
+    )
+
+
+def measure_workload(
+    workload: AccuracyWorkload,
+    rates: Sequence[float] = (REFERENCE_RATE,),
+    *,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    grid_points: int = DEFAULT_GRID_POINTS,
+) -> List[AccuracyRow]:
+    """Exact-vs-sampled error rows for one workload (one exact solve)."""
+    trace = workload.factory()
+    exact = iaf_hit_rate_curve(trace)
+    grid = size_grid(exact.max_size, grid_points)
+    exact_rates = np.array([exact.hit_rate(int(k)) for k in grid])
+    rows = []
+    for rate in rates:
+        means, maxes, fractions = [], [], []
+        for seed in seeds:
+            approx = sampled_hit_rate_curve(trace, rate, seed=seed)
+            est = np.array([approx.hit_rate(int(k)) for k in grid])
+            err = np.abs(est - exact_rates)
+            means.append(float(err.mean()))
+            maxes.append(float(err.max()))
+            fractions.append(approx.sampled_accesses / trace.size)
+        rows.append(
+            AccuracyRow(
+                workload=workload.name,
+                smooth=workload.smooth,
+                rate=float(rate),
+                seeds=tuple(int(s) for s in seeds),
+                mean_error=float(np.mean(means)),
+                max_error=float(np.max(maxes)),
+                sampled_fraction=float(np.mean(fractions)),
+                grid_points=int(grid.size),
+            )
+        )
+    return rows
+
+
+def measure(
+    workloads: Sequence[AccuracyWorkload] = WORKLOADS,
+    rates: Sequence[float] = (REFERENCE_RATE,),
+    *,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    grid_points: int = DEFAULT_GRID_POINTS,
+) -> List[AccuracyRow]:
+    """The full harness: every (workload, rate) row."""
+    rows: List[AccuracyRow] = []
+    for workload in workloads:
+        rows.extend(
+            measure_workload(
+                workload, rates, seeds=seeds, grid_points=grid_points
+            )
+        )
+    return rows
+
+
+def markdown_table(rows: Sequence[AccuracyRow]) -> str:
+    """The ``docs/ACCURACY.md`` table body for a set of measured rows."""
+    lines = [
+        "| workload | kind | rate | sampled | mean err | max err | "
+        "≤ 2% / 5% gate |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        kind = "smooth" if row.smooth else "adversarial"
+        gate = (
+            "pass" if row.within_bounds
+            else ("**exceeds (by design)**" if not row.smooth
+                  else "FAIL")
+        )
+        lines.append(
+            f"| {row.workload} | {kind} | {row.rate:g} | "
+            f"{row.sampled_fraction:.2%} | {row.mean_error:.2%} | "
+            f"{row.max_error:.2%} | {gate} |"
+        )
+    return "\n".join(lines)
+
+
+def rows_by_workload(
+    rows: Sequence[AccuracyRow],
+) -> Dict[str, List[AccuracyRow]]:
+    out: Dict[str, List[AccuracyRow]] = {}
+    for row in rows:
+        out.setdefault(row.workload, []).append(row)
+    return out
+
+
+__all__ = [
+    "AccuracyRow",
+    "AccuracyWorkload",
+    "DEFAULT_SEEDS",
+    "MAX_BOUND",
+    "MEAN_BOUND",
+    "REFERENCE_RATE",
+    "WORKLOADS",
+    "markdown_table",
+    "measure",
+    "measure_workload",
+    "rows_by_workload",
+    "size_grid",
+]

@@ -242,6 +242,8 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
         "online-analyzer", lambda: _streaming_curve(case), trunc_kmax
     )
     check_curve("chunked-iaf", lambda: _chunked_curve(case), full_kmax)
+    check_curve("tenant-exact", lambda: _tenant_curve(case), full_kmax)
+    _check_sampled(report, case, exact)
     if cfg.process_workers:
         check_curve(
             "process-iaf", lambda: _process_curve(case), full_kmax
@@ -420,6 +422,115 @@ def _process_curve(case: FuzzCase) -> HitRateCurve:
             dtype=cfg.numpy_dtype(),
         ),
     ).curve
+
+
+def _tenant_curve(case: FuzzCase) -> HitRateCurve:
+    """An exact-tier tenant fed the case's push plan.
+
+    The registry's ``exact_curve`` guarantee: a never-demoted exact
+    tenant's curve is bit-identical to the direct batch solve — the
+    multi-tenant layer adds bookkeeping, never error.
+    """
+    from ..tenants import TenantRegistry
+
+    cfg = case.config
+    registry = TenantRegistry()
+    registry.register(
+        "fuzz", chunk_size=cfg.chunk_size or None, dtype=cfg.numpy_dtype()
+    )
+    pos = 0
+    for step in push_plan_for(case).tolist():
+        registry.push("fuzz", case.trace[pos : pos + step])
+        pos += step
+    snapshot = registry.curve("fuzz")
+    assert snapshot.exact_curve is not None  # never demoted: stays exact
+    return snapshot.exact_curve
+
+
+def _check_sampled(
+    report: OracleReport, case: FuzzCase, exact: HitRateCurve
+) -> None:
+    """The streaming sampled tier against the one-shot SHARDS baseline.
+
+    Both paths hash-sample with the case's fuzzed ``(sample_rate,
+    sample_seed)`` and funnel through the shared estimator
+    (:mod:`repro.core.sampling`), so their float estimates must be
+    **bit-identical** — the streamed sub-trace is exactly the batch
+    sub-trace, and the chunked engine is exact on it.  At rate 1.0 the
+    estimate must additionally equal the exact hub's hit counts.
+    """
+    from ..baselines.shards import shards_hit_rate_curve
+    from ..tenants import TenantRegistry
+
+    cfg = case.config
+    name = "sampled-iaf"
+    report.comparisons.append(f"shards~{name}:curve")
+    try:
+        registry = TenantRegistry()
+        registry.register(
+            "fuzz-sampled", tier="sampled", sample_rate=cfg.sample_rate,
+            sample_seed=cfg.sample_seed, chunk_size=cfg.chunk_size or None,
+            dtype=cfg.numpy_dtype(),
+        )
+        pos = 0
+        for step in push_plan_for(case).tolist():
+            registry.push("fuzz-sampled", case.trace[pos : pos + step])
+            pos += step
+        streamed = registry.curve("fuzz-sampled").estimate
+        oneshot = shards_hit_rate_curve(
+            case.trace, cfg.sample_rate, seed=cfg.sample_seed
+        )
+    except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+        report.divergences.append(
+            Divergence("shards", name, "crash", -1, "ok",
+                       f"{type(exc).__name__}: {exc}")
+        )
+        return
+    if (
+        streamed.total_accesses != oneshot.total_accesses
+        or streamed.sampled_accesses != oneshot.sampled_accesses
+    ):
+        report.divergences.append(Divergence(
+            "shards", name, "curve", -1,
+            f"total {oneshot.total_accesses}/{oneshot.sampled_accesses}",
+            f"total {streamed.total_accesses}/{streamed.sampled_accesses}",
+        ))
+        return
+    a, b = oneshot.hits_estimate, streamed.hits_estimate
+    if a.size != b.size:
+        report.divergences.append(Divergence(
+            "shards", name, "curve", -1,
+            f"length {a.size}", f"length {b.size}",
+        ))
+        return
+    if not np.array_equal(a, b):
+        idx = int(np.flatnonzero(a != b)[0])
+        report.divergences.append(Divergence(
+            "shards", name, "curve", idx + 1, str(a[idx]), str(b[idx])
+        ))
+        return
+    if cfg.sample_rate == 1.0:
+        # Degenerate rate: the "estimate" must be the exact answer.
+        # Lengths may differ by a flat tail (both curves saturate), so
+        # pad each with its final value before the bitwise compare.
+        report.comparisons.append(f"iaf-curve~{name}:curve")
+        want = np.asarray(exact.hits_cumulative, dtype=np.float64)
+        kmax = max(want.size, b.size)
+        wa, ba = _pad_flat(want, kmax), _pad_flat(b, kmax)
+        if not np.array_equal(wa, ba):
+            idx = int(np.flatnonzero(wa != ba)[0])
+            report.divergences.append(Divergence(
+                "iaf-curve", name, "curve", idx + 1,
+                str(wa[idx]), str(ba[idx]),
+            ))
+
+
+def _pad_flat(hits: np.ndarray, kmax: int) -> np.ndarray:
+    """Extend a cumulative-hits array to ``kmax`` with its flat tail."""
+    if hits.size >= kmax:
+        return hits[:kmax]
+    tail = hits[-1] if hits.size else 0.0
+    return np.concatenate([hits, np.full(kmax - hits.size, tail)])
 
 
 def _streaming_curve(case: FuzzCase) -> HitRateCurve:

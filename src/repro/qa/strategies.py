@@ -60,6 +60,8 @@ class FuzzConfig:
     max_object_size: int = 8      #: object sizes drawn from [1, this]
     check_reference: bool = True  #: include the pure-python recursion
     check_naive: bool = True      #: include the O(n^2) oracles
+    sample_rate: float = 1.0      #: sampled-iaf rate (1.0 = degenerate/exact)
+    sample_seed: int = 0          #: sampled-iaf hash-perturbation seed
 
     def numpy_dtype(self) -> np.dtype:
         return validate_dtype(self.dtype)
@@ -177,8 +179,11 @@ def sample_config(
         check_reference=True,
         check_naive=True,
         # Drawn last so earlier draws keep their historical rng stream
-        # (committed regression seeds stay replayable).
+        # (committed regression seeds stay replayable).  New knobs MUST
+        # be appended after the existing tail draws, same reason.
         chunk_size=int(rng.integers(1, max(2, n + 1))),
+        sample_rate=float(rng.choice((1.0, 0.5, 0.25, 0.05))),
+        sample_seed=int(rng.integers(2**31)),
     )
 
 

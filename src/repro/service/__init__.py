@@ -22,12 +22,20 @@ Front ends: the :class:`CurveService` library API, and the line-oriented
 """
 
 from .curve_service import CurveService, SolveFuture
-from .server import parse_request, serve_stream, serve_tcp
+from .server import (
+    handle_tenant_request,
+    parse_request,
+    serve_stream,
+    serve_tcp,
+    tenant_op_object,
+)
 
 __all__ = [
     "CurveService",
     "SolveFuture",
+    "handle_tenant_request",
     "parse_request",
     "serve_stream",
     "serve_tcp",
+    "tenant_op_object",
 ]

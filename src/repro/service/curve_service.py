@@ -28,7 +28,7 @@ import time
 from collections import deque
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,7 +67,14 @@ class SolveFuture(Future):
 
 @dataclass
 class _Request:
-    """One queued unit of work (the trace is validated at submit time)."""
+    """One queued unit of work (the trace is validated at submit time).
+
+    ``work`` is the generic escape hatch: when set, the request carries a
+    zero-argument callable instead of a solve (``arr``/``config`` are
+    placeholders) and the planner routes it straight to a worker.  The
+    tenant layer rides this path so its ingest shares the service's
+    admission queue, tick, deadlines, and backpressure.
+    """
 
     future: SolveFuture
     arr: np.ndarray
@@ -75,6 +82,7 @@ class _Request:
     submitted_at: float
     deadline: Optional[float]  # absolute time.monotonic(), or None
     label: str
+    work: Optional[Callable[[], object]] = None
 
 
 class CurveService:
@@ -220,6 +228,55 @@ class CurveService:
             ) from None
         with self._lock:
             self.counters.add("service.submitted")
+            self.counters.peak(
+                "service.queue_depth_peak", self._queue.qsize()
+            )
+        return future
+
+    def submit_work(
+        self,
+        fn: Callable[[], object],
+        *,
+        deadline: Optional[float] = None,
+        label: str = "",
+    ) -> SolveFuture:
+        """Enqueue an arbitrary callable as one service work unit.
+
+        The unit shares everything a solve request gets — the bounded
+        admission queue (:class:`ServiceOverloadedError` on overflow),
+        the dispatch tick, deadline expiry while queued, cancellation,
+        and the worker pool — and its future resolves with ``fn()``'s
+        return value.  This is the routing primitive the tenant layer
+        builds ingest on; it is not a general thread-pool replacement
+        (units still occupy the same in-flight slots as solves).
+        """
+        if self._closing.is_set():
+            raise ServiceClosedError(
+                "service is closed; no new requests accepted"
+            )
+        if deadline is None:
+            deadline = self._default_deadline
+        now = time.monotonic()
+        cfg = SolveConfig()
+        future = SolveFuture(config=cfg, label=label)
+        req = _Request(
+            future=future, arr=np.zeros(0, dtype=np.int64), config=cfg,
+            submitted_at=now,
+            deadline=None if deadline is None else now + deadline,
+            label=label, work=fn,
+        )
+        try:
+            self._queue.put_nowait(req)
+        except queue.Full:
+            with self._lock:
+                self.counters.add("service.rejected")
+            raise ServiceOverloadedError(
+                f"admission queue full ({self._max_queue} pending); "
+                f"retry later or raise max_queue"
+            ) from None
+        with self._lock:
+            self.counters.add("service.submitted")
+            self.counters.add("service.work_units")
             self.counters.peak(
                 "service.queue_depth_peak", self._queue.qsize()
             )
@@ -373,7 +430,9 @@ class CurveService:
         groups: Dict[Tuple, List[_Request]] = {}
         singles: List[Tuple[_Request, bool]] = []
         for req in runnable:
-            if (
+            if req.work is not None:
+                self._submit_unit(self._run_work, req)
+            elif (
                 req.arr.size >= self._shard_threshold
                 and req.config.algorithm == "iaf"
             ):
@@ -467,6 +526,20 @@ class CurveService:
             return
         self._finish(req, result=result)
 
+    def _run_work(self, req: _Request) -> None:
+        tracer = get_tracer()
+        span = (
+            tracer.span("service.work", label=req.label)
+            if tracer.enabled else NULL_SPAN
+        )
+        try:
+            with span:
+                result = req.work()
+        except Exception as exc:  # noqa: BLE001 — delivered via the future
+            self._finish(req, error=exc)
+            return
+        self._finish(req, result=result)
+
     def _run_batch(self, reqs: List[_Request]) -> None:
         base = self._with_workspace(
             reqs[0].config.replace(max_cache_size=None)
@@ -514,7 +587,7 @@ class CurveService:
     def _finish(
         self,
         req: _Request,
-        result: Optional[SolveResult] = None,
+        result: object = None,  # SolveResult, or work-unit return value
         error: Optional[BaseException] = None,
     ) -> None:
         now = time.monotonic()

@@ -26,6 +26,26 @@ or ``{"id": …, "ok": false, "error": "DeadlineExceededError",
 exits) or, with ``--port``, over TCP with one connection per client
 thread, all sharing a single service — the batching works *across*
 connections.
+
+With ``--tenants`` the server also speaks the multi-tenant verbs (see
+docs/TENANTS.md): a JSON line carrying an ``op`` field is routed to the
+shared :class:`~repro.tenants.TenantService` instead of the solve path::
+
+    {"op": "register", "tenant": "web", "tier": "sampled",
+     "sample_rate": 0.01}
+    {"op": "push", "tenant": "web", "trace": [1, 2, 1, 3], "id": "p0"}
+    {"op": "curve", "tenant": "web", "sizes": [64, 4096], "id": "c0"}
+    {"op": "evict", "tenant": "web"}
+    {"op": "tenants"}
+
+``push`` and ``curve`` ride the service queue (same admission control
+and deadlines as solves) and answer in completion order like everything
+else.  ``register``/``evict``/``tenants`` execute synchronously, but
+only after every previously accepted request **on the same stream** has
+been answered — so the natural register → push → curve → evict script
+behaves sequentially.  An evict still takes effect immediately across
+*other* connections: their queued, not-yet-drained pushes for that
+tenant fail with an explanatory error instead of resurrecting it.
 """
 
 from __future__ import annotations
@@ -33,7 +53,16 @@ from __future__ import annotations
 import json
 import socketserver
 import threading
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -42,12 +71,27 @@ from ..errors import ProtocolError, ReproError
 from ..workloads.traceio import read_trace
 from .curve_service import CurveService, SolveFuture
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from ..tenants import TenantService
+
 #: JSON request fields; anything else is rejected (typo protection).
 _REQUEST_FIELDS = frozenset(
     ("trace", "id", "algorithm", "max_cache_size", "workers", "dtype",
      "engine_backend", "deadline", "sizes")
 )
 _DTYPES = {"int32": np.int32, "int64": np.int64}
+
+#: Tenant-verb fields, per op; anything else is rejected like above.
+_TENANT_OPS: Dict[str, frozenset] = {
+    "register": frozenset(
+        ("op", "id", "tenant", "tier", "sample_rate", "sample_seed",
+         "max_cache_size", "chunk_size", "memory_budget")
+    ),
+    "push": frozenset(("op", "id", "tenant", "trace", "deadline")),
+    "curve": frozenset(("op", "id", "tenant", "sizes", "deadline")),
+    "evict": frozenset(("op", "id", "tenant")),
+    "tenants": frozenset(("op", "id")),
+}
 
 
 def parse_request(
@@ -98,19 +142,134 @@ def parse_request(
         cfg = base.replace(**changes) if changes else base
     except TypeError as exc:
         raise ReproError(f"bad request field: {exc}") from None
-    deadline = obj.get("deadline")
+    deadline = _check_deadline(obj.get("deadline"))
+    sizes = _check_sizes(obj.get("sizes"))
+    req_id = obj.get("id")
+    return obj["trace"], cfg, deadline, req_id, sizes
+
+
+def _check_deadline(deadline: Any) -> Optional[float]:
     if deadline is not None and (
         not isinstance(deadline, (int, float)) or deadline <= 0
     ):
         raise ReproError(f"deadline must be a positive number, "
                          f"got {deadline!r}")
-    sizes = obj.get("sizes") or []
+    return deadline
+
+
+def _check_sizes(sizes: Any) -> List[int]:
+    sizes = sizes or []
     if not isinstance(sizes, list) or not all(
         isinstance(s, int) and s >= 1 for s in sizes
     ):
         raise ReproError("sizes must be a list of positive integers")
+    return sizes
+
+
+def tenant_op_object(line: str) -> Optional[Dict[str, Any]]:
+    """The parsed object if ``line`` is a tenant-verb request, else None.
+
+    Lines that are not JSON objects (or carry no ``op``) fall through to
+    the solve-path parser, which owns their error reporting.
+    """
+    text = line.strip()
+    if not text.startswith("{"):
+        return None
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(obj, dict) and "op" in obj:
+        return obj
+    return None
+
+
+def handle_tenant_request(
+    obj: Dict[str, Any],
+    tenants: "TenantService",
+) -> Tuple[
+    Optional[Dict[str, Any]],
+    Optional[Tuple[SolveFuture, Callable[[Any], Dict[str, Any]]]],
+]:
+    """Dispatch one tenant verb.
+
+    Returns ``(payload, None)`` for synchronous verbs (register / evict
+    / tenants) or ``(None, (future, formatter))`` for queued verbs
+    (push / curve) — the caller emits ``formatter(future.result())``
+    when the work unit completes.  Raises :class:`ReproError` on
+    malformed requests.
+    """
+    op = obj.get("op")
+    if op not in _TENANT_OPS:
+        raise ReproError(
+            f"unknown op {op!r}; one of {sorted(_TENANT_OPS)}"
+        )
+    unknown = set(obj) - _TENANT_OPS[op]
+    if unknown:
+        raise ReproError(
+            f"unknown field(s) {sorted(unknown)} for op {op!r}; "
+            f"allowed: {sorted(_TENANT_OPS[op])}"
+        )
     req_id = obj.get("id")
-    return obj["trace"], cfg, deadline, req_id, sizes
+    if op == "tenants":
+        return ({"id": req_id, "ok": True, "op": op,
+                 "tenants": tenants.describe()}, None)
+    tenant_id = obj.get("tenant")
+    if not isinstance(tenant_id, str) or not tenant_id:
+        raise ReproError(
+            f'op {op!r} needs a non-empty string "tenant" field'
+        )
+    if op == "register":
+        kwargs = {
+            k: obj[k]
+            for k in ("tier", "sample_rate", "sample_seed",
+                      "max_cache_size", "chunk_size", "memory_budget")
+            if k in obj
+        }
+        tenant = tenants.register(tenant_id, **kwargs)
+        return ({"id": req_id, "ok": True, "op": op, "tenant": tenant_id,
+                 "tier": tenant.tier,
+                 "sample_rate": tenant.sample_rate}, None)
+    if op == "evict":
+        evicted = tenants.evict(tenant_id)
+        return ({"id": req_id, "ok": True, "op": op, "tenant": tenant_id,
+                 "evicted": bool(evicted)}, None)
+    deadline = _check_deadline(obj.get("deadline"))
+    if op == "push":
+        if "trace" not in obj:
+            raise ReproError(
+                'op "push" needs a "trace" (path or address list)'
+            )
+        trace = obj["trace"]
+        arr = read_trace(trace) if isinstance(trace, str) else trace
+        future = tenants.push_many(tenant_id, arr, deadline=deadline)
+
+        def fmt_push(receipt: Any) -> Dict[str, Any]:
+            payload = {"id": req_id, "ok": True, "op": "push"}
+            payload.update(receipt)
+            return payload
+
+        return (None, (future, fmt_push))
+    # op == "curve"
+    sizes = _check_sizes(obj.get("sizes"))
+    future = tenants.curve(tenant_id, deadline=deadline)
+
+    def fmt_curve(snap: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": req_id, "ok": True, "op": "curve",
+            "tenant": snap.tenant_id, "tier": snap.tier,
+            "total_accesses": snap.total_accesses,
+            "max_size": snap.estimate.max_size,
+            "segments": snap.segments,
+            "exact": snap.exact_curve is not None,
+        }
+        if sizes:
+            payload["hit_rates"] = {
+                str(k): snap.hit_rate(k) for k in sizes
+            }
+        return payload
+
+    return (None, (future, fmt_curve))
 
 
 def _result_payload(
@@ -142,6 +301,7 @@ def serve_stream(
     service: CurveService,
     *,
     default_config: Optional[SolveConfig] = None,
+    tenants: Optional["TenantService"] = None,
 ) -> int:
     """Run the line protocol over one request stream.
 
@@ -181,6 +341,52 @@ def serve_stream(
                 )))
                 continue
         if not line.strip():
+            continue
+        tenant_obj = tenant_op_object(line)
+        if tenant_obj is not None:
+            t_id = tenant_obj.get("id")
+            if not isinstance(t_id, str):
+                t_id = None
+            if tenants is None:
+                send(_error_payload(t_id, ReproError(
+                    "tenant ops are not enabled on this server "
+                    "(start it with --tenants)"
+                )))
+                continue
+            if tenant_obj.get("op") in ("register", "evict", "tenants"):
+                # Synchronous verbs barrier on this stream's accepted
+                # requests: an evict must not race the same script's
+                # queued pushes (see the module docstring).
+                for event in answered:
+                    event.wait()
+            try:
+                payload, queued = handle_tenant_request(tenant_obj, tenants)
+            except Exception as exc:  # noqa: BLE001 — on the stream
+                send(_error_payload(t_id, exc))
+                continue
+            if payload is not None:
+                send(payload)
+                continue
+            assert queued is not None
+            t_future, t_fmt = queued
+            t_event = threading.Event()
+
+            def on_tenant_done(f: SolveFuture, fmt=t_fmt, req_id=t_id,
+                               event=t_event) -> None:
+                try:
+                    try:
+                        payload = fmt(f.result())
+                    except Exception as exc:  # noqa: BLE001
+                        payload = _error_payload(req_id, exc)
+                    try:
+                        send(payload)
+                    except OSError:
+                        pass  # client went away; the push still landed
+                finally:
+                    event.set()
+
+            t_future.add_done_callback(on_tenant_done)
+            answered.append(t_event)
             continue
         try:
             trace, cfg, deadline, req_id, sizes = parse_request(
@@ -241,6 +447,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
         serve_stream(
             self.rfile, emit, self.server.service,  # type: ignore[attr-defined]
             default_config=self.server.default_config,  # type: ignore[attr-defined]
+            tenants=self.server.tenants,  # type: ignore[attr-defined]
         )
 
 
@@ -256,10 +463,12 @@ class CurveServer(socketserver.ThreadingTCPServer):
         service: CurveService,
         *,
         default_config: Optional[SolveConfig] = None,
+        tenants: Optional["TenantService"] = None,
     ) -> None:
         super().__init__(address, _LineHandler)
         self.service = service
         self.default_config = default_config
+        self.tenants = tenants
 
 
 def serve_tcp(
@@ -268,6 +477,7 @@ def serve_tcp(
     port: int = 0,
     *,
     default_config: Optional[SolveConfig] = None,
+    tenants: Optional["TenantService"] = None,
 ) -> CurveServer:
     """Bind a :class:`CurveServer`; the caller runs ``serve_forever()``.
 
@@ -275,4 +485,4 @@ def serve_tcp(
     real one — the pattern the tests use).
     """
     return CurveServer((host, port), service,
-                       default_config=default_config)
+                       default_config=default_config, tenants=tenants)

@@ -1,0 +1,41 @@
+"""Multi-tenant streaming MRC platform: every cache, all of the time.
+
+Each registered tenant owns a long-lived bounded-memory analyzer whose
+hit-rate curve is always queryable as accesses stream in.  Tenants run
+in one of two tiers:
+
+* **exact** — a per-tenant :class:`~repro.core.chunked.ChunkedIAF` with
+  living-request carryover: the full IAF answer, O(u + chunk) state.
+* **sampled** — SHARDS-style spatial sampling
+  (:mod:`repro.core.sampling`): addresses hash-sampled at rate R, the
+  *same* chunked engine runs exactly on the sub-trace, and distances are
+  rescaled with the fixed-rate count correction.  ~R× the state, an
+  estimate instead of a guarantee (``repro.qa.accuracy`` quantifies the
+  error).
+
+:class:`TenantRegistry` owns the tenants, their memory budgets, and the
+tier policy (cold tenants demote exact→sampled under budget pressure,
+hot ones promote back); :class:`TenantService` runs a registry's ingest
+and queries through a :class:`~repro.service.CurveService` so tenant
+traffic shares the service's admission control, tick, and backpressure.
+
+See docs/TENANTS.md for the architecture write-up.
+"""
+
+from .registry import (
+    EXACT,
+    SAMPLED,
+    Tenant,
+    TenantCurve,
+    TenantRegistry,
+)
+from .service import TenantService
+
+__all__ = [
+    "EXACT",
+    "SAMPLED",
+    "Tenant",
+    "TenantCurve",
+    "TenantRegistry",
+    "TenantService",
+]

@@ -1,0 +1,196 @@
+"""Tenant ingest and queries routed through the curve service.
+
+:class:`TenantService` pairs a :class:`~repro.tenants.TenantRegistry`
+with a :class:`~repro.service.CurveService`: every ``push_many`` and
+``curve`` rides the service's generic work-unit path
+(:meth:`~repro.service.CurveService.submit_work`), so tenant traffic
+shares the same bounded admission queue, dispatch tick, deadlines, and
+backpressure as solve requests — a saturated service rejects tenant
+pushes with :class:`~repro.errors.ServiceOverloadedError` instead of
+buffering them without bound.
+
+Ingest is **coalesced per tenant**: ``push_many`` appends the validated
+batch to the tenant's pending deque and enqueues a *drain* unit; the
+drain applies every pending batch in arrival order under the tenant's
+ingest lock and resolves each batch's own future with its receipt.  Any
+drain may do another batch's work (whichever unit runs first empties
+the deque), which keeps ordering trivially correct — batches enter the
+engine in exactly the order ``push_many`` accepted them — and lets one
+service tick absorb a burst of small pushes in one pass.  A ``curve``
+unit drains first, so a query submitted after a push always observes
+that push.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from .._typing import TraceLike, as_trace
+from ..service.curve_service import CurveService, SolveFuture
+from .registry import TenantCurve, TenantRegistry
+
+
+@dataclass(eq=False)  # identity equality: deque.remove must not compare arrays
+class _PendingBatch:
+    arr: np.ndarray
+    future: SolveFuture
+
+
+@dataclass
+class _TenantQueue:
+    """Per-tenant ingest ordering: deque + the lock that serializes it."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    batches: Deque[_PendingBatch] = field(default_factory=deque)
+
+
+class TenantService:
+    """A registry whose ingest/queries run as curve-service work units.
+
+    The registry can also be driven directly (it is thread-safe); this
+    wrapper is for deployments where tenant traffic and one-shot solve
+    requests must share a single admission-controlled front door — the
+    ``repro serve`` protocol verbs sit on top of it.
+    """
+
+    def __init__(
+        self,
+        service: CurveService,
+        registry: Optional[TenantRegistry] = None,
+    ) -> None:
+        self.service = service
+        self.registry = registry if registry is not None else TenantRegistry()
+        self._queues: Dict[str, _TenantQueue] = {}
+        self._lock = threading.Lock()
+
+    def _queue_for(self, tenant_id: str) -> _TenantQueue:
+        with self._lock:
+            q = self._queues.get(tenant_id)
+            if q is None:
+                q = self._queues[tenant_id] = _TenantQueue()
+            return q
+
+    # -- registry passthrough (cheap, synchronous) ---------------------
+
+    def register(self, tenant_id: str, **kwargs: object):
+        return self.registry.register(tenant_id, **kwargs)
+
+    def evict(self, tenant_id: str) -> bool:
+        """Drop a tenant; pending undrained batches fail with the evict."""
+        q = self._queue_for(tenant_id)
+        ok = self.registry.evict(tenant_id)
+        with self._lock:
+            self._queues.pop(tenant_id, None)
+        with q.lock:
+            while q.batches:
+                batch = q.batches.popleft()
+                try:
+                    batch.future.set_exception(
+                        RuntimeError(f"tenant {tenant_id!r} was evicted "
+                                     f"before the batch was ingested")
+                    )
+                except Exception:  # noqa: BLE001 — future already resolved
+                    pass
+        return ok
+
+    def describe(self):
+        return self.registry.describe()
+
+    def metrics(self) -> Dict[str, float]:
+        out = dict(self.service.metrics())
+        out.update(self.registry.metrics())
+        return out
+
+    # -- service-routed operations -------------------------------------
+
+    def push_many(
+        self,
+        tenant_id: str,
+        trace: TraceLike,
+        *,
+        deadline: Optional[float] = None,
+    ) -> SolveFuture:
+        """Enqueue one ingest batch; the future resolves to its receipt.
+
+        Validation happens here (bad input fails the caller, not the
+        worker); admission control happens in ``submit_work`` — when the
+        service queue is full the batch is rolled back and the
+        :class:`~repro.errors.ServiceOverloadedError` propagates, so a
+        rejected push leaves no trace.
+        """
+        tenant = self.registry._get(tenant_id)  # raises for unknown ids
+        arr = as_trace(np.atleast_1d(np.asarray(trace)), dtype=tenant.dtype)
+        q = self._queue_for(tenant_id)
+        future = SolveFuture(config=None, label=f"push:{tenant_id}")
+        batch = _PendingBatch(arr=arr, future=future)
+        # The queue lock is held across append + submit: a concurrent
+        # drain cannot take the batch before a rejected submit removes
+        # it, so a rejected push really does leave no trace.
+        with q.lock:
+            q.batches.append(batch)
+            try:
+                self.service.submit_work(
+                    lambda: self._drain(tenant_id, q),
+                    deadline=deadline, label=f"tenant-drain:{tenant_id}",
+                )
+            except Exception:
+                q.batches.remove(batch)
+                raise
+        return future
+
+    def curve(
+        self,
+        tenant_id: str,
+        *,
+        deadline: Optional[float] = None,
+    ) -> SolveFuture:
+        """Enqueue a curve query; resolves to a :class:`TenantCurve`.
+
+        The worker drains the tenant's pending pushes first, so the
+        answer covers every batch accepted before this call.
+        """
+        self.registry._get(tenant_id)  # fail unknown ids at submit time
+        q = self._queue_for(tenant_id)
+
+        def work() -> TenantCurve:
+            self._drain(tenant_id, q)
+            return self.registry.curve(tenant_id)
+
+        return self.service.submit_work(
+            work, deadline=deadline, label=f"tenant-curve:{tenant_id}"
+        )
+
+    # -- worker side ---------------------------------------------------
+
+    def _drain(self, tenant_id: str, q: _TenantQueue) -> int:
+        """Apply every pending batch in order; returns batches drained.
+
+        Runs on a service worker.  The queue lock is held across the
+        pops *and* the registry pushes so concurrent drain units cannot
+        interleave one tenant's batches out of order; distinct tenants
+        drain concurrently (each has its own lock).
+        """
+        drained = 0
+        with q.lock:
+            while q.batches:
+                batch = q.batches.popleft()
+                try:
+                    receipt = self.registry.push(tenant_id, batch.arr)
+                except Exception as exc:  # noqa: BLE001 — via the future
+                    try:
+                        batch.future.set_exception(exc)
+                    except Exception:  # noqa: BLE001
+                        pass
+                    drained += 1
+                    continue
+                try:
+                    batch.future.set_result(receipt)
+                except Exception:  # noqa: BLE001 — future already resolved
+                    pass
+                drained += 1
+        return drained

@@ -1,0 +1,104 @@
+"""The sampled-vs-exact accuracy gate (repro.qa.accuracy).
+
+Two-sided: smooth workloads must estimate well at the reference rate,
+AND the adversarial workload must estimate badly — if the scan ever
+passes the bounds, the harness has lost its teeth (or the "estimator"
+is silently reading the exact answer).
+
+Everything measured here is deterministic, so the asserted numbers are
+exactly the numbers in the committed ``docs/ACCURACY.md`` — a separate
+test keeps that file honest.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.qa.accuracy import (
+    DEFAULT_GRID_POINTS,
+    MAX_BOUND,
+    MEAN_BOUND,
+    REFERENCE_RATE,
+    WORKLOADS,
+    markdown_table,
+    measure_workload,
+    rows_by_workload,
+    size_grid,
+)
+
+DOCS = pathlib.Path(__file__).resolve().parents[2] / "docs" / "ACCURACY.md"
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    for workload in WORKLOADS:
+        out.extend(measure_workload(workload))
+    return out
+
+
+class TestGate:
+    def test_smooth_workloads_within_bounds(self, rows):
+        smooth = [r for r in rows if r.smooth]
+        assert len(smooth) >= 2
+        for row in smooth:
+            assert row.rate == REFERENCE_RATE
+            assert row.mean_error <= MEAN_BOUND, (
+                f"{row.workload}: mean error {row.mean_error:.2%} "
+                f"exceeds the {MEAN_BOUND:.0%} gate"
+            )
+            assert row.max_error <= MAX_BOUND, (
+                f"{row.workload}: max error {row.max_error:.2%} "
+                f"exceeds the {MAX_BOUND:.0%} gate"
+            )
+            assert row.within_bounds
+
+    def test_adversarial_workload_exceeds_bounds(self, rows):
+        adversarial = [r for r in rows if not r.smooth]
+        assert adversarial, "the harness must include an adversarial row"
+        for row in adversarial:
+            assert not row.within_bounds, (
+                f"{row.workload} unexpectedly passed the gate — the "
+                f"error really is workload-dependent; a passing scan "
+                f"means the estimator is not being exercised"
+            )
+
+    def test_sampled_fraction_tracks_rate(self, rows):
+        for row in rows:
+            assert row.sampled_fraction == pytest.approx(
+                row.rate, rel=0.5
+            )
+
+    def test_committed_table_is_current(self, rows):
+        # docs/ACCURACY.md is generated from this same deterministic
+        # measurement; drift means someone changed the estimator (or a
+        # workload) without rerunning scripts/accuracy_report.py.
+        table = markdown_table(rows)
+        committed = DOCS.read_text()
+        for line in table.splitlines():
+            assert line in committed, (
+                f"docs/ACCURACY.md is stale: missing line {line!r}; "
+                f"regenerate with scripts/accuracy_report.py"
+            )
+
+
+class TestHarnessPlumbing:
+    def test_size_grid_shape(self):
+        grid = size_grid(64_000)
+        assert grid.size <= DEFAULT_GRID_POINTS
+        assert grid[0] == 64_000 // DEFAULT_GRID_POINTS
+        assert grid[-1] == 64_000
+        assert (np.diff(grid) > 0).all()
+        assert size_grid(0).size == 0
+        np.testing.assert_array_equal(size_grid(1), [1])
+
+    def test_rows_by_workload_groups(self, rows):
+        grouped = rows_by_workload(rows)
+        assert set(grouped) == {w.name for w in WORKLOADS}
+
+    def test_workload_factories_are_deterministic(self):
+        for workload in WORKLOADS:
+            np.testing.assert_array_equal(
+                workload.factory(), workload.factory()
+            )

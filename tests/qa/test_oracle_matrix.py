@@ -83,6 +83,55 @@ def test_profiles_exported():
     assert PROFILES == ("quick", "deep")
 
 
+def test_new_rows_reachable():
+    """The tenant-exact and sampled-iaf rows actually join the matrix."""
+    case = case_from_seed(0, profile="quick")
+    report = run_case_detailed(case)
+    impls = {c.split("~")[1].split(":")[0] for c in report.comparisons}
+    assert {"tenant-exact", "sampled-iaf"} <= impls
+
+
+def test_sampled_rates_reachable():
+    """Every FuzzConfig sample rate (incl. the degenerate 1.0) occurs."""
+    seen = set()
+    for seed in range(100):
+        seen.add(case_from_seed(seed, profile="quick").config.sample_rate)
+        if len(seen) == 4:
+            break
+    assert seen == {1.0, 0.5, 0.25, 0.05}
+
+
+@pytest.mark.parametrize("seed", list(range(25)))
+def test_tenant_exact_bit_identical(seed):
+    """The tenant-exact guarantee, pinned across 25 seeds.
+
+    A never-demoted exact tenant fed the case's randomized push plan
+    must answer bit-identically to the direct batch solve — whatever
+    the strategy, dtype, chunk size, or batch boundaries.
+    """
+    from repro.core.engine import iaf_hit_rate_curve
+    from repro.tenants import TenantRegistry
+
+    case = case_from_seed(seed, profile="quick")
+    cfg = case.config
+    registry = TenantRegistry()
+    registry.register(
+        "t", chunk_size=cfg.chunk_size or None, dtype=cfg.numpy_dtype()
+    )
+    pos = 0
+    for step in push_plan_for(case).tolist():
+        registry.push("t", case.trace[pos : pos + step])
+        pos += step
+    snap = registry.curve("t")
+    exact = iaf_hit_rate_curve(case.trace)
+    assert snap.exact_curve is not None
+    np.testing.assert_array_equal(
+        np.asarray(snap.exact_curve.hits_cumulative),
+        np.asarray(exact.hits_cumulative),
+    )
+    assert snap.exact_curve.total_accesses == exact.total_accesses
+
+
 def test_matrix_agrees_under_worker_kills():
     """The process tiers stay exact while a worker is killed mid-solve.
 

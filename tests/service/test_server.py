@@ -271,3 +271,155 @@ class TestServeTCP:
             finally:
                 server.shutdown()
                 server.server_close()
+
+
+class TestTenantVerbs:
+    """The multi-tenant protocol ops (docs/TENANTS.md)."""
+
+    def _run(self, lines, tenants=None, service=None):
+        out = []
+        svc = service or CurveService(workers=2)
+        try:
+            failures = serve_stream(
+                iter([json.dumps(l) + "\n" for l in lines]),
+                out.append, svc, tenants=tenants,
+            )
+        finally:
+            if service is None:
+                svc.close(drain=True)
+        return failures, [json.loads(o) for o in out]
+
+    def test_disabled_by_default(self):
+        failures, resp = self._run([{"op": "tenants", "id": "x"}])
+        assert failures == 1
+        assert resp[0]["ok"] is False
+        assert "not enabled" in resp[0]["message"]
+
+    def test_full_lifecycle(self, rng):
+        from repro.tenants import TenantService
+
+        trace = rng.integers(0, 200, size=3000).tolist()
+        with CurveService(workers=2) as svc:
+            tenants = TenantService(svc)
+            failures, resp = self._run([
+                {"op": "register", "tenant": "w", "id": "r"},
+                {"op": "push", "tenant": "w", "trace": trace, "id": "p"},
+                {"op": "curve", "tenant": "w", "sizes": [16, 64],
+                 "id": "c"},
+                {"op": "tenants", "id": "t"},
+                {"op": "evict", "tenant": "w", "id": "e"},
+            ], tenants=tenants, service=svc)
+        assert failures == 0
+        by_id = {r["id"]: r for r in resp}
+        assert by_id["r"]["tier"] == "exact"
+        assert by_id["p"]["ingested"] == 3000
+        direct = iaf_hit_rate_curve(np.asarray(trace))
+        assert by_id["c"]["exact"] is True
+        assert by_id["c"]["hit_rates"]["64"] == pytest.approx(
+            direct.hit_rate(64)
+        )
+        assert by_id["t"]["tenants"][0]["tenant"] == "w"
+        assert by_id["e"]["evicted"] is True
+
+    def test_sampled_tier_over_the_wire(self, rng):
+        from repro.core.sampling import sampled_hit_rate_curve
+        from repro.tenants import TenantService
+
+        trace = rng.integers(0, 500, size=8000).tolist()
+        with CurveService(workers=2) as svc:
+            tenants = TenantService(svc)
+            failures, resp = self._run([
+                {"op": "register", "tenant": "s", "tier": "sampled",
+                 "sample_rate": 0.5, "id": "r"},
+                {"op": "push", "tenant": "s", "trace": trace, "id": "p"},
+                {"op": "curve", "tenant": "s", "sizes": [128], "id": "c"},
+            ], tenants=tenants, service=svc)
+        assert failures == 0
+        by_id = {r["id"]: r for r in resp}
+        oneshot = sampled_hit_rate_curve(np.asarray(trace), 0.5, seed=0)
+        assert by_id["c"]["exact"] is False
+        assert by_id["c"]["hit_rates"]["128"] == pytest.approx(
+            oneshot.hit_rate(128), abs=0.0
+        )
+        assert by_id["p"]["ingested"] == oneshot.sampled_accesses
+
+    def test_malformed_tenant_lines(self):
+        from repro.tenants import TenantService
+
+        with CurveService(workers=2) as svc:
+            tenants = TenantService(svc)
+            failures, resp = self._run([
+                {"op": "bogus", "id": "a"},
+                {"op": "push", "id": "b"},
+                {"op": "push", "tenant": "ghost", "trace": [1], "id": "c"},
+                {"op": "register", "tenant": "t", "shoe_size": 9,
+                 "id": "d"},
+                {"op": "curve", "tenant": "t", "sizes": [-1], "id": "e"},
+            ], tenants=tenants, service=svc)
+        assert failures == 5
+        by_id = {r["id"]: r for r in resp}
+        assert "unknown op" in by_id["a"]["message"]
+        assert '"tenant"' in by_id["b"]["message"]
+        assert "unknown tenant" in by_id["c"]["message"]
+        assert "shoe_size" in by_id["d"]["message"]
+        assert "positive integers" in by_id["e"]["message"]
+
+    def test_stdin_cli_tenant_mode(self, capsys, monkeypatch):
+        lines = "\n".join([
+            json.dumps({"op": "register", "tenant": "t", "id": "r"}),
+            json.dumps({"op": "push", "tenant": "t",
+                        "trace": [1, 2, 1, 3, 1], "id": "p"}),
+            json.dumps({"op": "curve", "tenant": "t", "sizes": [2],
+                        "id": "c"}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        rc = main(["serve", "--workers", "1", "--tenants", "--metrics"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        payloads = {json.loads(l)["id"]: json.loads(l)
+                    for l in captured.out.strip().splitlines()}
+        assert payloads["p"]["ingested"] == 5
+        direct = iaf_hit_rate_curve(np.array([1, 2, 1, 3, 1]))
+        assert payloads["c"]["hit_rates"]["2"] == pytest.approx(
+            direct.hit_rate(2)
+        )
+        assert "tenant.pushes" in captured.err
+
+    def test_tcp_tenant_round_trip(self):
+        from repro.tenants import TenantService
+
+        with CurveService(workers=2) as svc:
+            tenants = TenantService(svc)
+            server = serve_tcp(svc, "127.0.0.1", 0, tenants=tenants)
+            host, port = server.server_address[:2]
+            runner = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            runner.start()
+            try:
+                lines = [
+                    json.dumps({"op": "register", "tenant": "t",
+                                "id": "r"}) + "\n",
+                    json.dumps({"op": "push", "tenant": "t",
+                                "trace": [5, 6, 5], "id": "p"}) + "\n",
+                    json.dumps({"op": "curve", "tenant": "t",
+                                "sizes": [2], "id": "c"}) + "\n",
+                ]
+                with socket.create_connection((host, port),
+                                              timeout=30) as sock:
+                    sock.sendall("".join(lines).encode())
+                    sock.shutdown(socket.SHUT_WR)
+                    buf = b""
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        buf += chunk
+                resp = {json.loads(l)["id"]: json.loads(l)
+                        for l in buf.decode().strip().splitlines()}
+                assert resp["p"]["ingested"] == 3
+                assert resp["c"]["hit_rates"]["2"] == pytest.approx(
+                    1.0 / 3.0
+                )
+            finally:
+                server.shutdown()
+                server.server_close()

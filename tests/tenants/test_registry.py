@@ -1,0 +1,316 @@
+"""Unit tests for the multi-tenant registry (repro.tenants.registry).
+
+The central claims:
+
+* an exact-tier tenant that is never demoted produces a curve
+  **bit-identical** to the direct batch solve over everything pushed;
+* the sampled tier streams the same estimate the one-shot SHARDS
+  baseline computes on the same (rate, seed);
+* tier switches are invisible at the switch instant, and at rate 1.0 a
+  demote→promote round trip is lossless;
+* memory budgets actually bound state, by demoting cold tenants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import iaf_hit_rate_curve
+from repro.core.sampling import sampled_hit_rate_curve
+from repro.errors import ReproError
+from repro.tenants import EXACT, SAMPLED, TenantRegistry
+from repro.workloads.synthetic import zipfian_trace
+
+
+def _push_batched(registry, tenant_id, trace, batch=997):
+    for i in range(0, trace.size, batch):
+        registry.push(tenant_id, trace[i : i + batch])
+
+
+class TestRegister:
+    def test_register_and_describe(self):
+        reg = TenantRegistry()
+        reg.register("a")
+        reg.register("b", tier=SAMPLED, sample_rate=0.5)
+        rows = reg.describe()
+        assert [r["tenant"] for r in rows] == ["a", "b"]
+        assert rows[0]["tier"] == EXACT and rows[1]["tier"] == SAMPLED
+        assert "a" in reg and "nope" not in reg
+        assert reg.tenant_ids() == ["a", "b"]
+
+    def test_duplicate_rejected(self):
+        reg = TenantRegistry()
+        reg.register("a")
+        with pytest.raises(ReproError, match="already registered"):
+            reg.register("a")
+
+    def test_bad_tier_and_rate_rejected(self):
+        reg = TenantRegistry()
+        with pytest.raises(ReproError, match="tier"):
+            reg.register("x", tier="fuzzy")
+        with pytest.raises(ReproError, match="sample_rate"):
+            reg.register("x", tier=SAMPLED, sample_rate=0.0)
+        with pytest.raises(ReproError, match="memory_budget"):
+            reg.register("x", memory_budget=0)
+
+    def test_unknown_tenant_operations_raise(self):
+        reg = TenantRegistry()
+        with pytest.raises(ReproError, match="unknown tenant"):
+            reg.push("ghost", [1, 2, 3])
+        with pytest.raises(ReproError, match="unknown tenant"):
+            reg.curve("ghost")
+        assert reg.evict("ghost") is False
+
+
+class TestExactTier:
+    def test_curve_bit_identical_to_batch_solve(self):
+        trace = zipfian_trace(40_000, 3_000, 0.8, seed=0)
+        reg = TenantRegistry(chunk_size=1024)
+        reg.register("t")
+        _push_batched(reg, "t", trace)
+        snap = reg.curve("t")
+        exact = iaf_hit_rate_curve(trace)
+        assert snap.exact_curve is not None
+        np.testing.assert_array_equal(
+            snap.exact_curve.hits_cumulative, exact.hits_cumulative
+        )
+        assert snap.exact_curve.total_accesses == exact.total_accesses
+        # and the float estimate is those same counts
+        np.testing.assert_array_equal(
+            snap.estimate.hits_estimate,
+            np.asarray(exact.hits_cumulative, dtype=np.float64),
+        )
+
+    def test_receipt_shape(self):
+        reg = TenantRegistry()
+        reg.register("t")
+        receipt = reg.push("t", [1, 2, 1])
+        assert receipt == {
+            "tenant": "t", "accepted": 3, "ingested": 3,
+            "tier": EXACT, "promoted": False, "demoted": [],
+        }
+
+    def test_empty_tenant_is_queryable(self):
+        reg = TenantRegistry()
+        reg.register("t")
+        snap = reg.curve("t")
+        assert snap.total_accesses == 0
+        assert snap.hit_rate(100) == 0.0
+        assert snap.exact_curve is not None
+        assert snap.exact_curve.total_accesses == 0
+
+    def test_bounded_tenant_truncates(self):
+        trace = zipfian_trace(20_000, 2_000, 0.8, seed=1)
+        reg = TenantRegistry()
+        reg.register("t", max_cache_size=64)
+        _push_batched(reg, "t", trace)
+        snap = reg.curve("t")
+        exact = iaf_hit_rate_curve(trace)
+        got = np.asarray(snap.exact_curve.hits_cumulative)
+        assert got.size <= 64
+        np.testing.assert_array_equal(
+            got, np.asarray(exact.hits_cumulative)[: got.size]
+        )
+
+
+class TestSampledTier:
+    def test_streaming_matches_one_shot_baseline(self):
+        trace = zipfian_trace(60_000, 4_000, 0.9, seed=3)
+        reg = TenantRegistry()
+        reg.register("s", tier=SAMPLED, sample_rate=0.1, sample_seed=5)
+        _push_batched(reg, "s", trace)
+        snap = reg.curve("s")
+        oneshot = sampled_hit_rate_curve(trace, 0.1, seed=5)
+        assert snap.exact_curve is None
+        np.testing.assert_array_equal(
+            snap.estimate.hits_estimate, oneshot.hits_estimate
+        )
+        assert snap.estimate.total_accesses == oneshot.total_accesses
+        assert snap.estimate.sampled_accesses == oneshot.sampled_accesses
+
+    def test_sampled_receipt_counts_subsample(self):
+        trace = zipfian_trace(10_000, 1_000, 0.8, seed=2)
+        reg = TenantRegistry()
+        reg.register("s", tier=SAMPLED, sample_rate=0.25, sample_seed=0)
+        receipt = reg.push("s", trace)
+        assert receipt["accepted"] == trace.size
+        assert 0 < receipt["ingested"] < trace.size // 2
+
+    def test_pinned_sampled_tenant_never_auto_promotes(self):
+        reg = TenantRegistry(promote_after=10)
+        reg.register("s", tier=SAMPLED, sample_rate=0.5)
+        for _ in range(20):
+            reg.push("s", np.arange(10, dtype=np.int64))
+        assert reg._get("s").tier == SAMPLED
+
+
+class TestTierSwitches:
+    def test_demote_is_invisible_at_switch_instant(self):
+        trace = zipfian_trace(30_000, 2_000, 0.8, seed=4)
+        reg = TenantRegistry()
+        reg.register("t", sample_rate=0.1)
+        _push_batched(reg, "t", trace)
+        before = reg.curve("t").estimate.hits_estimate
+        assert reg.demote("t")
+        after = reg.curve("t")
+        assert after.tier == SAMPLED
+        assert after.exact_curve is None  # history is no longer all-exact
+        assert after.segments == 1
+        np.testing.assert_array_equal(
+            after.estimate.hits_estimate, before
+        )
+        assert reg.demote("t") is False  # already sampled
+
+    def test_rate_one_roundtrip_is_lossless(self):
+        trace = zipfian_trace(30_000, 2_000, 0.8, seed=6)
+        cut = 17_000
+        reg = TenantRegistry()
+        reg.register("t", sample_rate=1.0)
+        _push_batched(reg, "t", trace[:cut])
+        assert reg.demote("t")
+        assert reg.promote("t")
+        _push_batched(reg, "t", trace[cut:])
+        snap = reg.curve("t")
+        exact = iaf_hit_rate_curve(trace)
+        # two frozen segments exist, so exact_curve is None — but at
+        # rate 1.0 nothing was lost, so the estimate IS the exact curve.
+        kmax = exact.max_size
+        want = np.asarray(exact.hits_cumulative, dtype=np.float64)
+        got = snap.estimate.hits_estimate
+        size = min(want.size, got.size)
+        np.testing.assert_array_equal(got[:size], want[:size])
+        if got.size > size:
+            assert (got[size:] == want[-1]).all()
+        assert snap.hit_rate(kmax) == exact.hit_rate(kmax)
+
+    def test_promote_counts_and_flags(self):
+        reg = TenantRegistry()
+        reg.register("t", sample_rate=0.5)
+        reg.push("t", np.arange(100, dtype=np.int64))
+        assert reg.promote("t") is False  # already exact
+        reg.demote("t")
+        assert reg.promote("t") is True
+        t = reg._get("t")
+        assert t.demotions == 1 and t.promotions == 1
+
+    def test_auto_promotion_after_sustained_traffic(self):
+        reg = TenantRegistry(promote_after=500)
+        reg.register("t", sample_rate=0.5)
+        reg.push("t", np.arange(100, dtype=np.int64))
+        reg.demote("t")
+        promoted_receipts = []
+        for i in range(6):
+            r = reg.push("t", np.arange(100, dtype=np.int64))
+            promoted_receipts.append(r["promoted"])
+        assert any(promoted_receipts)
+        assert reg._get("t").tier == EXACT
+
+
+class TestIsolationAndBudget:
+    def test_tenants_are_isolated(self):
+        cold_trace = zipfian_trace(5_000, 500, 0.8, seed=7)
+        reg = TenantRegistry()
+        reg.register("cold")
+        reg.register("hot")
+        _push_batched(reg, "cold", cold_trace)
+        before = reg.curve("cold").estimate.hits_estimate
+        for i in range(10):
+            reg.push("hot", zipfian_trace(5_000, 500, 0.8, seed=100 + i))
+        np.testing.assert_array_equal(
+            reg.curve("cold").estimate.hits_estimate, before
+        )
+
+    def test_global_budget_demotes_coldest_exact_tenant(self):
+        reg = TenantRegistry(memory_budget=200_000)
+        reg.register("old", sample_rate=0.05)
+        reg.register("new", sample_rate=0.05)
+        reg.push("old", zipfian_trace(2_000, 1_000, 0.6, seed=0))
+        demoted = []
+        for i in range(30):
+            r = reg.push(
+                "new", zipfian_trace(4_000, 4_000, 0.4, seed=i)
+            )
+            demoted.extend(r["demoted"])
+            if demoted:
+                break
+        assert "old" in demoted  # least-recently-pushed goes first
+        assert reg._get("old").tier == SAMPLED
+        assert reg.metrics()["tenant.budget_demotions"] >= 1
+
+    def test_budget_floor_is_all_sampled(self):
+        # Once every tenant is sampled the enforcer stops (no thrash).
+        reg = TenantRegistry(memory_budget=1)
+        reg.register("a", sample_rate=0.5)
+        r = reg.push("a", np.arange(1000, dtype=np.int64))
+        assert r["demoted"] == ["a"] or reg._get("a").tier == SAMPLED
+        r2 = reg.push("a", np.arange(1000, dtype=np.int64))
+        assert r2["demoted"] == []  # already at the floor
+
+    def test_per_tenant_budget_self_demotes(self):
+        reg = TenantRegistry()
+        reg.register("t", sample_rate=0.05, memory_budget=10_000)
+        for i in range(20):
+            r = reg.push("t", zipfian_trace(3_000, 3_000, 0.4, seed=i))
+            if r["demoted"]:
+                assert r["demoted"] == ["t"]
+                break
+        assert reg._get("t").tier == SAMPLED
+
+    def test_state_bytes_plateau_under_budget(self):
+        budget = 300_000
+        reg = TenantRegistry(memory_budget=budget, promote_after=1 << 30)
+        for t in range(8):
+            reg.register(f"t{t}", sample_rate=0.01)
+        rng = np.random.default_rng(0)
+        for i in range(60):
+            t = f"t{i % 8}"
+            reg.push(t, rng.integers(0, 50_000, size=5_000))
+        # Sampled floors plus one live exact tenant can overshoot the
+        # budget transiently, but not by more than one tenant's state.
+        assert reg.state_nbytes <= budget + max(
+            reg._get(f"t{t}").state_nbytes for t in range(8)
+        )
+        assert reg.metrics()["tenant.budget_demotions"] >= 1
+
+    def test_evict_frees_state(self):
+        reg = TenantRegistry()
+        reg.register("t")
+        reg.push("t", np.arange(10_000, dtype=np.int64))
+        assert reg.state_nbytes > 0
+        assert reg.evict("t")
+        assert reg.state_nbytes == 0
+        assert len(reg) == 0
+
+
+class TestObservability:
+    def test_counters_cover_lifecycle(self):
+        reg = TenantRegistry()
+        reg.register("t", sample_rate=0.5)
+        reg.push("t", np.arange(100, dtype=np.int64))
+        reg.curve("t")
+        reg.demote("t")
+        reg.promote("t")
+        reg.evict("t")
+        m = reg.metrics()
+        assert m["tenant.registered"] == 1
+        assert m["tenant.pushes"] == 1
+        assert m["tenant.accesses"] == 100
+        assert m["tenant.curve_queries"] == 1
+        assert m["tenant.demotions"] == 1
+        assert m["tenant.promotions"] == 1
+        assert m["tenant.evictions"] == 1
+        assert m["tenant.count"] == 0
+        assert m["tenant.count_peak"] == 1
+
+    def test_spans_emitted_when_tracing(self):
+        from repro.obs import tracing
+
+        reg = TenantRegistry()
+        reg.register("t")
+        with tracing() as tracer:
+            reg.push("t", [1, 2, 1])
+            reg.curve("t")
+            reg.demote("t")
+            reg.promote("t")
+        names = {e.name for e in tracer.events()}
+        assert {"tenant.push", "tenant.curve", "tenant.demote",
+                "tenant.promote"} <= names

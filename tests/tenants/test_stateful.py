@@ -1,0 +1,166 @@
+"""Model-based stateful tests for the tenant registry.
+
+Hypothesis drives arbitrary interleavings of register / push / curve /
+demote / promote / evict over a small pool of tenants and checks, after
+every step:
+
+* **tenant-exact** — a tenant whose history is all-exact (never
+  demoted) answers bit-identically to the direct batch solve over the
+  concatenation of everything it pushed;
+* **lossless at rate 1.0** — a tenant sampling at rate 1.0 answers
+  exactly even across arbitrary demote/promote chains (the carryover
+  re-seeding drops nothing when nothing is sampled away);
+* **isolation** — operations on one tenant never change another's
+  answer;
+* **budget plateau** — with a global budget, total state stays within
+  one tenant's worth of the cap.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.engine import iaf_hit_rate_curve
+from repro.tenants import EXACT, TenantRegistry
+
+TENANT_IDS = ("t0", "t1", "t2")
+#: per-tenant sampling rate: t0 pins 1.0 (exactness survives switches),
+#: the others use a real rate (only the weak invariants apply there).
+RATES = {"t0": 1.0, "t1": 0.5, "t2": 0.25}
+
+ids = st.sampled_from(TENANT_IDS)
+traces = st.lists(
+    st.integers(0, 29), min_size=1, max_size=40
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+def _exact_hits(pushed):
+    full = (np.concatenate(pushed) if pushed
+            else np.zeros(0, dtype=np.int64))
+    return np.asarray(
+        iaf_hit_rate_curve(full).hits_cumulative, dtype=np.float64
+    ), full.size
+
+
+def _assert_flat_equal(got, want):
+    size = min(got.size, want.size)
+    np.testing.assert_array_equal(got[:size], want[:size])
+    if got.size > size:
+        assert (got[size:] == (want[-1] if want.size else 0.0)).all()
+    if want.size > size:
+        assert (want[size:] == (got[-1] if got.size else 0.0)).all()
+
+
+class TenantMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.registry = TenantRegistry(promote_after=64, chunk_size=7)
+        self.pushed = {}        # id -> list of pushed arrays
+        self.switched = set()   # ids whose history is no longer all-exact
+
+    @rule(tid=ids)
+    def register(self, tid):
+        if tid in self.registry:
+            return
+        self.registry.register(tid, sample_rate=RATES[tid])
+        self.pushed[tid] = []
+        self.switched.discard(tid)
+
+    @rule(tid=ids, trace=traces)
+    def push(self, tid, trace):
+        if tid not in self.registry:
+            return
+        receipt = self.registry.push(tid, trace)
+        self.pushed[tid].append(trace)
+        assert receipt["accepted"] == trace.size
+        if receipt["promoted"] or receipt["demoted"]:
+            self.switched.update([tid] + list(receipt["demoted"]))
+
+    @rule(tid=ids)
+    def demote(self, tid):
+        if tid in self.registry and self.registry.demote(tid):
+            self.switched.add(tid)
+
+    @rule(tid=ids)
+    def promote(self, tid):
+        if tid in self.registry and self.registry.promote(tid):
+            self.switched.add(tid)
+
+    @rule(tid=ids)
+    def evict(self, tid):
+        evicted = self.registry.evict(tid)
+        assert evicted == (tid in self.pushed)
+        self.pushed.pop(tid, None)
+        self.switched.discard(tid)
+
+    @invariant()
+    def curves_match_model(self):
+        snapshots = {
+            tid: self.registry.curve(tid) for tid in self.pushed
+        }
+        for tid, snap in snapshots.items():
+            want, n = _exact_hits(self.pushed[tid])
+            assert snap.total_accesses == n
+            got = snap.estimate.hits_estimate
+            # weak invariants hold for every tier and every rate
+            assert (got >= -1e-9).all()
+            assert (np.diff(got) >= -1e-9).all()
+            assert 0.0 <= snap.hit_rate(max(1, got.size)) <= 1.0 + 1e-12
+            if tid not in self.switched and snap.tier == EXACT:
+                assert snap.exact_curve is not None
+                _assert_flat_equal(
+                    np.asarray(snap.exact_curve.hits_cumulative,
+                               dtype=np.float64), want,
+                )
+            if RATES[tid] == 1.0:
+                _assert_flat_equal(got, want)
+        # isolation: asking again (no ops in between) changes nothing
+        for tid, snap in snapshots.items():
+            again = self.registry.curve(tid)
+            np.testing.assert_array_equal(
+                again.estimate.hits_estimate, snap.estimate.hits_estimate
+            )
+
+
+class BudgetMachine(RuleBasedStateMachine):
+    """Global-budget behavior under arbitrary traffic."""
+
+    BUDGET = 20_000
+
+    def __init__(self):
+        super().__init__()
+        self.registry = TenantRegistry(
+            memory_budget=self.BUDGET, promote_after=256, chunk_size=16
+        )
+        self.known = set()
+
+    @rule(tid=ids)
+    def register(self, tid):
+        if tid not in self.registry:
+            self.registry.register(tid, sample_rate=0.5)
+            self.known.add(tid)
+
+    @rule(tid=ids, trace=traces)
+    def push(self, tid, trace):
+        if tid in self.registry:
+            self.registry.push(tid, trace)
+
+    @invariant()
+    def state_plateaus(self):
+        if not self.known:
+            return
+        slack = max(
+            (self.registry._get(t).state_nbytes for t in self.known
+             if t in self.registry),
+            default=0,
+        )
+        assert self.registry.state_nbytes <= self.BUDGET + slack
+
+
+TestTenantStateful = TenantMachine.TestCase
+TestTenantStateful.settings = settings(max_examples=20, deadline=None,
+                                       stateful_step_count=30)
+TestBudgetStateful = BudgetMachine.TestCase
+TestBudgetStateful.settings = settings(max_examples=15, deadline=None,
+                                       stateful_step_count=30)
