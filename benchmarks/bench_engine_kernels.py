@@ -6,7 +6,10 @@ acceptance bars recorded in ``BENCH_engine_kernels.json``:
 * **level loop** — ``solve_prepost_arrays`` on a prebuilt 1M-access zipf
   op batch, fused vs naive backend (the prepost compile and the
   prev/next scan are identical across backends and excluded).  Bar:
-  fused >= 1.3x.
+  fused >= 1.3x.  When numba is installed the compiled backend joins
+  the A/B (bar: compiled >= 2x over fused) and a thread-scaling sweep
+  records the ``prange`` speedup per ``numba.set_num_threads`` width;
+  without numba both record honest "unavailable" metadata instead.
 * **steady-state allocations** — tracemalloc peak bytes and live blocks
   during a solve *after* warm-up: the naive backend re-allocates every
   level's arrays, the fused backend runs inside a primed
@@ -40,6 +43,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.core import compiled
 from repro.core.engine import (
     Segments,
     Workspace,
@@ -52,6 +56,7 @@ from repro.metrics.timing import median_time
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_kernels.json"
 REGRESSION_HEADROOM = 1.10  # CI fails if fused > naive * this
+COMPILED_SPEEDUP_BAR = 2.0  # compiled must beat fused by this when jitted
 BATCH_CHILD_FLAG = "--batch-child"  # internal: one isolated timing side
 
 UNIVERSE = 50_000
@@ -75,18 +80,23 @@ def _root_segments(trace: np.ndarray) -> Segments:
 
 
 def measure_level_loop(n: int) -> Dict[str, float]:
-    """Median seconds of the level loop alone, per backend."""
+    """Median seconds of the level loop alone, per backend.
+
+    The compiled (numba) backend is timed only when the JIT is actually
+    on: timing the un-jitted pure fallback would benchmark a python
+    interpreter loop, not the kernel this bar is about.
+    """
     trace = _zipf_trace(n)
     seg = _root_segments(trace)
     values = np.zeros(trace.size + 1, dtype=np.int64)
-    ws = Workspace()
+    workspaces = {"fused": Workspace(), "compiled": Workspace()}
 
     def run(backend: str) -> float:
         def once():
             values.fill(0)
             solve_prepost_arrays(
                 seg, values, engine_backend=backend,
-                workspace=ws if backend == "fused" else None,
+                workspace=workspaces.get(backend),
             )
 
         once()  # warm up (and prime the workspace)
@@ -95,11 +105,73 @@ def measure_level_loop(n: int) -> Dict[str, float]:
 
     naive_s = run("naive")
     fused_s = run("fused")
-    return {
+    out: Dict[str, float] = {
         "n": n,
         "naive_s": naive_s,
         "fused_s": fused_s,
         "speedup": naive_s / fused_s if fused_s else float("inf"),
+        "compiled_available": compiled.jit_enabled(),
+    }
+    if compiled.jit_enabled():
+        compiled.warmup()  # JIT compile outside the timed region
+        compiled_s = run("compiled")
+        out["compiled_s"] = compiled_s
+        out["compiled_speedup_vs_fused"] = (
+            fused_s / compiled_s if compiled_s else float("inf")
+        )
+    return out
+
+
+def measure_thread_scaling(n: int) -> Dict[str, object]:
+    """Compiled level loop vs thread count (``numba.set_num_threads``).
+
+    Records one row per thread count from 1 to the host's numba thread
+    pool size, plus the parallel efficiency of the widest run.  Honest
+    metadata instead of numbers when numba is absent or the host has a
+    single core — the sweep is carried forward by the CI numba leg.
+    """
+    cpus = os.cpu_count() or 1
+    if not compiled.jit_enabled():
+        return {
+            "available": False,
+            "reason": "numba not installed; sweep runs on the CI compiled leg",
+            "cpu_count": cpus,
+        }
+    trace = _zipf_trace(n)
+    seg = _root_segments(trace)
+    values = np.zeros(trace.size + 1, dtype=np.int64)
+    ws = Workspace()
+    compiled.warmup()
+
+    def once():
+        values.fill(0)
+        solve_prepost_arrays(
+            seg, values, engine_backend="compiled", workspace=ws,
+        )
+
+    max_t = min(cpus, compiled.max_threads())
+    threads = sorted({1, 2, 4, max_t} & set(range(1, max_t + 1)))
+    rows = []
+    try:
+        for t in threads:
+            compiled.set_threads(t)
+            once()  # settle the pool at the new width
+            _res, secs = median_time(once, repeats=REPEATS)
+            rows.append({"threads": t, "seconds": secs})
+    finally:
+        compiled.set_threads(max_t)
+    base = rows[0]["seconds"]
+    widest = rows[-1]
+    return {
+        "available": True,
+        "cpu_count": cpus,
+        "n": n,
+        "rows": rows,
+        "speedup_at_max": base / widest["seconds"] if widest["seconds"] else 0.0,
+        "efficiency_at_max": (
+            base / (widest["seconds"] * widest["threads"])
+            if widest["seconds"] else 0.0
+        ),
     }
 
 
@@ -210,6 +282,7 @@ def run_all(n: int) -> Dict[str, Dict[str, float]]:
     batch = measure_batch()
     return {
         "level_loop": measure_level_loop(n),
+        "thread_scaling": measure_thread_scaling(n),
         "steady_state_alloc": measure_allocations(n),
         "batch": batch,
     }
@@ -236,6 +309,23 @@ def _render(results: Dict[str, Dict[str, float]]) -> str:
         [f"batch {batch['k']}x{batch['n']} (s)", f"{batch['loop_s']:.3f}",
          f"{batch['batch_s']:.3f}", f"{batch['speedup']:.2f}x"],
     ]
+    if "compiled_s" in lvl:
+        rows.insert(1, [
+            "compiled level loop (s)", f"{lvl['fused_s']:.3f}",
+            f"{lvl['compiled_s']:.3f}",
+            f"{lvl['compiled_speedup_vs_fused']:.2f}x vs fused",
+        ])
+    scaling = results.get("thread_scaling", {})
+    if scaling.get("available"):
+        per_thread = ", ".join(
+            f"{row['threads']}t={row['seconds']:.3f}s"
+            for row in scaling["rows"]
+        )
+        rows.append([
+            "compiled thread sweep", per_thread,
+            f"{scaling['speedup_at_max']:.2f}x",
+            f"{scaling['efficiency_at_max'] * 100:.0f}% eff",
+        ])
     return render_table(
         f"Engine kernels: fused vs naive (n={lvl['n']:,})",
         ["measure", "naive / loop", "fused / batch", "gain"],
@@ -264,6 +354,11 @@ def test_engine_kernels(benchmark):
     )
     assert alloc["peak_ratio"] >= 2.0
     assert batch["speedup"] >= 1.0
+    if "compiled_s" in lvl:
+        assert lvl["compiled_speedup_vs_fused"] >= COMPILED_SPEEDUP_BAR, (
+            f"compiled level loop only {lvl['compiled_speedup_vs_fused']:.2f}x "
+            f"over fused (bar: {COMPILED_SPEEDUP_BAR}x)"
+        )
 
 
 def main() -> int:
@@ -276,6 +371,15 @@ def main() -> int:
             f"FAIL: fused level loop {lvl['fused_s']:.3f}s is more than "
             f"{(REGRESSION_HEADROOM - 1) * 100:.0f}% slower than naive "
             f"{lvl['naive_s']:.3f}s",
+            file=sys.stderr,
+        )
+        return 1
+    if ("compiled_s" in lvl
+            and lvl["compiled_speedup_vs_fused"] < COMPILED_SPEEDUP_BAR):
+        print(
+            f"FAIL: compiled level loop only "
+            f"{lvl['compiled_speedup_vs_fused']:.2f}x over fused "
+            f"(bar: {COMPILED_SPEEDUP_BAR}x)",
             file=sys.stderr,
         )
         return 1

@@ -86,10 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--chunk-size", type=int, default=None,
                      help="accesses per chunk for chunked-iaf (result is "
                           "identical for every value; memory is not)")
-    ana.add_argument("--engine-backend", default="fused",
+    ana.add_argument("--engine-backend", default=None,
                      choices=list(ENGINE_BACKENDS),
                      help="engine level kernel (naive = differential "
-                          "oracle)")
+                          "oracle; compiled = numba JIT, falls back to "
+                          "fused without numba; default: "
+                          "REPRO_ENGINE_BACKEND or fused)")
     ana.add_argument("--sizes", default=None,
                      help="comma-separated cache sizes to report "
                           "(default: knees of the curve)")

@@ -70,7 +70,7 @@ def forward_distances_via_reversal(
     *,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> np.ndarray:
     """Forward distance vector through the reversal duality."""
     d_rev = iaf_distances(trace[::-1], dtype=dtype, stats=stats,
@@ -102,7 +102,7 @@ def bounded_iaf(
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> BoundedResult:
     """Run BOUNDED-INCREMENT-AND-FREEZE over ``trace``.
 
@@ -173,7 +173,7 @@ def _process_chunk(
     *,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> HitRateCurve:
     """Lemma 7.1: distances for ``chunk`` from the trace ``Q̄ · chunk``."""
     r_trace = np.concatenate([qbar, chunk]).astype(dt, copy=False)
@@ -201,7 +201,7 @@ def parallel_bounded_iaf(
     workers: int = 1,
     chunk_multiplier: int = 1,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> BoundedResult:
     """PARALLEL-BOUNDED-INCREMENT-AND-FREEZE (Theorem 7.4).
 

@@ -48,7 +48,8 @@ from .._typing import DEFAULT_DTYPE, TraceLike, as_trace, validate_dtype
 from ..errors import CapacityError, ReproError
 from ..metrics.memory import MemoryModel
 from ..obs import NULL_SPAN, get_tracer
-from .engine import EngineStats, Workspace, iaf_distances
+from .engine import EngineStats, Workspace, iaf_distances, \
+    resolve_engine_backend
 from .hitrate import HitRateCurve, curve_from_forward_distances, merge_curves
 from .prevnext import last_access_carryover, prev_next_arrays
 
@@ -99,7 +100,7 @@ class ChunkedIAF:
         *,
         max_cache_size: Optional[int] = None,
         dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
-        engine_backend: str = "fused",
+        engine_backend: Optional[str] = None,
         stats: Optional[EngineStats] = None,
         memory: Optional[MemoryModel] = None,
         workspace: Optional[Workspace] = None,
@@ -118,11 +119,11 @@ class ChunkedIAF:
         self._chunk_size = int(chunk_size)
         self._k = None if max_cache_size is None else int(max_cache_size)
         self._dtype = validate_dtype(dtype)
-        self._backend = engine_backend
+        self._backend = resolve_engine_backend(engine_backend)
         self._stats = stats
         self._memory = memory
         self._span_name = span_name
-        if workspace is None and engine_backend == "fused":
+        if workspace is None and self._backend != "naive":
             workspace = Workspace()
         self._workspace = workspace
         self._living_addrs = np.zeros(0, dtype=self._dtype)
@@ -348,7 +349,7 @@ class ChunkedIAF:
         )
         if self._memory is not None:
             self._memory.observe("chunked.chunk", int(r_trace.nbytes) * 2)
-        prev_r, _ = prev_next_arrays(r_trace)
+        prev_r, _ = prev_next_arrays(r_trace, engine_backend=self._backend)
         # Reversal duality: the backward distances of the reversed trace,
         # reversed, are the forward distances of the original.
         d_rev = iaf_distances(r_trace[::-1], dtype=self._dtype, stats=stats,
@@ -438,7 +439,7 @@ def chunked_iaf(
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     workspace: Optional[Workspace] = None,
 ) -> ChunkedResult:
     """One-shot exact chunked solve (the ``algorithm="chunked-iaf"`` tier).

@@ -32,7 +32,12 @@ import numpy as np
 from .._typing import SUPPORTED_DTYPES
 from ..errors import CapacityError, ReproError
 from ..extmem.blockdevice import MemoryConfig
-from .engine import ENGINE_BACKENDS, EngineStats, Workspace
+from .engine import (
+    ENGINE_BACKENDS,
+    EngineStats,
+    Workspace,
+    resolve_engine_backend,
+)
 from .hitrate import HitRateCurve
 
 #: Algorithms usable with :func:`repro.core.api.hit_rate_curve` /
@@ -75,7 +80,10 @@ class SolveConfig:
     run length of ``chunked-iaf`` (``None`` means the module default,
     :data:`repro.core.chunked.DEFAULT_CHUNK_SIZE`); the result is
     bit-identical for every value, only the working set changes.  Other
-    algorithms ignore it.
+    algorithms ignore it.  ``engine_backend=None`` means "the process
+    default" (``REPRO_ENGINE_BACKEND`` or ``"fused"``); ``"compiled"``
+    degrades to ``"fused"`` with one warning when numba is unavailable
+    (see :func:`repro.core.engine.resolve_engine_backend`).
     """
 
     algorithm: str = "iaf"
@@ -83,7 +91,7 @@ class SolveConfig:
     workers: int = 1
     dtype: Optional["np.typing.DTypeLike"] = None
     memory_config: Optional[MemoryConfig] = None
-    engine_backend: str = "fused"
+    engine_backend: Optional[str] = None
     chunk_size: Optional[int] = None
     workspace: Optional[Workspace] = field(
         default=None, compare=False, repr=False
@@ -95,7 +103,8 @@ class SolveConfig:
                 f"unknown algorithm {self.algorithm!r}; "
                 f"choose from {ALGORITHMS}"
             )
-        if self.engine_backend not in ENGINE_BACKENDS:
+        if self.engine_backend is not None and \
+                self.engine_backend not in ENGINE_BACKENDS:
             raise ReproError(
                 f"unknown engine backend {self.engine_backend!r}; "
                 f"choose from {ENGINE_BACKENDS}"
@@ -135,7 +144,9 @@ class SolveConfig:
         return (
             self.algorithm,
             "auto" if self.dtype is None else str(np.dtype(self.dtype)),
-            self.engine_backend,
+            # The *effective* kernel, so compiled requests degraded to
+            # fused (numba absent) still coalesce with fused ones.
+            resolve_engine_backend(self.engine_backend),
             self.workers if self.algorithm == "parallel-iaf" else 0,
         )
 

@@ -68,9 +68,10 @@ from ..pram.scheduler import Cost
 from .hitrate import HitRateCurve, curve_from_backward_distances
 from .ops import POSTFIX, PREFIX, prepost_sequence_arrays
 from .prevnext import prev_next_arrays
+from . import compiled as _compiled
 
 #: Selectable level-kernel implementations (``engine_backend=``).
-ENGINE_BACKENDS = ("fused", "naive")
+ENGINE_BACKENDS = ("fused", "naive", "compiled")
 
 
 def _validate_backend(backend: str) -> str:
@@ -79,6 +80,52 @@ def _validate_backend(backend: str) -> str:
             f"unknown engine backend {backend!r}; "
             f"choose from {ENGINE_BACKENDS}"
         )
+    return backend
+
+
+def _default_backend_from_env() -> Optional[str]:
+    raw = os.environ.get("REPRO_ENGINE_BACKEND", "").strip()
+    if not raw:
+        return None
+    # Rejecting bad values here — at import — turns a typo'd deployment
+    # env var into an immediate ReproError instead of a solve-time one.
+    return _validate_backend(raw)
+
+
+#: Backend used when a call site passes ``engine_backend=None``;
+#: overridable per process via ``REPRO_ENGINE_BACKEND`` (validated at
+#: import time).
+DEFAULT_ENGINE_BACKEND = _default_backend_from_env() or "fused"
+
+_fallback_warned = False
+
+
+def resolve_engine_backend(backend: Optional[str]) -> str:
+    """Resolve an ``engine_backend`` argument to a runnable kernel name.
+
+    ``None`` means "the process default" (``REPRO_ENGINE_BACKEND`` or
+    ``"fused"``).  ``"compiled"`` degrades to ``"fused"`` — with a
+    single :class:`RuntimeWarning` per process — when the compiled
+    kernels are unavailable (no numba and ``REPRO_COMPILED_PURE``
+    unset), so the dependency stays optional at every call site.
+    """
+    global _fallback_warned
+    if backend is None:
+        backend = DEFAULT_ENGINE_BACKEND
+    _validate_backend(backend)
+    if backend == "compiled" and not _compiled.is_available():
+        if not _fallback_warned:
+            import warnings
+
+            warnings.warn(
+                "engine_backend='compiled' requested but numba is not "
+                "installed; falling back to the fused numpy kernel "
+                "(pip install 'repro[compiled]' to enable it)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _fallback_warned = True
+        return "fused"
     return backend
 
 
@@ -276,7 +323,7 @@ class Workspace:
             self._arange_filled = full.size
         return buf
 
-    def prime(self, seg: "Segments") -> None:
+    def prime(self, seg: "Segments", backend: str = "fused") -> None:
         """Preallocate every level buffer from the root batch's shape.
 
         Op-indexed buffers are sized to the root's op count (plus 1/8
@@ -287,6 +334,11 @@ class Workspace:
         loop performs no allocations; pathological growth still falls
         back to doubling.  ``np.empty`` capacity is lazily backed by the
         OS, so the overshoot costs address space, not resident memory.
+
+        ``backend`` selects the buffer set: the compiled kernels reuse
+        the same gather buffers and double-buffered sides but replace
+        the fused kernel's cluster-sum scratch with one slack scratch
+        strip (``ck_*``) sized ops + two head slots per segment.
         """
         ops_cap = seg.n_ops + seg.n_ops // 8 + 64
         cells = (
@@ -313,12 +365,38 @@ class Workspace:
             if nonneg and bound <= np.iinfo(r_dt).max:
                 acc = r_dt
         self.acc_dtype = acc
-        self.array("c0", ops_cap + 1, acc)
         self.array("g_kind", ops_cap, np.uint8)
         self.array("g_t", ops_cap, t_dt)
         self.array("g_r", ops_cap, r_dt)
         if weighted:
             self.array("g_w", ops_cap, seg.w.dtype)
+        if backend == "compiled":
+            # Slack scratch strip: every segment's children plus two
+            # head slots, then the per-segment counters, the error
+            # flag, and the (2x-wide) child side buffers.
+            ck_cap = ops_cap + 2 * seg_cap
+            self.array("ck_kind", ck_cap, np.uint8)
+            self.array("ck_t", ck_cap, t_dt)
+            self.array("ck_r", ck_cap, r_dt)
+            if weighted:
+                self.array("ck_w", ck_cap, seg.w.dtype)
+            self.array("ck_cl", seg_cap, np.int64)
+            self.array("ck_cr", seg_cap, np.int64)
+            self.array("ck_c2", 2 * seg_cap, np.int64)
+            self.array("ck_err", 2, np.int64)
+            for name in ("p_starts", "mid"):
+                self.array(name, seg_cap, np.int64)
+            for side in (0, 1):
+                self.array(f"kind{side}", ck_cap, np.uint8)
+                self.array(f"t{side}", ck_cap, t_dt)
+                self.array(f"r{side}", ck_cap, r_dt)
+                if weighted:
+                    self.array(f"w{side}", ck_cap, seg.w.dtype)
+                self.array(f"starts{side}", 2 * seg_cap + 1, np.int64)
+                self.array(f"lo{side}", 2 * seg_cap, np.int64)
+                self.array(f"hi{side}", 2 * seg_cap, np.int64)
+            return
+        self.array("c0", ops_cap + 1, acc)
         # Per-level op-indexed scratch (masks, effects, casts, scatters).
         for name in ("isp", "insl", "tmpb", "mrg", "kept"):
             self.array(name, ops_cap, np.bool_)
@@ -1116,13 +1194,145 @@ def _partition_level_fused(
                     w=None if w_out is None else w_out[:out_op])
 
 
+def _partition_level_compiled(
+    seg: Segments, internal_mask: np.ndarray, ws: Workspace, level: int
+) -> Segments:
+    """One recursion level via the compiled (numba) partition kernel.
+
+    The kernel runs one serial pass per (segment, child) and prange's
+    over segments — the scalar form of the fused kernel's cluster-sum
+    shrink, bit-identical by construction (same merge/effect rules,
+    int64 accumulation, truncating narrow stores).  Children land in a
+    slack scratch strip (two head slots of headroom per segment, so no
+    counting pre-pass is needed) and are compacted into the double-
+    buffered side arrays.  Unlike the fused kernel's chunk-contiguous
+    ``[left…, right…]`` blocks, children interleave per segment
+    (``left0, right0, left1, …``) — segment order within a level is
+    free: distances are exact either way and the per-level stats are
+    multiset-invariant.
+    """
+    side = level & 1
+    all_internal = bool(internal_mask.all())
+    if all_internal:
+        n_segs = seg.n_segments
+        lo, hi = seg.lo, seg.hi
+        kind, t, r, w = seg.kind, seg.t, seg.r, seg.w
+        starts = seg.starts
+    else:
+        counts = seg.counts()[internal_mask]
+        n_segs = counts.size
+        lo = seg.lo[internal_mask]
+        hi = seg.hi[internal_mask]
+        src_starts = seg.starts[:-1][internal_mask]
+        take = _gather_indices(src_starts, counts)
+        m_in = take.size
+        kind = np.take(seg.kind, take,
+                       out=ws.array("g_kind", m_in, np.uint8, level), mode="wrap")
+        t = np.take(seg.t, take,
+                    out=ws.array("g_t", m_in, seg.t.dtype, level), mode="wrap")
+        r = np.take(seg.r, take,
+                    out=ws.array("g_r", m_in, seg.r.dtype, level), mode="wrap")
+        w = (None if seg.w is None else
+             np.take(seg.w, take,
+                     out=ws.array("g_w", m_in, seg.w.dtype, level), mode="wrap"))
+        starts = ws.array("p_starts", n_segs + 1, np.int64, level)
+        starts[0] = 0
+        np.cumsum(counts, out=starts[1:])
+    m = kind.size
+
+    mid = ws.array("mid", n_segs, np.int64, level)
+    np.add(lo, hi, out=mid)
+    np.floor_divide(mid, 2, out=mid)
+    lo = np.ascontiguousarray(lo)
+    hi = np.ascontiguousarray(hi)
+    starts = np.ascontiguousarray(starts)
+
+    cap = m + 2 * n_segs
+    sck = ws.array("ck_kind", cap, np.uint8, level)
+    sct = ws.array("ck_t", cap, t.dtype, level)
+    scr = ws.array("ck_r", cap, r.dtype, level)
+    cnt_l = ws.array("ck_cl", n_segs, np.int64, level)
+    cnt_r = ws.array("ck_cr", n_segs, np.int64, level)
+    err = ws.array("ck_err", 2, np.int64, level)
+    err[:] = 0
+    if r.dtype.itemsize < 8:
+        info = np.iinfo(r.dtype)
+        check, r_min, r_max = True, int(info.min), int(info.max)
+    else:
+        check, r_min, r_max = False, 0, 0
+    if w is None:
+        _compiled.partition_segments(
+            kind, t, r, starts, mid, hi, sck, sct, scr,
+            cnt_l, cnt_r, err, check, r_min, r_max,
+        )
+    else:
+        scw = ws.array("ck_w", cap, w.dtype, level)
+        _compiled.partition_segments_w(
+            kind, t, r, w, starts, mid, hi, sck, sct, scr, scw,
+            cnt_l, cnt_r, err, check, r_min, r_max,
+        )
+    if err[0]:
+        raise CapacityError(
+            f"shrink head effect {int(err[1])} does not fit in "
+            f"{r.dtype}; rerun with dtype=int64 (Section 9.5)"
+        )
+
+    counts2 = ws.array("ck_c2", 2 * n_segs, np.int64, level)
+    counts2[0::2] = cnt_l
+    counts2[1::2] = cnt_r
+    starts_out = ws.array(f"starts{side}", 2 * n_segs + 1, np.int64, level)
+    starts_out[0] = 0
+    np.cumsum(counts2, out=starts_out[1:])
+    total = int(starts_out[-1])
+
+    kind_out = ws.array(f"kind{side}", cap, np.uint8, level)
+    t_out = ws.array(f"t{side}", cap, t.dtype, level)
+    r_out = ws.array(f"r{side}", cap, r.dtype, level)
+    if w is None:
+        w_out = None
+        _compiled.compact_children(sck, sct, scr, starts, cnt_l, cnt_r,
+                                   starts_out, kind_out, t_out, r_out)
+    else:
+        w_out = ws.array(f"w{side}", cap, w.dtype, level)
+        _compiled.compact_children_w(sck, sct, scr, scw, starts, cnt_l,
+                                     cnt_r, starts_out, kind_out, t_out,
+                                     r_out, w_out)
+
+    lo_out = ws.array(f"lo{side}", 2 * n_segs, np.int64, level)
+    hi_out = ws.array(f"hi{side}", 2 * n_segs, np.int64, level)
+    lo_out[0::2] = lo
+    np.add(mid, 1, out=lo_out[1::2])
+    hi_out[0::2] = mid
+    hi_out[1::2] = hi
+    return Segments(kind=kind_out[:total], t=t_out[:total],
+                    r=r_out[:total], starts=starts_out, lo=lo_out,
+                    hi=hi_out,
+                    w=None if w_out is None else w_out[:total])
+
+
+def _solve_leaves_compiled(seg: Segments, out: np.ndarray) -> int:
+    """Leaf pass via the compiled kernel (leaves detected by lo == hi)."""
+    starts = np.ascontiguousarray(seg.starts)
+    lo = np.ascontiguousarray(seg.lo)
+    hi = np.ascontiguousarray(seg.hi)
+    if seg.w is None:
+        consumed = _compiled.solve_leaf_segments(
+            seg.kind, seg.r, starts, lo, hi, out,
+        )
+    else:
+        consumed = _compiled.solve_leaf_segments_w(
+            seg.kind, seg.r, seg.w, starts, lo, hi, out,
+        )
+    return int(consumed)
+
+
 def solve_prepost_arrays(
     seg: Segments,
     out: np.ndarray,
     *,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     workspace: Optional[Workspace] = None,
 ) -> None:
     """Run the level-synchronous recursion until every segment is solved.
@@ -1130,22 +1340,25 @@ def solve_prepost_arrays(
     ``out`` must cover all cells referenced by the segments (it is indexed
     by absolute cell positions).  Values of empty segments stay 0.
 
-    ``engine_backend`` selects the level kernel (``"fused"`` or
-    ``"naive"``, bit-identical — see the module docstring); ``workspace``
-    supplies a reusable :class:`Workspace` for the fused kernel (one is
-    created per call when omitted; passing a long-lived one amortizes
-    level buffers across many solves).
+    ``engine_backend`` selects the level kernel (``"fused"``,
+    ``"naive"``, or ``"compiled"``; all bit-identical — see the module
+    docstring; ``None`` means the process default per
+    :func:`resolve_engine_backend`); ``workspace`` supplies a reusable
+    :class:`Workspace` for the fused/compiled kernels (one is created
+    per call when omitted; passing a long-lived one amortizes level
+    buffers across many solves).
 
     When the current :mod:`repro.obs` tracer is enabled, every recursion
     level emits an ``engine.level`` span (attrs: level index, segment and
     op counts); disabled tracing costs one shared no-op context manager
     per level — O(log n) per run, not per access.
     """
-    fused = _validate_backend(engine_backend) == "fused"
-    if fused:
+    backend = resolve_engine_backend(engine_backend)
+    fused = backend == "fused"
+    if backend != "naive":
         if workspace is None:
             workspace = Workspace()
-        workspace.prime(seg)
+        workspace.prime(seg, backend=backend)
     tracer = get_tracer()
     traced = tracer.enabled
     level = 0
@@ -1163,20 +1376,27 @@ def solve_prepost_arrays(
                 memory.observe("engine.segments", seg.nbytes)
             leaf_mask = seg.lo == seg.hi
             if leaf_mask.any():
-                consumed = _solve_leaves(
-                    seg, leaf_mask, out,
-                    ws=workspace if fused else None, level=level,
-                )
+                if backend == "compiled":
+                    consumed = _solve_leaves_compiled(seg, out)
+                else:
+                    consumed = _solve_leaves(
+                        seg, leaf_mask, out,
+                        ws=workspace if fused else None, level=level,
+                    )
                 if stats is not None:
                     stats.work += consumed
             internal = ~leaf_mask
             done = not internal.any()
             if not done:
-                seg = (
-                    _partition_level_fused(seg, internal, workspace, level)
-                    if fused
-                    else _partition_level(seg, internal)
-                )
+                if backend == "compiled":
+                    seg = _partition_level_compiled(
+                        seg, internal, workspace, level
+                    )
+                elif fused:
+                    seg = _partition_level_fused(seg, internal, workspace,
+                                                 level)
+                else:
+                    seg = _partition_level(seg, internal)
         if done:
             break
         level += 1
@@ -1190,7 +1410,7 @@ def iaf_distances(
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     workspace: Optional[Workspace] = None,
 ) -> np.ndarray:
     """Backward distance vector of ``trace`` via the vectorized engine.
@@ -1202,6 +1422,7 @@ def iaf_distances(
     """
     arr = as_trace(trace, dtype=dtype)
     n = arr.size
+    engine_backend = resolve_engine_backend(engine_backend)
     if n == 0:
         return np.zeros(0, dtype=np.int64)
     tracer = get_tracer()
@@ -1230,7 +1451,7 @@ def iaf_hit_rate_curve(
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     workspace: Optional[Workspace] = None,
 ) -> HitRateCurve:
     """Full pipeline: pre-process, distance computation, post-process."""
@@ -1241,7 +1462,7 @@ def iaf_hit_rate_curve(
     span = (tracer.span("iaf.postprocess", n=arr.size)
             if tracer.enabled else NULL_SPAN)
     with span:
-        _, nxt = prev_next_arrays(arr)
+        _, nxt = prev_next_arrays(arr, engine_backend=engine_backend)
         return curve_from_backward_distances(d, nxt)
 
 
@@ -1324,7 +1545,7 @@ def iaf_distances_batch(
     dtype: Optional["np.typing.DTypeLike"] = None,
     stats: Optional[EngineStats] = None,
     memory: Optional[MemoryModel] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     workspace: Optional[Workspace] = None,
 ) -> List[np.ndarray]:
     """Backward distance vectors of ``k`` independent traces in one solve.
@@ -1335,7 +1556,7 @@ def iaf_distances_batch(
     every level's vectorized passes, so the per-level numpy dispatch cost
     is paid once per *batch* instead of once per trace.
     """
-    _validate_backend(engine_backend)
+    engine_backend = resolve_engine_backend(engine_backend)
     arrs, seg, bases, total_cells = batch_segments(traces, dtype=dtype)
     if not arrs:
         return []
@@ -1368,7 +1589,7 @@ def iaf_hit_rate_curves_batch(
     *,
     dtype: Optional["np.typing.DTypeLike"] = None,
     stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     workspace: Optional[Workspace] = None,
 ) -> List[HitRateCurve]:
     """Exact LRU hit-rate curves of ``k`` traces in one batched solve.
@@ -1387,6 +1608,6 @@ def iaf_hit_rate_curves_batch(
         if arr.size == 0:
             curves.append(HitRateCurve(np.zeros(0, dtype=np.int64), 0))
             continue
-        _, nxt = prev_next_arrays(arr)
+        _, nxt = prev_next_arrays(arr, engine_backend=engine_backend)
         curves.append(curve_from_backward_distances(d, nxt))
     return curves

@@ -35,7 +35,7 @@ from ..extmem.blockdevice import BlockDevice, ExternalFile, MemoryConfig
 from ..obs import NULL_SPAN, get_tracer
 from ..extmem.iostats import IOStats
 from .engine import Segments, Workspace, _shrink_child, \
-    solve_prepost_arrays
+    resolve_engine_backend, solve_prepost_arrays
 from .hitrate import HitRateCurve
 from .ops import POSTFIX, PREFIX, prepost_sequence_arrays
 
@@ -126,17 +126,18 @@ class _ExternalSolver:
 
     def __init__(self, device: BlockDevice, out: ExternalFile,
                  values: np.ndarray, report: ExternalRunReport,
-                 engine_backend: str = "fused") -> None:
+                 engine_backend: Optional[str] = None) -> None:
         self.device = device
         self.config = device.config
         self.out = out
         self.values = values
         self.report = report
-        self.engine_backend = engine_backend
+        self.engine_backend = resolve_engine_backend(engine_backend)
         # One workspace serves every base case: the in-memory solves all
         # fit the same M-bounded shape, so after the first their level
         # buffers are reused.
-        self.workspace = Workspace() if engine_backend == "fused" else None
+        self.workspace = (Workspace() if self.engine_backend != "naive"
+                          else None)
         self._name_counter = 0
 
     def _fresh_name(self) -> str:
@@ -210,7 +211,7 @@ def external_iaf_distances(
     *,
     device: Optional[BlockDevice] = None,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, ExternalRunReport]:
     """Backward distance vector via EXTERNAL-INCREMENT-AND-FREEZE.
 

@@ -31,8 +31,8 @@ from ..obs import NULL_SPAN, get_tracer
 from ..pram.model import SpeedupCurve
 from ..pram.scheduler import Cost
 from .engine import EngineStats, Segments, Workspace, _partition_level, \
-    _partition_level_fused, _solve_leaves, batch_segments, \
-    solve_prepost_arrays
+    _partition_level_compiled, _partition_level_fused, _solve_leaves, \
+    batch_segments, resolve_engine_backend, solve_prepost_arrays
 from .hitrate import HitRateCurve, curve_from_backward_distances
 from .ops import prepost_sequence_arrays
 from .prevnext import prev_next_arrays
@@ -94,7 +94,7 @@ def _warmup_levels(
     values: np.ndarray,
     workers: int,
     stats: Optional[EngineStats],
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> Optional[Segments]:
     """Serial warm-up: split until there are enough independent subtrees.
 
@@ -104,7 +104,7 @@ def _warmup_levels(
     buffers stay alive as the split parts' backing storage while the
     worker solves (each with a per-part workspace) read from them.
     """
-    fused = engine_backend == "fused"
+    backend = resolve_engine_backend(engine_backend)
     workspace: Optional[Workspace] = None
     level = 0
     while 0 < seg.n_segments < 4 * workers and workers > 1:
@@ -118,13 +118,17 @@ def _warmup_levels(
         internal = ~leaf_mask
         if not internal.any():
             return None
-        if fused:
+        if backend == "naive":
+            seg = _partition_level(seg, internal)
+        else:
             if workspace is None:
                 workspace = Workspace()
-                workspace.prime(seg)
-            seg = _partition_level_fused(seg, internal, workspace, level)
-        else:
-            seg = _partition_level(seg, internal)
+                workspace.prime(seg, backend=backend)
+            seg = (
+                _partition_level_compiled(seg, internal, workspace, level)
+                if backend == "compiled"
+                else _partition_level_fused(seg, internal, workspace, level)
+            )
         level += 1
     return seg
 
@@ -164,7 +168,7 @@ def _solve_split_threads(
     values: np.ndarray,
     workers: int,
     stats: Optional[EngineStats],
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> None:
     """Split ``seg`` and solve the parts on a thread pool.
 
@@ -207,7 +211,7 @@ def parallel_iaf_distances(
     workers: int = 1,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> np.ndarray:
     """Backward distance vector with subtree parallelism over ``workers``.
 
@@ -260,7 +264,7 @@ def parallel_iaf_hit_rate_curve(
     workers: int = 1,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
     stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> HitRateCurve:
     """Full pipeline with parallel distance computation."""
     arr = as_trace(trace, dtype=dtype)
@@ -276,7 +280,7 @@ def parallel_iaf_distances_batch(
     workers: int = 1,
     dtype: "Optional[np.typing.DTypeLike]" = None,
     stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> List[np.ndarray]:
     """Batched multi-trace solve with subtree parallelism.
 
@@ -305,7 +309,7 @@ def parallel_iaf_hit_rate_curves_batch(
     workers: int = 1,
     dtype: "Optional[np.typing.DTypeLike]" = None,
     stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> List[HitRateCurve]:
     """Batched curve requests with subtree parallelism (serving form)."""
     arrs = [as_trace(t, dtype=DEFAULT_DTYPE if dtype is None else dtype)
@@ -356,7 +360,7 @@ def _solve_split_processes(
     seg: Segments,
     values: np.ndarray,
     workers: int,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     executor: "Optional[object]" = None,
 ) -> None:
     """Split ``seg`` and solve the parts across processes.
@@ -383,7 +387,7 @@ def _solve_split_processes_pickled(
     parts: List[Segments],
     values: np.ndarray,
     workers: int,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> None:
     """Legacy dispatch: a fresh pool and fully pickled arrays per call.
 
@@ -442,7 +446,7 @@ def process_parallel_iaf_distances(
     *,
     workers: int = 2,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     executor: "Optional[object]" = None,
 ) -> np.ndarray:
     """Backward distances with *process*-based parallelism.
@@ -484,7 +488,7 @@ def parallel_weighted_backward_distances(
     workers: int = 1,
     use_processes: bool = False,
     stats: Optional[EngineStats] = None,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
     executor: "Optional[object]" = None,
 ) -> np.ndarray:
     """Weighted (Section 9.1) backward distances with subtree parallelism.

@@ -15,19 +15,31 @@ Conventions (0-based, used across the package):
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .._typing import TraceLike, as_trace
 
 
-def prev_next_arrays(trace: TraceLike) -> Tuple[np.ndarray, np.ndarray]:
+def prev_next_arrays(
+    trace: TraceLike, *, engine_backend: Optional[str] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Vectorized ``(prev, next)`` computation in O(n log n).
 
     The returned arrays are int64 regardless of the trace dtype (they hold
     positions, not addresses).
+
+    ``engine_backend="compiled"`` (or a ``REPRO_ENGINE_BACKEND`` default
+    of it) routes through :func:`prev_next_arrays_compiled` — one O(n)
+    hash pass instead of the argsort — when the compiled kernels are
+    available; any other value keeps the sort path.
     """
+    # Lazy import: engine imports this module at load time.
+    from .engine import resolve_engine_backend
+
+    if resolve_engine_backend(engine_backend) == "compiled":
+        return prev_next_arrays_compiled(trace)
     arr = as_trace(trace, dtype=np.int64) if not isinstance(trace, np.ndarray) \
         else trace
     arr = np.asarray(arr)
@@ -45,6 +57,24 @@ def prev_next_arrays(trace: TraceLike) -> Tuple[np.ndarray, np.ndarray]:
     earlier = order[:-1][same]
     prev[later] = earlier
     nxt[earlier] = later
+    return prev, nxt
+
+
+def prev_next_arrays_compiled(
+    trace: TraceLike,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """O(n) ``(prev, next)`` via the compiled open-addressing table.
+
+    Bit-identical to :func:`prev_next_arrays` (both are exact); jitted
+    when numba is importable, a plain-python dict pass otherwise.
+    """
+    from . import compiled as _compiled
+
+    arr = np.asarray(as_trace(trace))
+    n = arr.size
+    prev = np.full(n, -1, dtype=np.int64)
+    nxt = np.full(n, n, dtype=np.int64)
+    _compiled.prev_next_fill(arr, prev, nxt)
     return prev, nxt
 
 

@@ -24,7 +24,7 @@ docs/STREAMING.md for the architecture.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,7 +49,7 @@ class OnlineCurveAnalyzer:
         *,
         chunk_multiplier: int = 4,
         dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
-        engine_backend: str = "fused",
+        engine_backend: Optional[str] = None,
     ) -> None:
         if max_cache_size < 1:
             raise CapacityError(
@@ -179,7 +179,7 @@ def analyze_stream(
     *,
     chunk_multiplier: int = 4,
     dtype: "np.typing.DTypeLike" = DEFAULT_DTYPE,
-    engine_backend: str = "fused",
+    engine_backend: Optional[str] = None,
 ) -> Tuple[HitRateCurve, List[HitRateCurve]]:
     """One-shot helper: run the analyzer over an iterable of batches.
 

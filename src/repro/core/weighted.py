@@ -82,7 +82,7 @@ def weighted_prepost_arrays(
 
 
 def weighted_backward_distances(
-    trace: TraceLike, sizes: Sequence[int], *, engine_backend: str = "fused"
+    trace: TraceLike, sizes: Sequence[int], *, engine_backend: Optional[str] = None
 ) -> np.ndarray:
     """Weighted analogue of the distance vector, via the engine.
 
@@ -103,7 +103,7 @@ def weighted_backward_distances(
 
 
 def weighted_stack_distances(
-    trace: TraceLike, sizes: Sequence[int], *, engine_backend: str = "fused"
+    trace: TraceLike, sizes: Sequence[int], *, engine_backend: Optional[str] = None
 ) -> np.ndarray:
     """Per-access weighted stack distance (0 = first occurrence)."""
     arr = as_trace(trace)

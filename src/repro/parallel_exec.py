@@ -564,7 +564,7 @@ class ProcessExecutor:
         parts: List[Any],
         values: np.ndarray,
         *,
-        engine_backend: str = "fused",
+        engine_backend: Optional[str] = None,
     ) -> None:
         """Solve ``parts`` (disjoint Segments) into ``values`` in place.
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..baselines import baseline_hit_rate_curve
 from ..baselines.naive import naive_backward_distances
+from ..core import compiled as compiled_kernels
 from ..core.bounded import bounded_iaf, parallel_bounded_iaf
 from ..core.engine import iaf_distances, iaf_distances_batch
 from ..core.hitrate import HitRateCurve, curve_from_backward_distances
@@ -181,6 +182,17 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
             trace, dtype=cfg.numpy_dtype(), engine_backend="naive"
         ),
     )
+    # The compiled backend joins the matrix only where it can actually
+    # run (numba installed, or REPRO_COMPILED_PURE forcing the un-jitted
+    # kernels) — on other hosts it would silently degrade to fused and
+    # re-test the hub against itself.
+    if compiled_kernels.is_available():
+        check_distances(
+            "compiled-iaf",
+            lambda: iaf_distances(
+                trace, dtype=cfg.numpy_dtype(), engine_backend="compiled"
+            ),
+        )
     _check_batch_split(report, case)
     if cfg.check_reference and n <= REFERENCE_MAX_N:
         check_distances("reference", lambda: reference_distances(trace))
@@ -242,6 +254,12 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
         "online-analyzer", lambda: _streaming_curve(case), trunc_kmax
     )
     check_curve("chunked-iaf", lambda: _chunked_curve(case), full_kmax)
+    if compiled_kernels.is_available():
+        check_curve(
+            "compiled-chunked-iaf",
+            lambda: _chunked_curve(case, engine_backend="compiled"),
+            full_kmax,
+        )
     check_curve("tenant-exact", lambda: _tenant_curve(case), full_kmax)
     _check_sampled(report, case, exact)
     if cfg.process_workers:
@@ -301,6 +319,13 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
                 trace, sizes, engine_backend="naive"
             ),
         )
+        if compiled_kernels.is_available():
+            check_weighted(
+                "weighted-compiled-backend",
+                lambda: weighted_backward_distances(
+                    trace, sizes, engine_backend="compiled"
+                ),
+            )
         check_weighted(
             "weighted-parallel-threads",
             lambda: parallel_weighted_backward_distances(
@@ -387,12 +412,15 @@ def _check_batch_split(report: OracleReport, case: FuzzCase) -> None:
             return
 
 
-def _chunked_curve(case: FuzzCase) -> HitRateCurve:
+def _chunked_curve(
+    case: FuzzCase, engine_backend: Optional[str] = None
+) -> HitRateCurve:
     """The chunked incremental engine through the public solve tier.
 
     Exercises the ``SolveConfig(algorithm="chunked-iaf")`` dispatch with
     the case's fuzzed chunk size — the result must be bit-identical to
-    the batch hub for *every* chunk size.
+    the batch hub for *every* chunk size (and, with
+    ``engine_backend="compiled"``, for the compiled level kernel).
     """
     from ..core.api import solve
     from ..core.config import SolveConfig
@@ -404,6 +432,7 @@ def _chunked_curve(case: FuzzCase) -> HitRateCurve:
             algorithm="chunked-iaf",
             chunk_size=cfg.chunk_size or None,
             dtype=cfg.numpy_dtype(),
+            engine_backend=engine_backend,
         ),
     ).curve
 

@@ -35,7 +35,7 @@ import numpy as np
 from .._typing import DEFAULT_DTYPE, TraceLike, as_trace
 from ..core.api import _truncate, solve, solve_batch
 from ..core.config import SolveConfig, SolveResult
-from ..core.engine import Workspace
+from ..core.engine import Workspace, resolve_engine_backend
 from ..errors import (
     CapacityError,
     DeadlineExceededError,
@@ -484,7 +484,7 @@ class CurveService:
         """Attach this worker's workspace where the engine can use it."""
         if (
             cfg.algorithm == "iaf"
-            and cfg.engine_backend == "fused"
+            and resolve_engine_backend(cfg.engine_backend) != "naive"
             and cfg.workspace is None
         ):
             return cfg.replace(workspace=self._workspace())
