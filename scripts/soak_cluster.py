@@ -1,0 +1,291 @@
+"""Cluster soak: hammer a shard ring, kill a shard mid-run, lose nothing.
+
+CI's ``cluster-soak`` job runs this as the gate on the cluster layer:
+:func:`repro.cluster.spawn_ring` starts N real shard subprocesses under
+one routing frontend, several client threads (alternating between the
+v2 binary framed protocol and v1 JSON lines) drive a mix of plain
+solves and tenant ``register``/``push``/``curve``/``evict`` cycles, and
+partway through the run one shard is **SIGKILL'd** while traffic is in
+flight.  At the end the script asserts
+
+* **no accepted request is lost** — every response either completes
+  (and its curve is bit-identical to a precomputed direct
+  ``iaf_hit_rate_curve`` solve) or arrives explicitly flagged
+  ``degraded`` (counted, reported, and only legal because the ring
+  answers with the closed-form working-set approximation rather than
+  an error when every replica of a key range is gone);
+* **fail-over actually happened** — at least one response carries the
+  ``rerouted`` flag and the frontend's ``ring.reroutes`` /
+  ``ring.live_shards`` metrics agree with the kill;
+* **tenant re-homing is exact** — after a reroute restarts a tenant
+  cold on its new shard, its curve must be bit-identical to a direct
+  solve over the trailing run of pushes that landed on that shard
+  (each ``push`` response names its shard, so the expected sub-stream
+  is reconstructable);
+* **bounded memory** — the *total* RSS (frontend process + every live
+  shard, summed from /proc) must plateau: the high-water mark over the
+  first third of the run bounds the rest within
+  ``--max-rss-growth-mb``.
+
+Usage (defaults match the CI job)::
+
+    PYTHONPATH=src python scripts/soak_cluster.py --seconds 20
+    PYTHONPATH=src python scripts/soak_cluster.py --seconds 30 --shards 4
+
+Exits nonzero on any error, curve mismatch, missing fail-over, or RSS
+breach.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import threading
+import time
+from typing import Dict, List
+
+# Cap glibc's malloc arenas before numpy loads (see soak_service.py);
+# re-exec so the cap applies to this process and every spawned shard.
+if os.environ.get("MALLOC_ARENA_MAX") is None:
+    os.environ["MALLOC_ARENA_MAX"] = "4"
+    os.execv(sys.executable, [sys.executable] + sys.argv)
+
+import numpy as np
+
+from repro.client import CurveClient
+from repro.cluster import spawn_ring
+from repro.core.engine import iaf_hit_rate_curve
+
+SIZES = [4, 16, 64, 256]
+WINDOW = 20_000          # accesses per tenant push
+PUSHES_PER_CYCLE = 4     # pushes between curve + evict (bounds shard RSS)
+
+
+def rss_kib(pid: int) -> int:
+    """VmRSS of one process in KiB; 0 once it is gone."""
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        return 0
+    return 0
+
+
+def build_corpus(seed: int) -> List[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 2_000, size=int(n)).astype(np.int64)
+        for n in rng.integers(500, 30_000, size=10)
+    ]
+
+
+def direct_hit_rates(trace: np.ndarray) -> Dict[str, float]:
+    curve = iaf_hit_rate_curve(trace)
+    return {str(s): curve.hit_rate(s) for s in SIZES}
+
+
+def client_loop(
+    index: int,
+    address,
+    corpus: List[np.ndarray],
+    direct: List[Dict[str, float]],
+    stop_at: float,
+    stats: Dict[str, int],
+    errors: List[str],
+    lock: threading.Lock,
+) -> None:
+    rng = random.Random(1000 + index)
+    tenant = f"soak-{index:02d}"
+    host, port = address
+    try:
+        with CurveClient(host, port,
+                         prefer_binary=(index % 2 == 0)) as client:
+            client.register(tenant)
+            pushed: List[tuple] = []  # (corpus idx, shard) this cycle
+            while time.monotonic() < stop_at:
+                if rng.random() < 0.5:
+                    idx = rng.randrange(len(corpus))
+                    resp = client.solve(corpus[idx], sizes=SIZES)
+                    with lock:
+                        stats["solves"] += 1
+                        if resp.get("rerouted"):
+                            stats["rerouted"] += 1
+                    if resp.get("degraded"):
+                        with lock:
+                            stats["degraded"] += 1
+                    elif resp["hit_rates"] != direct[idx]:
+                        with lock:
+                            errors.append(
+                                f"client{index}: solve mismatch "
+                                f"trace#{idx} via {resp.get('shard')}"
+                            )
+                        return
+                    continue
+                idx = rng.randrange(len(corpus))
+                window = corpus[idx][:WINDOW]
+                resp = client.push(tenant, window, check=False)
+                if resp.get("degraded"):
+                    with lock:
+                        stats["degraded"] += 1
+                    pushed.clear()
+                    continue
+                if not resp.get("ok"):
+                    with lock:
+                        errors.append(f"client{index}: push failed {resp}")
+                    return
+                with lock:
+                    stats["pushes"] += 1
+                    if resp.get("rerouted"):
+                        stats["rerouted"] += 1
+                pushed.append((idx, resp["shard"]))
+                if len(pushed) < PUSHES_PER_CYCLE:
+                    continue
+                curve = client.curve(tenant, sizes=SIZES, check=False)
+                if curve.get("degraded"):
+                    with lock:
+                        stats["degraded"] += 1
+                elif not curve.get("ok"):
+                    with lock:
+                        errors.append(f"client{index}: curve failed {curve}")
+                    return
+                else:
+                    # A reroute restarted the tenant cold mid-cycle:
+                    # only the trailing pushes that landed on the
+                    # curve's shard are in its stream.
+                    home = curve["shard"]
+                    tail = []
+                    for i, shard in reversed(pushed):
+                        if shard != home:
+                            break
+                        tail.append(i)
+                    tail.reverse()
+                    expected = direct_hit_rates(np.concatenate(
+                        [corpus[i][:WINDOW] for i in tail]
+                    )) if tail else None
+                    if expected is not None and \
+                            curve["hit_rates"] != expected:
+                        with lock:
+                            errors.append(
+                                f"client{index}: tenant curve mismatch "
+                                f"on {home} over {len(tail)} windows"
+                            )
+                        return
+                    with lock:
+                        stats["curves_checked"] += 1
+                client.evict(tenant, check=False)
+                client.register(tenant)
+                pushed.clear()
+    except Exception as exc:  # noqa: BLE001 — any failure fails the soak
+        with lock:
+            errors.append(f"client{index}: {type(exc).__name__}: {exc}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seconds", type=float, default=30.0)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="CurveService workers per shard")
+    parser.add_argument("--kill-at", type=float, default=0.4,
+                        help="fraction of the run after which one "
+                             "shard is SIGKILL'd")
+    parser.add_argument("--max-rss-growth-mb", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    corpus = build_corpus(args.seed)
+    direct = [direct_hit_rates(t) for t in corpus]
+
+    stats = {"solves": 0, "pushes": 0, "curves_checked": 0,
+             "rerouted": 0, "degraded": 0}
+    errors: List[str] = []
+    lock = threading.Lock()
+    rss_samples: List[tuple] = []  # (elapsed, total KiB)
+
+    with spawn_ring(args.shards, workers=args.workers,
+                    heartbeat_interval=0.5) as cluster:
+        start = time.monotonic()
+        stop_at = start + args.seconds
+        kill_at = start + args.kill_at * args.seconds
+        threads = [
+            threading.Thread(
+                target=client_loop,
+                args=(i, cluster.address, corpus, direct, stop_at,
+                      stats, errors, lock),
+                name=f"client{i}", daemon=True,
+            )
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+
+        killed = False
+        while time.monotonic() < stop_at and any(
+                t.is_alive() for t in threads):
+            if not killed and time.monotonic() >= kill_at:
+                cluster.kill_shard(0)
+                killed = True
+                print(f"killed shard0 at "
+                      f"t={time.monotonic() - start:.1f}s", flush=True)
+            total = rss_kib(os.getpid()) + sum(
+                rss_kib(s.proc.pid) for s in cluster.shards if s.alive
+            )
+            rss_samples.append((time.monotonic() - start, total))
+            time.sleep(0.25)
+        for t in threads:
+            t.join(timeout=120.0)
+        metrics = cluster.metrics()
+
+    print(f"stats: {stats}")
+    print({k: v for k, v in sorted(metrics.items())})
+
+    failed = False
+    if errors:
+        failed = True
+        for err in errors[:10]:
+            print(f"ERROR: {err}", file=sys.stderr)
+    if stats["solves"] == 0 or stats["curves_checked"] == 0:
+        failed = True
+        print("ERROR: soak completed no verified work", file=sys.stderr)
+    if not killed:
+        failed = True
+        print("ERROR: run too short to reach the kill point",
+              file=sys.stderr)
+    else:
+        if stats["rerouted"] == 0 or metrics.get("ring.reroutes", 0) == 0:
+            failed = True
+            print("ERROR: shard killed but no request was rerouted",
+                  file=sys.stderr)
+        if metrics.get("ring.live_shards") != float(args.shards - 1):
+            failed = True
+            print(f"ERROR: expected {args.shards - 1} live shards, "
+                  f"ring says {metrics.get('ring.live_shards')}",
+                  file=sys.stderr)
+
+    burn_in = [kib for t, kib in rss_samples if t < args.seconds / 3]
+    rest = [kib for t, kib in rss_samples if t >= args.seconds / 3]
+    if burn_in and rest:
+        growth_mb = (max(rest) - max(burn_in)) / 1024.0
+        print(f"rss: burn-in peak {max(burn_in) / 1024:.0f}MB, "
+              f"post peak {max(rest) / 1024:.0f}MB, "
+              f"growth {growth_mb:+.1f}MB "
+              f"(bound {args.max_rss_growth_mb:.0f}MB)")
+        if growth_mb > args.max_rss_growth_mb:
+            failed = True
+            print(f"ERROR: RSS grew {growth_mb:.1f}MB past the burn-in "
+                  f"peak (bound {args.max_rss_growth_mb:.0f}MB)",
+                  file=sys.stderr)
+
+    if failed:
+        return 1
+    print("cluster soak OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

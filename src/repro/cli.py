@@ -186,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--tenant-sample-rate", type=float, default=0.01,
                      help="default hash-sampling rate for sampled-tier "
                           "tenants")
+    srv.add_argument("--cluster", type=int, default=None, metavar="N",
+                     help="spawn N shard server processes behind a "
+                          "consistent-hash routing frontend on "
+                          "--host/--port (see docs/CLUSTER.md); shard "
+                          "knobs (--workers, --shard-processes, ...) "
+                          "apply to every shard")
 
     return parser
 
@@ -499,6 +505,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import CurveService, serve_stream, serve_tcp
 
+    if args.cluster is not None:
+        return _cmd_serve_cluster(args)
     service = CurveService(
         max_queue=args.max_queue,
         max_batch=args.max_batch,
@@ -548,6 +556,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for name, value in sorted(metrics_source.metrics().items()):
                 print(f"{name}: {value:g}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    from .cluster import spawn_ring
+
+    extra: list = ["--max-queue", str(args.max_queue),
+                   "--max-batch", str(args.max_batch),
+                   "--shard-threshold", str(args.shard_threshold),
+                   "--shard-workers", str(args.shard_workers)]
+    if args.default_deadline is not None:
+        extra += ["--default-deadline", str(args.default_deadline)]
+    if args.tenant_budget_mb is not None:
+        extra += ["--tenant-budget-mb", str(args.tenant_budget_mb)]
+    extra += ["--tenant-sample-rate", str(args.tenant_sample_rate)]
+    with spawn_ring(
+        args.cluster,
+        host=args.host,
+        port=args.port if args.port is not None else 0,
+        workers=args.workers,
+        shard_processes=args.shard_processes,
+        extra_args=tuple(extra),
+    ) as cluster:
+        host, port = cluster.address
+        print(f"{PROG}: serving {args.cluster}-shard ring on "
+              f"{host}:{port}", file=sys.stderr)
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if args.metrics:
+                for name, value in sorted(cluster.metrics().items()):
+                    print(f"{name}: {value:g}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -1,0 +1,104 @@
+"""Consistent-hash ring placement for the shard cluster.
+
+Classic virtual-node consistent hashing: each shard owns ``replicas``
+points on a 64-bit ring, a key routes to the first live point at or
+after its own hash, and removing a shard moves only that shard's keys.
+Hashes come from :func:`hashlib.blake2b` (8-byte digest), **not**
+Python's builtin ``hash()`` — placement must be identical across
+processes and runs regardless of ``PYTHONHASHSEED``, because tenants
+are pinned to shards by key and a restarted frontend must route them
+to the same place.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Set
+
+
+def _hash64(key: str) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashRing:
+    """Virtual-node consistent hashing with up/down shard marking.
+
+    ``lookup`` skips shards marked down (fail-over re-route);
+    ``successors`` yields the distinct live shards in ring order for
+    bounded retry.  Mutations (:meth:`mark_down` / :meth:`mark_up`) do
+    not rebuild the ring — down shards keep their points, so a
+    recovered shard gets its exact key range back.
+    """
+
+    def __init__(self, nodes: Iterable[str], replicas: int = 64) -> None:
+        self._nodes: List[str] = list(dict.fromkeys(nodes))
+        if not self._nodes:
+            raise ValueError("ring needs at least one node")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._down: Set[str] = set()
+        points: Dict[int, str] = {}
+        for node in self._nodes:
+            for i in range(replicas):
+                # Sorted-dict insertion order breaks ties (same point
+                # hash for two nodes) deterministically by node order.
+                points.setdefault(_hash64(f"{node}#{i}"), node)
+        self._points = sorted(points)
+        self._owner = [points[p] for p in self._points]
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def live_nodes(self) -> List[str]:
+        return [n for n in self._nodes if n not in self._down]
+
+    def is_down(self, node: str) -> bool:
+        return node in self._down
+
+    def mark_down(self, node: str) -> None:
+        if node in self._nodes:
+            self._down.add(node)
+
+    def mark_up(self, node: str) -> None:
+        self._down.discard(node)
+
+    def _walk(self, key: str) -> Iterable[str]:
+        """Every node in ring order from ``key``'s point, with repeats."""
+        start = bisect.bisect_left(self._points, _hash64(key))
+        n = len(self._points)
+        for step in range(n):
+            yield self._owner[(start + step) % n]
+
+    def lookup(self, key: str) -> str:
+        """The live owner for ``key``; raises when every shard is down."""
+        for node in self._walk(key):
+            if node not in self._down:
+                return node
+        raise LookupError("every shard in the ring is down")
+
+    def successors(self, key: str) -> List[str]:
+        """Distinct *live* nodes in ring order from ``key``.
+
+        ``successors(k)[0] == lookup(k)``; the tail is the retry order
+        for fail-over, each a distinct shard.
+        """
+        seen: Set[str] = set()
+        out: List[str] = []
+        for node in self._walk(key):
+            if node in self._down or node in seen:
+                continue
+            seen.add(node)
+            out.append(node)
+        return out
+
+    def primary(self, key: str) -> str:
+        """The owner ignoring up/down state (stable home placement)."""
+        return next(iter(self._walk(key)))
+
+
+__all__ = ["HashRing"]

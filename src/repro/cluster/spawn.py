@@ -1,0 +1,192 @@
+"""Spawn a whole ring: N ``repro serve`` shard processes + a frontend.
+
+:func:`spawn_ring` is the one-call cluster: it forks N shard server
+processes (each its own ``CurveService`` — and, with
+``shard_processes=True``, its own shared-memory ``ProcessExecutor``
+pool), waits for each to report its bound port, starts a
+:class:`~repro.cluster.frontend.ClusterFrontend` routing across them,
+and hands back a :class:`ClusterHandle`::
+
+    with spawn_ring(3) as cluster:
+        with CurveClient(*cluster.address) as client:
+            client.solve([1, 2, 1, 3])
+
+    # fail-over drills:
+    cluster.kill_shard(0)      # SIGKILL one backend mid-traffic
+
+``repro serve --cluster N`` is this function behind the CLI.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .frontend import ClusterFrontend
+
+_READY_RE = re.compile(r"serving on ([^\s:]+):(\d+)")
+_READY_TIMEOUT = 30.0
+
+
+@dataclass
+class ShardProcess:
+    """One shard backend: the subprocess plus its bound address."""
+
+    name: str
+    proc: subprocess.Popen
+    host: str = ""
+    port: int = 0
+    _ready: threading.Event = field(default_factory=threading.Event)
+    _stderr_tail: List[str] = field(default_factory=list)
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+
+def _watch_stderr(shard: ShardProcess) -> None:
+    """Scan a shard's stderr for the ready line, then keep draining.
+
+    Draining matters: an un-read pipe fills and wedges the child the
+    first time it logs anything.
+    """
+    assert shard.proc.stderr is not None
+    for raw in shard.proc.stderr:
+        line = raw.decode("utf-8", "replace").rstrip()
+        if not shard._ready.is_set():
+            match = _READY_RE.search(line)
+            if match:
+                shard.host = match.group(1)
+                shard.port = int(match.group(2))
+                shard._ready.set()
+                continue
+        shard._stderr_tail.append(line)
+        del shard._stderr_tail[:-20]
+
+
+def _spawn_shard(index: int, *, host: str, workers: int,
+                 shard_processes: bool,
+                 extra_args: Tuple[str, ...]) -> ShardProcess:
+    cmd = [
+        sys.executable, "-u", "-m", "repro", "serve",
+        "--host", host, "--port", "0",
+        "--workers", str(workers),
+        "--tenants",
+    ]
+    if shard_processes:
+        cmd.append("--shard-processes")
+    cmd.extend(extra_args)
+    proc = subprocess.Popen(
+        cmd,
+        stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    shard = ShardProcess(name=f"shard{index}", proc=proc)
+    threading.Thread(
+        target=_watch_stderr, args=(shard,),
+        name=f"{shard.name}-stderr", daemon=True,
+    ).start()
+    return shard
+
+
+class ClusterHandle:
+    """A running ring: shard subprocesses + the routing frontend."""
+
+    def __init__(self, shards: List[ShardProcess],
+                 frontend: ClusterFrontend,
+                 address: Tuple[str, int]) -> None:
+        self.shards = shards
+        self.frontend = frontend
+        #: ``(host, port)`` clients connect to.
+        self.address = address
+
+    def kill_shard(self, index: int) -> ShardProcess:
+        """SIGKILL one backend (fail-over drills); returns its record."""
+        shard = self.shards[index]
+        if shard.alive:
+            shard.proc.kill()
+            shard.proc.wait(timeout=10.0)
+        return shard
+
+    def metrics(self) -> Dict[str, float]:
+        return self.frontend.metrics()
+
+    def close(self) -> None:
+        self.frontend.stop()
+        for shard in self.shards:
+            if shard.alive:
+                shard.proc.terminate()
+        for shard in self.shards:
+            try:
+                shard.proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                shard.proc.kill()
+                shard.proc.wait(timeout=10.0)
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def spawn_ring(
+    n: int,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 2,
+    shard_processes: bool = False,
+    replicas: int = 64,
+    heartbeat_interval: float = 0.5,
+    extra_args: Tuple[str, ...] = (),
+) -> ClusterHandle:
+    """Start ``n`` shard processes and a frontend routing across them.
+
+    ``extra_args`` append raw ``repro serve`` flags to every shard
+    (e.g. ``("--max-queue", "1024")``).  Raises :class:`ReproError`
+    (after reaping everything already started) if any shard fails to
+    come up within 30s.
+    """
+    if n < 1:
+        raise ValueError(f"cluster size must be >= 1, got {n}")
+    shards = [
+        _spawn_shard(i, host=host, workers=workers,
+                     shard_processes=shard_processes,
+                     extra_args=tuple(extra_args))
+        for i in range(n)
+    ]
+    try:
+        for shard in shards:
+            if not shard._ready.wait(timeout=_READY_TIMEOUT):
+                tail = "\n".join(shard._stderr_tail)
+                raise ReproError(
+                    f"{shard.name} did not report a port within "
+                    f"{_READY_TIMEOUT:.0f}s; stderr tail:\n{tail}"
+                )
+        frontend = ClusterFrontend(
+            {s.name: (s.host, s.port) for s in shards},
+            host=host, port=port, replicas=replicas,
+            heartbeat_interval=heartbeat_interval,
+        )
+        address = frontend.start_in_thread()
+    except BaseException:
+        for shard in shards:
+            if shard.alive:
+                shard.proc.kill()
+        for shard in shards:
+            try:
+                shard.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+        raise
+    return ClusterHandle(shards, frontend, address)
+
+
+__all__ = ["ClusterHandle", "ShardProcess", "spawn_ring"]

@@ -92,3 +92,20 @@ class ProtocolError(ServiceError):
     all, answered with an ``ok: false`` line instead of a silently
     mangled best-effort decode.
     """
+
+
+class RemoteError(ServiceError):
+    """A server answered ``ok: false``; raised client-side.
+
+    Carries the server's error class name and message plus the full
+    response payload so callers can branch on the remote failure
+    (``err.remote_error == "DeadlineExceededError"``) without string
+    matching.
+    """
+
+    def __init__(self, payload: dict) -> None:
+        self.payload = payload
+        self.remote_error = payload.get("error", "UnknownError")
+        super().__init__(
+            f"{self.remote_error}: {payload.get('message', '')}"
+        )

@@ -262,10 +262,12 @@ def run_case_detailed(case: FuzzCase) -> OracleReport:
         )
     check_curve("tenant-exact", lambda: _tenant_curve(case), full_kmax)
     _check_sampled(report, case, exact)
-    if cfg.process_workers:
-        check_curve(
-            "process-iaf", lambda: _process_curve(case), full_kmax
-        )
+    # Unconditional: the cluster's shard backends route oversized solves
+    # through the executor, so the differential harness must cover the
+    # process-iaf tier on *every* case, not just when the config drew
+    # process workers for the distance oracles.  (With shared memory
+    # unavailable the solve degrades in-process and still must match.)
+    check_curve("process-iaf", lambda: _process_curve(case), full_kmax)
     if n <= TREE_BASELINE_MAX_N:
         for baseline in ("ost", "splay", "fenwick"):
             check_curve(
@@ -447,7 +449,7 @@ def _process_curve(case: FuzzCase) -> HitRateCurve:
         case.trace,
         SolveConfig(
             algorithm="process-iaf",
-            workers=cfg.process_workers,
+            workers=cfg.process_workers or 2,
             dtype=cfg.numpy_dtype(),
         ),
     ).curve

@@ -16,15 +16,21 @@ Robustness over raw throughput:
   overflow falls back to per-request int64 solves);
 * graceful drain on :meth:`CurveService.close`.
 
-Front ends: the :class:`CurveService` library API, and the line-oriented
+Front ends: the :class:`CurveService` library API, the line-oriented
 ``python -m repro serve`` protocol (stdin or TCP) in
-:mod:`repro.service.server`.  See docs/SERVICE.md.
+:mod:`repro.service.server`, and the hello-negotiated v2 binary framed
+protocol (:mod:`repro.service.frames` / :mod:`repro.service.binary`).
+The request vocabulary all of them share lives in
+:mod:`repro.service.schema`.  See docs/SERVICE.md and docs/CLUSTER.md;
+:class:`repro.client.CurveClient` is the supported caller.
 """
 
+from .binary import serve_binary
 from .curve_service import CurveService, SolveFuture
 from .server import (
     handle_tenant_request,
     parse_request,
+    parse_request_obj,
     serve_stream,
     serve_tcp,
     tenant_op_object,
@@ -35,6 +41,8 @@ __all__ = [
     "SolveFuture",
     "handle_tenant_request",
     "parse_request",
+    "parse_request_obj",
+    "serve_binary",
     "serve_stream",
     "serve_tcp",
     "tenant_op_object",

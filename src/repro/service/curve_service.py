@@ -342,6 +342,26 @@ class CurveService:
         with self._lock:
             self.counters.add("service.protocol_errors")
 
+    def ingest_lease(self, nbytes: int):
+        """Lease a shared-arena block for zero-copy wire ingest, or None.
+
+        Only meaningful when this service routes oversized solves to the
+        process pool (``shard_processes=True``): the binary protocol
+        server writes bulk trace bytes straight into the lease so the
+        eventual ``process-iaf`` dispatch reads them from the arena they
+        already live in.  Returns ``None`` whenever the pool (or shared
+        memory itself) is unavailable — callers fall back to a heap
+        buffer and lose nothing but the copy.
+        """
+        if not self._shard_processes:
+            return None
+        from ..parallel_exec import default_executor
+
+        executor = default_executor(self._shard_workers)
+        if executor is None:
+            return None
+        return executor.ingest(nbytes)
+
     def metrics(self) -> Dict[str, float]:
         """Counter snapshot plus queue depth and latency percentiles."""
         with self._lock:

@@ -69,29 +69,59 @@ import numpy as np
 from ..core.config import SolveConfig, SolveResult
 from ..errors import ProtocolError, ReproError
 from ..workloads.traceio import read_trace
+from . import schema
 from .curve_service import CurveService, SolveFuture
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
     from ..tenants import TenantService
 
-#: JSON request fields; anything else is rejected (typo protection).
-_REQUEST_FIELDS = frozenset(
-    ("trace", "id", "algorithm", "max_cache_size", "workers", "dtype",
-     "engine_backend", "deadline", "sizes")
-)
-_DTYPES = {"int32": np.int32, "int64": np.int64}
+#: Shared wire vocabulary (see :mod:`repro.service.schema`) — the same
+#: tables drive this parser, the binary frame decoder, and CurveClient.
+_REQUEST_FIELDS = schema.REQUEST_FIELDS
+_DTYPES = schema.DTYPES
+_TENANT_OPS = schema.TENANT_OP_FIELDS
 
-#: Tenant-verb fields, per op; anything else is rejected like above.
-_TENANT_OPS: Dict[str, frozenset] = {
-    "register": frozenset(
-        ("op", "id", "tenant", "tier", "sample_rate", "sample_seed",
-         "max_cache_size", "chunk_size", "memory_budget")
-    ),
-    "push": frozenset(("op", "id", "tenant", "trace", "deadline")),
-    "curve": frozenset(("op", "id", "tenant", "sizes", "deadline")),
-    "evict": frozenset(("op", "id", "tenant")),
-    "tenants": frozenset(("op", "id")),
-}
+
+def parse_request_obj(
+    obj: Dict[str, Any],
+    *,
+    default_config: Optional[SolveConfig] = None,
+    require_trace: bool = True,
+) -> Tuple[Any, SolveConfig, Optional[float], Optional[str], List[int]]:
+    """Parse one already-decoded solve-request object.
+
+    The schema half of :func:`parse_request`, shared with the binary
+    frame decoder (whose trace arrives as a payload, hence
+    ``require_trace=False``).  Returns ``(trace, config, deadline,
+    request_id, sizes)`` — ``trace`` is ``None`` when absent and not
+    required.  Raises :class:`ReproError` on malformed input.
+    """
+    base = default_config if default_config is not None else SolveConfig()
+    if not isinstance(obj, dict):
+        raise ReproError("request JSON must be an object")
+    schema.validate_fields(obj, schema.REQUEST_FIELDS, "request")
+    if require_trace and "trace" not in obj:
+        raise ReproError('request needs a "trace" (path or address list)')
+    changes: Dict[str, Any] = {}
+    for field in schema.CONFIG_FIELDS:
+        if field in obj:
+            changes[field] = obj[field]
+    if "dtype" in obj:
+        try:
+            changes["dtype"] = schema.DTYPES[obj["dtype"]]
+        except (KeyError, TypeError):
+            raise ReproError(
+                f"bad dtype {obj['dtype']!r}; use one of "
+                f"{sorted(schema.DTYPES)}"
+            ) from None
+    try:
+        cfg = base.replace(**changes) if changes else base
+    except TypeError as exc:
+        raise ReproError(f"bad request field: {exc}") from None
+    deadline = _check_deadline(obj.get("deadline"))
+    sizes = _check_sizes(obj.get("sizes"))
+    req_id = obj.get("id")
+    return obj.get("trace"), cfg, deadline, req_id, sizes
 
 
 def parse_request(
@@ -115,37 +145,7 @@ def parse_request(
         obj = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ReproError(f"bad request JSON: {exc}") from None
-    if not isinstance(obj, dict):
-        raise ReproError("request JSON must be an object")
-    unknown = set(obj) - _REQUEST_FIELDS
-    if unknown:
-        raise ReproError(
-            f"unknown request field(s) {sorted(unknown)}; "
-            f"allowed: {sorted(_REQUEST_FIELDS)}"
-        )
-    if "trace" not in obj:
-        raise ReproError('request needs a "trace" (path or address list)')
-    changes: Dict[str, Any] = {}
-    for field in ("algorithm", "max_cache_size", "workers",
-                  "engine_backend"):
-        if field in obj:
-            changes[field] = obj[field]
-    if "dtype" in obj:
-        try:
-            changes["dtype"] = _DTYPES[obj["dtype"]]
-        except (KeyError, TypeError):
-            raise ReproError(
-                f"bad dtype {obj['dtype']!r}; use one of "
-                f"{sorted(_DTYPES)}"
-            ) from None
-    try:
-        cfg = base.replace(**changes) if changes else base
-    except TypeError as exc:
-        raise ReproError(f"bad request field: {exc}") from None
-    deadline = _check_deadline(obj.get("deadline"))
-    sizes = _check_sizes(obj.get("sizes"))
-    req_id = obj.get("id")
-    return obj["trace"], cfg, deadline, req_id, sizes
+    return parse_request_obj(obj, default_config=default_config)
 
 
 def _check_deadline(deadline: Any) -> Optional[float]:
@@ -302,6 +302,7 @@ def serve_stream(
     *,
     default_config: Optional[SolveConfig] = None,
     tenants: Optional["TenantService"] = None,
+    upgrade: Optional[Callable[[], None]] = None,
 ) -> int:
     """Run the line protocol over one request stream.
 
@@ -315,6 +316,15 @@ def serve_stream(
     Returns the number of failed requests (protocol errors, parse
     errors, rejections, and solve errors alike); the caller owns the
     service's lifecycle.
+
+    ``upgrade``, when provided, enables the v2 binary framing on this
+    transport: a ``{"op": "hello", "upgrade": true}`` request barriers
+    on every previously accepted request, answers the hello with
+    ``"upgraded": 2``, invokes ``upgrade()`` and returns — the caller
+    then hands the same byte stream to
+    :func:`~repro.service.binary.serve_binary`.  Without it (stdin,
+    tests over plain line iterables) hellos still answer but advertise
+    the v1 protocol only.
     """
     out_lock = threading.Lock()
     failures = [0]
@@ -343,6 +353,34 @@ def serve_stream(
         if not line.strip():
             continue
         tenant_obj = tenant_op_object(line)
+        if tenant_obj is not None and tenant_obj.get("op") == schema.HELLO_OP:
+            h_id = tenant_obj.get("id")
+            if not isinstance(h_id, str):
+                h_id = None
+            try:
+                schema.validate_fields(
+                    tenant_obj, schema.HELLO_FIELDS, "hello"
+                )
+            except Exception as exc:  # noqa: BLE001 — on the stream
+                send(_error_payload(h_id, exc))
+                continue
+            payload = schema.hello_payload(
+                h_id,
+                tenants_enabled=tenants is not None,
+                binary_ok=upgrade is not None,
+            )
+            if tenant_obj.get("upgrade") and upgrade is not None:
+                # The upgrade is a framing change on the *transport*:
+                # barrier on everything accepted so far so no late JSON
+                # response interleaves with the first binary frame.
+                for event in answered:
+                    event.wait()
+                payload["upgraded"] = schema.PROTOCOL_V2
+                send(payload)
+                upgrade()
+                return failures[0]
+            send(payload)
+            continue
         if tenant_obj is not None:
             t_id = tenant_obj.get("id")
             if not isinstance(t_id, str):
@@ -441,14 +479,27 @@ class _LineHandler(socketserver.StreamRequestHandler):
             self.wfile.write(text.encode("utf-8") + b"\n")
             self.wfile.flush()
 
+        upgraded = []
+
         # Raw byte lines go straight to serve_stream, which decodes
         # strictly and answers undecodable input with a ProtocolError
         # line (a lossy decode here used to mangle requests silently).
+        # readline-iteration keeps any bytes after the hello line in
+        # the shared BufferedReader, where serve_binary picks them up.
         serve_stream(
             self.rfile, emit, self.server.service,  # type: ignore[attr-defined]
             default_config=self.server.default_config,  # type: ignore[attr-defined]
             tenants=self.server.tenants,  # type: ignore[attr-defined]
+            upgrade=lambda: upgraded.append(True),
         )
+        if upgraded:
+            from .binary import serve_binary
+
+            serve_binary(
+                self.rfile, self.wfile, self.server.service,  # type: ignore[attr-defined]
+                default_config=self.server.default_config,  # type: ignore[attr-defined]
+                tenants=self.server.tenants,  # type: ignore[attr-defined]
+            )
 
 
 class CurveServer(socketserver.ThreadingTCPServer):

@@ -1,0 +1,85 @@
+"""Consistent-hash ring placement properties."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+
+NODES = [f"shard{i}" for i in range(5)]
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        """Placement is a pure function of (nodes, replicas, key) —
+        never of PYTHONHASHSEED or instantiation order of equals."""
+        a = HashRing(NODES)
+        b = HashRing(list(NODES))
+        for i in range(200):
+            key = f"key-{i}"
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_every_shard_owns_keys(self):
+        ring = HashRing(NODES)
+        owners = {ring.lookup(f"key-{i}") for i in range(500)}
+        assert owners == set(NODES)
+
+    def test_reasonable_balance(self):
+        ring = HashRing(NODES, replicas=64)
+        counts = {n: 0 for n in NODES}
+        for i in range(5000):
+            counts[ring.lookup(f"key-{i}")] += 1
+        # Virtual nodes keep the imbalance bounded; a broken hash
+        # (everything on one shard) fails this by miles.
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_successors_distinct_and_headed_by_owner(self):
+        ring = HashRing(NODES)
+        for i in range(50):
+            succ = ring.successors(f"key-{i}")
+            assert succ[0] == ring.lookup(f"key-{i}")
+            assert len(succ) == len(set(succ)) == len(NODES)
+
+
+class TestFailover:
+    def test_down_shard_keys_move_others_stay(self):
+        ring = HashRing(NODES)
+        before = {f"key-{i}": ring.lookup(f"key-{i}") for i in range(500)}
+        ring.mark_down("shard2")
+        moved = 0
+        for key, owner in before.items():
+            now = ring.lookup(key)
+            if owner == "shard2":
+                assert now != "shard2"
+                moved += 1
+            else:
+                # Consistent hashing: only the dead shard's keys move.
+                assert now == owner
+        assert moved > 0
+
+    def test_recovery_restores_exact_placement(self):
+        ring = HashRing(NODES)
+        before = {f"key-{i}": ring.lookup(f"key-{i}") for i in range(500)}
+        ring.mark_down("shard1")
+        ring.mark_up("shard1")
+        after = {f"key-{i}": ring.lookup(f"key-{i}") for i in range(500)}
+        assert before == after
+
+    def test_all_down_raises(self):
+        ring = HashRing(["a", "b"])
+        ring.mark_down("a")
+        ring.mark_down("b")
+        with pytest.raises(LookupError):
+            ring.lookup("k")
+        assert ring.successors("k") == []
+
+    def test_primary_ignores_health(self):
+        ring = HashRing(NODES)
+        key = "pinned"
+        home = ring.primary(key)
+        ring.mark_down(home)
+        assert ring.primary(key) == home
+        assert ring.lookup(key) != home
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])

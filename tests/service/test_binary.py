@@ -1,0 +1,242 @@
+"""The v2 binary framed protocol: frames, server loop, arena ingest."""
+
+import io
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.engine import iaf_hit_rate_curve
+from repro.errors import ProtocolError
+from repro.service import CurveService, serve_binary, serve_tcp
+from repro.service import binary as binary_mod
+from repro.service import frames
+
+
+def run_frames(requests, service, **kwargs):
+    """Feed encoded request frames through serve_binary; parse responses."""
+    rfile = io.BytesIO(b"".join(requests))
+    wfile = io.BytesIO()
+    failures = serve_binary(rfile, wfile, service, **kwargs)
+    wfile.seek(0)
+    responses = []
+    while True:
+        got = frames.read_frame(wfile)
+        if got is None:
+            break
+        frame_type, header, payload = got
+        assert frame_type == frames.FRAME_RESPONSE
+        assert payload is None
+        responses.append(header)
+    return failures, responses
+
+
+class TestFraming:
+    def test_round_trip(self):
+        arr = np.arange(100, dtype=np.int64)
+        raw = frames.encode_frame(
+            frames.FRAME_REQUEST, {"id": "x"}, arr.tobytes(),
+            frames.DTYPE_INT64,
+        )
+        frame_type, header, payload = frames.read_frame(io.BytesIO(raw))
+        assert frame_type == frames.FRAME_REQUEST
+        assert header == {"id": "x"}
+        np.testing.assert_array_equal(payload, arr)
+
+    def test_clean_eof_returns_none(self):
+        assert frames.read_frame(io.BytesIO(b"")) is None
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            frames.read_frame(io.BytesIO(b"NOPE" + b"\x00" * 16))
+
+    def test_truncated_frame_raises(self):
+        raw = frames.encode_frame(frames.FRAME_REQUEST, {"id": "x"},
+                                  b"\x00" * 64, frames.DTYPE_INT64)
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            frames.read_frame(io.BytesIO(raw[:-10]))
+
+    def test_misaligned_payload_raises(self):
+        raw = frames.encode_frame(frames.FRAME_REQUEST, {}, b"\x00" * 7,
+                                  frames.DTYPE_INT64)
+        with pytest.raises(ProtocolError, match="multiple"):
+            frames.read_frame(io.BytesIO(raw))
+
+    def test_unknown_dtype_code_raises(self):
+        raw = frames.encode_frame(frames.FRAME_REQUEST, {}, b"\x00" * 8,
+                                  dtype_code=9)
+        with pytest.raises(ProtocolError, match="dtype code"):
+            frames.read_frame(io.BytesIO(raw))
+
+
+class TestServeBinary:
+    @pytest.mark.parametrize("np_dtype,code", [
+        (np.int32, frames.DTYPE_INT32),
+        (np.int64, frames.DTYPE_INT64),
+    ])
+    def test_solve_payload_matches_direct(self, rng, np_dtype, code):
+        trace = rng.integers(0, 100, size=2000).astype(np_dtype)
+        req = frames.encode_frame(
+            frames.FRAME_REQUEST, {"id": "s", "sizes": [8, 32]},
+            trace.tobytes(), code,
+        )
+        with CurveService(workers=1) as svc:
+            failures, responses = run_frames([req], svc)
+        assert failures == 0
+        direct = iaf_hit_rate_curve(trace.astype(np.int64))
+        assert responses[0]["hit_rates"]["32"] == direct.hit_rate(32)
+        assert responses[0]["total_accesses"] == 2000
+
+    def test_inline_trace_still_works(self):
+        req = frames.encode_frame(
+            frames.FRAME_REQUEST,
+            {"id": "i", "trace": [1, 2, 1, 3], "sizes": [2]},
+        )
+        with CurveService(workers=1) as svc:
+            failures, responses = run_frames([req], svc)
+        assert failures == 0
+        assert responses[0]["ok"] is True
+
+    def test_both_trace_and_payload_rejected(self):
+        req = frames.encode_frame(
+            frames.FRAME_REQUEST, {"id": "x", "trace": [1]},
+            np.array([1], dtype=np.int64).tobytes(), frames.DTYPE_INT64,
+        )
+        with CurveService(workers=1) as svc:
+            failures, responses = run_frames([req], svc)
+        assert failures == 1
+        assert "both" in responses[0]["message"]
+
+    def test_missing_trace_rejected(self):
+        req = frames.encode_frame(frames.FRAME_REQUEST, {"id": "x"})
+        with CurveService(workers=1) as svc:
+            failures, responses = run_frames([req], svc)
+        assert failures == 1
+        assert responses[0]["ok"] is False
+
+    def test_unknown_field_rejected(self):
+        req = frames.encode_frame(
+            frames.FRAME_REQUEST, {"id": "x", "trace": [1], "bogus": 1},
+        )
+        with CurveService(workers=1) as svc:
+            failures, responses = run_frames([req], svc)
+        assert failures == 1
+        assert "bogus" in responses[0]["message"]
+
+    def test_garbage_closes_with_protocol_error(self):
+        good = frames.encode_frame(
+            frames.FRAME_REQUEST, {"id": "ok", "trace": [1, 2]},
+        )
+        with CurveService(workers=1) as svc:
+            failures, responses = run_frames(
+                [good, b"GARBAGEGARBAGEGARBAGE"], svc
+            )
+            metrics = svc.metrics()
+        assert failures == 1
+        assert metrics["service.protocol_errors"] == 1
+        by_id = {r.get("id"): r for r in responses}
+        assert by_id["ok"]["ok"] is True
+        assert by_id[None]["error"] == "ProtocolError"
+
+    def test_tenant_push_via_payload(self, rng):
+        from repro.tenants import TenantService
+
+        trace = rng.integers(0, 50, size=1000).astype(np.int64)
+        reqs = [
+            frames.encode_frame(frames.FRAME_REQUEST,
+                                {"op": "register", "tenant": "t",
+                                 "id": "r"}),
+            frames.encode_frame(frames.FRAME_REQUEST,
+                                {"op": "push", "tenant": "t", "id": "p"},
+                                trace.tobytes(), frames.DTYPE_INT64),
+            frames.encode_frame(frames.FRAME_REQUEST,
+                                {"op": "curve", "tenant": "t",
+                                 "sizes": [16], "id": "c"}),
+        ]
+        with CurveService(workers=1) as svc:
+            tenants = TenantService(svc)
+            failures, responses = run_frames(reqs, svc, tenants=tenants)
+        assert failures == 0
+        by_id = {r["id"]: r for r in responses}
+        assert by_id["p"]["ingested"] == 1000
+        direct = iaf_hit_rate_curve(trace)
+        assert by_id["c"]["hit_rates"]["16"] == direct.hit_rate(16)
+
+
+class TestArenaIngest:
+    def test_large_payload_rides_the_shared_arena(self, rng):
+        """Bulk bytes land in (and are released from) the arena."""
+        from repro.parallel_exec import default_executor
+
+        executor = default_executor(2)
+        if executor is None:
+            pytest.skip("shared-memory executor unavailable")
+        n = binary_mod.ARENA_INGEST_MIN // 8 + 1024
+        trace = rng.integers(0, 1000, size=n).astype(np.int64)
+        req = frames.encode_frame(
+            frames.FRAME_REQUEST, {"id": "big", "sizes": [64]},
+            trace.tobytes(), frames.DTYPE_INT64,
+        )
+        with CurveService(workers=1, shard_processes=True) as svc:
+            lease = svc.ingest_lease(128 * 1024)
+            assert lease is not None
+            lease.release()
+            failures, responses = run_frames([req], svc)
+        assert failures == 0
+        direct = iaf_hit_rate_curve(trace)
+        assert responses[0]["hit_rates"]["64"] == direct.hit_rate(64)
+        # Every leased block must be back in the free list.
+        assert executor._arena.live_blocks == 0
+
+    def test_ingest_lease_views_written_bytes(self, rng):
+        from repro.parallel_exec import default_executor
+
+        executor = default_executor(2)
+        if executor is None:
+            pytest.skip("shared-memory executor unavailable")
+        arr = rng.integers(0, 9999, size=4096).astype(np.int64)
+        lease = executor.ingest(arr.nbytes)
+        assert lease is not None
+        with lease:
+            lease.buffer()[:] = arr.tobytes()
+            view = lease.array(np.int64, arr.size)
+            np.testing.assert_array_equal(view, arr)
+        assert executor._arena.live_blocks == 0
+
+
+class TestTcpUpgradePath:
+    def test_line_then_binary_on_one_socket(self, rng):
+        """hello → JSON response → binary frames on the same connection."""
+        trace = rng.integers(0, 64, size=512).astype(np.int64)
+        with CurveService(workers=1) as svc:
+            server = serve_tcp(svc, "127.0.0.1", 0)
+            host, port = server.server_address[:2]
+            threading.Thread(target=server.serve_forever,
+                             daemon=True).start()
+            try:
+                with socket.create_connection((host, port),
+                                              timeout=30) as sock:
+                    # Ship the hello line AND the first binary frame in
+                    # one send: bytes past the newline must survive the
+                    # framing switch inside the server's buffered reader.
+                    frame = frames.encode_frame(
+                        frames.FRAME_REQUEST, {"id": "b", "sizes": [8]},
+                        trace.tobytes(), frames.DTYPE_INT64,
+                    )
+                    sock.sendall(
+                        json.dumps({"op": "hello", "upgrade": True,
+                                    "id": "h"}).encode() + b"\n" + frame
+                    )
+                    rfile = sock.makefile("rb")
+                    hello = json.loads(rfile.readline())
+                    assert hello["upgraded"] == 2
+                    got = frames.read_frame(rfile)
+                assert got is not None
+                _, payload, _ = got
+                direct = iaf_hit_rate_curve(trace)
+                assert payload["hit_rates"]["8"] == direct.hit_rate(8)
+            finally:
+                server.shutdown()
+                server.server_close()

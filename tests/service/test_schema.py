@@ -1,0 +1,141 @@
+"""The declarative wire schema: one table, three surfaces, no drift."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolveConfig
+from repro.errors import ReproError
+from repro.service import CurveService, parse_request, serve_stream
+from repro.service import schema
+from repro.service.server import handle_tenant_request
+
+
+class TestSchemaTables:
+    def test_config_fields_exist_on_solve_config(self):
+        """Every schema config field must be a real SolveConfig knob."""
+        cfg = SolveConfig()
+        for field in schema.CONFIG_FIELDS:
+            assert hasattr(cfg, field), field
+
+    def test_chunk_size_reachable_from_the_wire(self):
+        """The knob the CLI always had is now a request field too."""
+        assert "chunk_size" in schema.REQUEST_FIELDS
+        _, cfg, _, _, _ = parse_request(json.dumps(
+            {"trace": [1, 2, 1], "algorithm": "chunked-iaf",
+             "chunk_size": 512}
+        ))
+        assert cfg.chunk_size == 512
+        assert cfg.algorithm == "chunked-iaf"
+
+    def test_bad_chunk_size_rejected_by_config_validation(self):
+        with pytest.raises(ReproError):
+            parse_request(json.dumps({"trace": [1], "chunk_size": -5}))
+
+    def test_client_and_parser_share_the_vocabulary(self):
+        from repro.client import _SOLVE_KWARGS
+
+        assert _SOLVE_KWARGS == schema.REQUEST_FIELDS - {"trace", "id"}
+
+
+class TestUnknownFieldGoldens:
+    """Golden unknown-field rejection, per op, from the shared table."""
+
+    def test_solve_request_rejects_unknown_field(self):
+        with pytest.raises(ReproError, match=r"shoe_size"):
+            parse_request(json.dumps({"trace": [1], "shoe_size": 9}))
+
+    def test_solve_rejection_names_the_allowed_vocabulary(self):
+        with pytest.raises(ReproError) as err:
+            parse_request(json.dumps({"trace": [1], "nope": 1}))
+        for field in schema.REQUEST_FIELDS:
+            assert field in str(err.value)
+
+    @pytest.mark.parametrize("op", sorted(schema.TENANT_OP_FIELDS))
+    def test_every_tenant_op_rejects_unknown_field(self, op):
+        obj = {"op": op, "tenant": "t", "shoe_size": 9}
+
+        class _NoTenants:
+            pass
+
+        with pytest.raises(ReproError) as err:
+            handle_tenant_request(obj, _NoTenants())
+        assert "shoe_size" in str(err.value)
+        for field in sorted(schema.TENANT_OP_FIELDS[op]):
+            assert field in str(err.value)
+
+    def test_hello_rejects_unknown_field(self):
+        out = []
+        with CurveService(workers=1) as svc:
+            failures = serve_stream(
+                [json.dumps({"op": "hello", "id": "h", "flavor": "?"})],
+                out.append, svc,
+            )
+        assert failures == 1
+        payload = json.loads(out[0])
+        assert payload["ok"] is False
+        assert "flavor" in payload["message"]
+
+
+class TestHello:
+    def test_hello_advertises_capabilities(self):
+        from repro.core.config import ALGORITHMS
+
+        out = []
+        with CurveService(workers=1) as svc:
+            failures = serve_stream(
+                [json.dumps({"op": "hello", "id": "h"})], out.append, svc,
+            )
+        assert failures == 0
+        payload = json.loads(out[0])
+        assert payload["ok"] is True
+        assert payload["server"] == "curve"
+        assert payload["algorithms"] == list(ALGORITHMS)
+        assert payload["tenants"] is False
+        assert sorted(payload["fields"]) == sorted(schema.REQUEST_FIELDS)
+        # No upgrade hook on a plain iterable stream: v1 only.
+        assert payload["protocols"] == [schema.PROTOCOL_V1]
+        assert "upgraded" not in payload
+
+    def test_hello_upgrade_ignored_without_transport_support(self):
+        """stdin-style streams answer the hello but stay on v1 lines."""
+        out = []
+        with CurveService(workers=1) as svc:
+            serve_stream(
+                [json.dumps({"op": "hello", "upgrade": True, "id": "h"}),
+                 json.dumps({"trace": [1, 2, 1], "id": "s", "sizes": [1]})],
+                out.append, svc,
+            )
+        payloads = {json.loads(o)["id"]: json.loads(o) for o in out}
+        assert "upgraded" not in payloads["h"]
+        assert payloads["s"]["ok"] is True
+
+    def test_hello_upgrade_invokes_hook_and_stops_the_line_loop(self):
+        out = []
+        upgraded = []
+        consumed_after_upgrade = []
+
+        def lines():
+            yield json.dumps({"op": "hello", "upgrade": True, "id": "h"})
+            consumed_after_upgrade.append(True)
+            yield json.dumps({"trace": [1], "id": "never"})
+
+        with CurveService(workers=1) as svc:
+            serve_stream(
+                lines(), out.append, svc,
+                upgrade=lambda: upgraded.append(True),
+            )
+        assert upgraded == [True]
+        assert not consumed_after_upgrade
+        payload = json.loads(out[0])
+        assert payload["upgraded"] == schema.PROTOCOL_V2
+        assert payload["protocols"] == list(schema.PROTOCOL_VERSIONS)
+
+    def test_dtype_vocabulary_matches_frames(self):
+        from repro.service import frames
+
+        assert set(schema.DTYPES) == set(frames.CODE_BY_NAME)
+        for name, np_type in schema.DTYPES.items():
+            code = frames.CODE_BY_NAME[name]
+            assert frames.DTYPE_BY_CODE[code] == np.dtype(np_type)

@@ -233,7 +233,12 @@ class TestServeCLI:
 
 
 class TestServeTCP:
-    def test_round_trip_shared_service(self, trace_file):
+    """TCP round trips through the supported client, both transports."""
+
+    @pytest.mark.parametrize("prefer_binary", [False, True])
+    def test_round_trip_shared_service(self, trace_file, prefer_binary):
+        from repro.client import CurveClient
+
         path, trace = trace_file
         with CurveService(workers=2) as svc:
             server = serve_tcp(svc, "127.0.0.1", 0)
@@ -242,32 +247,17 @@ class TestServeTCP:
                                       daemon=True)
             runner.start()
             try:
-                def request(lines):
-                    with socket.create_connection((host, port),
-                                                  timeout=30) as sock:
-                        sock.sendall("".join(lines).encode())
-                        sock.shutdown(socket.SHUT_WR)
-                        buf = b""
-                        while True:
-                            chunk = sock.recv(65536)
-                            if not chunk:
-                                break
-                            buf += chunk
-                    return [json.loads(l) for l in
-                            buf.decode().strip().splitlines()]
-
-                responses = request([
-                    json.dumps({"trace": path, "id": "a"}) + "\n",
-                    json.dumps({"trace": [1, 2, 1], "id": "b",
-                                "sizes": [1]}) + "\n",
-                ])
-                assert sorted(r["id"] for r in responses) == ["a", "b"]
+                with CurveClient(host, port,
+                                 prefer_binary=prefer_binary) as client:
+                    assert client.binary is prefer_binary
+                    responses = client.solve_batch(
+                        [path, [1, 2, 1]], sizes=[1]
+                    )
                 assert all(r["ok"] for r in responses)
                 direct = iaf_hit_rate_curve(trace)
-                by_id = {r["id"]: r for r in responses}
-                assert by_id["a"]["total_accesses"] == \
+                assert responses[0]["total_accesses"] == \
                     direct.total_accesses
-                assert by_id["b"]["hit_rates"]["1"] == pytest.approx(0.0)
+                assert responses[1]["hit_rates"]["1"] == pytest.approx(0.0)
             finally:
                 server.shutdown()
                 server.server_close()
@@ -385,7 +375,9 @@ class TestTenantVerbs:
         )
         assert "tenant.pushes" in captured.err
 
-    def test_tcp_tenant_round_trip(self):
+    @pytest.mark.parametrize("prefer_binary", [False, True])
+    def test_tcp_tenant_round_trip(self, prefer_binary):
+        from repro.client import CurveClient
         from repro.tenants import TenantService
 
         with CurveService(workers=2) as svc:
@@ -396,30 +388,14 @@ class TestTenantVerbs:
                                       daemon=True)
             runner.start()
             try:
-                lines = [
-                    json.dumps({"op": "register", "tenant": "t",
-                                "id": "r"}) + "\n",
-                    json.dumps({"op": "push", "tenant": "t",
-                                "trace": [5, 6, 5], "id": "p"}) + "\n",
-                    json.dumps({"op": "curve", "tenant": "t",
-                                "sizes": [2], "id": "c"}) + "\n",
-                ]
-                with socket.create_connection((host, port),
-                                              timeout=30) as sock:
-                    sock.sendall("".join(lines).encode())
-                    sock.shutdown(socket.SHUT_WR)
-                    buf = b""
-                    while True:
-                        chunk = sock.recv(65536)
-                        if not chunk:
-                            break
-                        buf += chunk
-                resp = {json.loads(l)["id"]: json.loads(l)
-                        for l in buf.decode().strip().splitlines()}
-                assert resp["p"]["ingested"] == 3
-                assert resp["c"]["hit_rates"]["2"] == pytest.approx(
-                    1.0 / 3.0
-                )
+                with CurveClient(host, port,
+                                 prefer_binary=prefer_binary) as client:
+                    assert client.server_info["tenants"] is True
+                    client.register("t")
+                    push = client.push("t", [5, 6, 5])
+                    curve = client.curve("t", sizes=[2])
+                assert push["ingested"] == 3
+                assert curve["hit_rates"]["2"] == pytest.approx(1.0 / 3.0)
             finally:
                 server.shutdown()
                 server.server_close()
